@@ -1,0 +1,24 @@
+"""Shared fixtures for the per-exhibit benchmarks.
+
+Each benchmark regenerates one paper exhibit via its experiment module and
+asserts the reproduced *shape* (orderings, optima, exact toy numbers).
+Simulation-backed benchmarks run with ``benchmark.pedantic`` (one round) so
+the suite completes quickly while still reporting wall-clock cost.
+"""
+
+import pytest
+
+from repro.core.workload import synthetic_workload
+from repro.genome.datasets import get_dataset
+
+
+@pytest.fixture(scope="session")
+def bench_workload():
+    """A moderate NA12878-like workload shared across benchmarks."""
+    return synthetic_workload(get_dataset("H.s."), 800, seed=42)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a costly function with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the Sec. V-C energy comparison."""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import energy_comparison
+
+
+def test_bench_energy_comparison(benchmark):
+    result = run_once(benchmark, energy_comparison.run, reads=300)
+    by_name = {r["baseline"]: r for r in result.rows}
+    # the four published factors
+    assert by_name["CPU-BWA-MEM"]["power_reduction"] == \
+        pytest.approx(14.21, abs=0.3)
+    assert by_name["GPU-GASAL2"]["power_reduction"] == \
+        pytest.approx(5.60, abs=0.1)
+    assert by_name["ASIC-GenAx"]["power_reduction"] == \
+        pytest.approx(4.34, abs=0.05)
+    assert by_name["PIM-GenCache"]["power_reduction"] == \
+        pytest.approx(5.85, abs=0.05)
+    # throughput-per-Watt cross-checks
+    assert by_name["ASIC-GenAx"]["throughput_per_watt_ratio"] == \
+        pytest.approx(52.62, rel=0.02)
+    assert by_name["PIM-GenCache"]["throughput_per_watt_ratio"] == \
+        pytest.approx(13.50, rel=0.02)

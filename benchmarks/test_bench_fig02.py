@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (per-read phase breakdown)."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_breakdown
+
+
+def test_bench_fig02_breakdown(benchmark):
+    result = run_once(benchmark, fig02_breakdown.run,
+                      reads=200, genome_length=60_000, zoom=slice(100, 150))
+    assert len(result.rows) == 200
+    # The diversity observation: totals vary across reads.
+    totals = [r["seeding_us"] + r["extension_us"] for r in result.rows]
+    assert max(totals) > 1.2 * min(totals)
+    # Both phases contribute for every read.
+    assert all(r["seeding_us"] > 0 for r in result.rows)
+    assert sum(r["extension_us"] for r in result.rows) > 0

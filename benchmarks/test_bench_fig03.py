@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 3 (scheduling-on/off execution traces)."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_scheduling_effect
+
+
+def test_bench_fig03_scheduling_effect(benchmark):
+    result = run_once(benchmark, fig03_scheduling_effect.run,
+                      reads=400, seed=8)
+    scheduled, unscheduled = result.rows
+    # the figure's two claims, measured from the traces:
+    # (1) batched loading leaves SUs idle between batches
+    assert unscheduled["mean_su_idle_gap"] > 10 * max(
+        scheduled["mean_su_idle_gap"], 1)
+    # (2) hits reach matched units only under the scheduled flow
+    assert scheduled["hits_on_optimal_unit"] > 0.5
+    assert unscheduled["hits_on_optimal_unit"] < 0.3
+    assert scheduled["cycles"] < unscheduled["cycles"]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 (Read-in-Batch vs One-Cycle)."""
+
+from repro.experiments import fig05_scheduling
+
+
+def test_bench_fig05_scheduling(benchmark):
+    result = benchmark(fig05_scheduling.run)
+    batch, one_cycle = result.rows
+    assert one_cycle["cycles"] < batch["cycles"]
+    assert one_cycle["su_utilization"] > batch["su_utilization"]
+
+
+def test_bench_fig05_scales_to_paper_pool(benchmark):
+    """The one-cycle win persists at the paper's 128-SU scale."""
+    import random
+    rng = random.Random(1)
+    durations = [rng.randint(200, 1400) for _ in range(2000)]
+    batch = fig05_scheduling.simulate_strategy(durations, 128, False)
+
+    def one_cycle():
+        return fig05_scheduling.simulate_strategy(durations, 128, True)
+
+    result = benchmark(one_cycle)
+    assert result["cycles"] < batch["cycles"]
+    assert result["utilization"] > 0.9  # near-full SU pool occupancy

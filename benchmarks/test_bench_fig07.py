@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (systolic runtime example)."""
+
+from repro.experiments import fig07_systolic_example
+
+
+def test_bench_fig07_block_schedule(benchmark):
+    result = benchmark(fig07_systolic_example.run)
+    assert result.rows[-1]["cycles"] == 33  # the paper's exact count
+    assert [r["cycles"] for r in result.rows[:-1]] == [11, 11, 11]

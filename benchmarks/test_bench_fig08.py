@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (latency vs PE count curves)."""
+
+from repro.experiments import fig08_latency_curves
+
+
+def test_bench_fig08_latency_curves(benchmark):
+    result = benchmark(fig08_latency_curves.run)
+    curves = {}
+    for row in result.rows:
+        if isinstance(row["pe_count"], int):
+            curves.setdefault(row["hit_length"], {})[row["pe_count"]] = \
+                row["latency_cycles"]
+    # observation (1): minimum near the hit length
+    assert min(curves[9], key=curves[9].get) == 16
+    assert min(curves[64], key=curves[64].get) == 64
+    # observation (2): both mismatch directions are slow
+    assert curves[9][128] > curves[9][16]
+    assert curves[64][2] > curves[64][64]
+    # observation (3): adjacent sizes are acceptable sub-optima
+    assert curves[64][128] < 2 * curves[64][64]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (hybrid vs uniform units toy)."""
+
+from repro.experiments import fig09_hybrid_toy
+
+
+def test_bench_fig09_hybrid_toy(benchmark):
+    result = benchmark(fig09_hybrid_toy.run)
+    totals = result.rows[-1]
+    # The paper's exact makespans.
+    assert totals["uniform_latency"] == 455
+    assert totals["hybrid_latency"] == 257

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 11 (throughput vs all baselines).
+
+Shape requirements: the ablation ladder is monotone (every mechanism
+helps), NvWa beats every platform, and the platform ordering is
+CPU < GPU < FPGA < GenAx < GenCache as in the figure.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11_throughput
+
+
+def test_bench_fig11_throughput(benchmark, bench_workload):
+    result = run_once(benchmark, fig11_throughput.run,
+                      workload=bench_workload)
+    ladder = [r for r in result.rows if r.get("step_speedup") is not None]
+    assert [r["configuration"] for r in ladder] == \
+        ["SUs+EUs", "+HUS", "+OCRA", "+HA (NvWa)"]
+    speeds = [r["kreads_per_s"] for r in ladder]
+    assert speeds == sorted(speeds)
+    assert ladder[-1]["speedup_vs_SUs+EUs"] > 1.8
+
+    platforms = [r for r in result.rows if r.get("nvwa_speedup") is not None]
+    names = [r["configuration"] for r in platforms]
+    assert names == ["CPU-BWA-MEM", "GPU-GASAL2", "FPGA-ERT+SeedEx",
+                     "ASIC-GenAx", "PIM-GenCache"]
+    rates = [r["kreads_per_s"] for r in platforms]
+    assert rates == sorted(rates)
+    assert all(r["nvwa_speedup"] > 1 for r in platforms)

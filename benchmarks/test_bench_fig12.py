@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 12 (resource utilization panels).
+
+Shape requirements: NvWa's SU utilization well above the unscheduled
+baseline's, PE-effective EU utilization likewise, and the Hits Allocator
+placing the large majority of hits on their optimal class while the
+baseline places few.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_utilization
+
+
+def test_bench_fig12_utilization(benchmark):
+    result = run_once(benchmark, fig12_utilization.run, reads=1500, seed=2)
+    nvwa = result.reports["nvwa"]
+    base = result.reports["baseline"]
+    # (a)/(b): scheduled seeding keeps SUs far busier
+    assert nvwa.su_utilization > 2 * base.su_utilization
+    # (c)/(d): matched units waste far fewer PE-cycles
+    assert nvwa.eu_effective_utilization > 2 * base.eu_effective_utilization
+    # (e)/(f): assignment quality gap
+    assert nvwa.assignment_quality.overall_fraction() > 0.6
+    assert base.assignment_quality.overall_fraction() < 0.3
+    # every class sees traffic and mostly-correct placement under NvWa
+    for pe_class in (16, 32, 64, 128):
+        assert nvwa.assignment_quality.fraction(pe_class) > 0.3

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 13 (design-space exploration).
+
+Shape requirements: the buffer-depth curve is a hump whose peak sits at a
+moderate depth (the paper's 1024 neighbourhood — strictly better than both
+the smallest and the largest depth swept), and the interval sweep's best
+throughput-per-Coordinator-Watt lands at 4 intervals.
+"""
+
+from conftest import run_once
+
+from repro.analysis.dse import best_tradeoff
+from repro.experiments import fig13_dse
+
+
+def test_bench_fig13_dse(benchmark, bench_workload):
+    result = run_once(benchmark, fig13_dse.run,
+                      workload=bench_workload,
+                      depths=(64, 256, 1024, 4096),
+                      interval_counts=(1, 2, 4, 8))
+    by_depth = {p.depth: p.kreads_per_second for p in result.depth_points}
+    # hump shape: the 1024 neighbourhood beats both extremes
+    peak = max(by_depth.values())
+    best_depth = max(by_depth, key=by_depth.get)
+    assert best_depth in (256, 1024)
+    assert peak > by_depth[64]
+    assert peak > by_depth[4096]
+
+    # interval sweep: throughput rises with intervals, power rises too,
+    # and the trade-off optimum is at 4 (the paper's design point).
+    # Requested counts above the class-doubling limit saturate (8 -> 7
+    # classes), so assert over the points actually produced.
+    points = result.interval_points
+    counts = [p.intervals for p in points]
+    assert counts == sorted(counts)
+    by_intervals = {p.intervals: p for p in points}
+    assert by_intervals[4].kreads_per_second > \
+        by_intervals[1].kreads_per_second
+    powers = [p.coordinator_power_w for p in points]
+    assert powers == sorted(powers)
+    assert best_tradeoff(points).intervals == 4

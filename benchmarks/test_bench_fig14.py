@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 14 (multi-dataset sensitivity).
+
+Shape requirements: large, stable speedups across the 2nd-generation
+datasets; lower speedups on long reads; similar interval distributions
+across the short-read datasets.
+"""
+
+from conftest import run_once
+
+from repro.analysis.distributions import distribution_similarity
+from repro.experiments import fig14_datasets
+
+
+def test_bench_fig14_datasets(benchmark):
+    result = run_once(benchmark, fig14_datasets.run,
+                      reads_per_dataset=300, seed=4)
+    shorts = {n: s for n, s in result.speedups.items()
+              if not n.endswith("-long")}
+    longs = {n: s for n, s in result.speedups.items()
+             if n.endswith("-long")}
+    assert len(shorts) == 6 and len(longs) == 3
+
+    # stability: short-read speedups within a modest band (paper: ~1.25x)
+    assert max(shorts.values()) < 1.6 * min(shorts.values())
+    # long reads below short reads (paper: 259-272x vs 285.6-357x)
+    assert max(longs.values()) < min(shorts.values())
+
+    # Fig 14(b): distributions similar across 2nd-gen datasets
+    reference = result.interval_table["H.s."]
+    for name, mass in result.interval_table.items():
+        assert distribution_similarity(reference, mass) > 0.9, name

@@ -1,0 +1,90 @@
+"""Kernel micro-benchmarks: the substrate's hot paths.
+
+Not paper exhibits — these time the algorithmic kernels a user of the
+library cares about (index construction, search, alignment, simulation),
+and pin basic sanity on each result so a performance regression that
+breaks correctness cannot pass silently.
+"""
+
+import random
+
+import pytest
+
+from repro.genome.sequence import encode, random_sequence
+from repro.seeding.bidirectional import BidirectionalFMIndex
+from repro.seeding.bwt import suffix_array
+from repro.seeding.fmindex import FMIndex
+from repro.seeding.minimizers import minimizers
+from repro.seeding.smem import find_smems
+from repro.extension.bitap import myers_distances
+from repro.extension.smith_waterman import smith_waterman
+
+
+@pytest.fixture(scope="module")
+def text():
+    return random_sequence(200_000, random.Random(7))
+
+
+def test_bench_suffix_array_200k(benchmark, text):
+    sa = benchmark.pedantic(lambda: suffix_array(encode(text)),
+                            rounds=1, iterations=1)
+    assert sa.size == len(text)
+
+
+def test_bench_fmindex_build_100k(benchmark, text):
+    index = benchmark.pedantic(lambda: FMIndex(text[:100_000]),
+                               rounds=1, iterations=1)
+    assert len(index) == 100_000
+
+
+def test_bench_fmindex_count(benchmark, text):
+    index = FMIndex(text[:50_000], occ_interval=128)
+    pattern = text[1000:1031]
+
+    count = benchmark(lambda: index.count(pattern))
+    assert count >= 1
+
+
+def test_bench_smem_per_read(benchmark, text):
+    index = BidirectionalFMIndex(text[:50_000], occ_interval=128)
+    rng = random.Random(8)
+    read = text[2000:2101]
+
+    smems = benchmark(lambda: find_smems(index, read, min_length=19))
+    assert smems
+    assert max(m.length for m in smems) >= 19
+
+
+def test_bench_smith_waterman_101bp(benchmark, text):
+    read = text[3000:3101]
+    window = text[2980:3130]
+
+    alignment = benchmark(lambda: smith_waterman(read, window))
+    assert alignment.score == 101
+
+
+def test_bench_myers_101_vs_1k(benchmark, text):
+    pattern = text[5000:5101]
+    window = text[4800:5800]
+
+    distances = benchmark(lambda: myers_distances(pattern, window))
+    assert min(distances) == 0
+
+
+def test_bench_minimizers_100k(benchmark, text):
+    ms = benchmark.pedantic(lambda: minimizers(text[:100_000], k=15, w=10),
+                            rounds=1, iterations=1)
+    density = len(ms) / 100_000
+    assert 0.05 < density < 0.5
+
+
+def test_bench_accelerator_cycle_rate(benchmark):
+    """Simulated cycles per wall-second of the full NvWa model."""
+    from repro.core import NvWaAccelerator, baseline, synthetic_workload
+    from repro.genome.datasets import get_dataset
+    workload = synthetic_workload(get_dataset("H.s."), 1000, seed=9)
+
+    report = benchmark.pedantic(
+        lambda: NvWaAccelerator(baseline.nvwa()).run(workload),
+        rounds=1, iterations=1)
+    assert report.hits_processed == workload.total_hits

@@ -1,0 +1,22 @@
+"""Benchmark: Equation 5 vs empirical unit-mix search.
+
+Quantifies the Sec. IV-C design methodology: the analytically-derived EU
+mix must land within a modest gap of the best mix local search finds at
+the same 2880-PE budget on the NA12878-like workload.
+"""
+
+from conftest import run_once
+
+from repro.analysis.mix_search import equation5_optimality_gap
+from repro.core.hybrid_units import paper_unit_mix
+
+
+def test_bench_equation5_optimality(benchmark, bench_workload):
+    gap, eq5, best = run_once(benchmark, equation5_optimality_gap,
+                              bench_workload, max_steps=5)
+    # the search starts from the paper's exact design point
+    assert dict(eq5.mix) == paper_unit_mix()
+    # budget-preserving search: same 2880 PEs everywhere
+    assert eq5.total_pes == best.total_pes == 2880
+    # the closed form is near-optimal (< 15% from the searched best)
+    assert 0.0 <= gap < 0.15

@@ -1,0 +1,17 @@
+"""Benchmark: the full reproduction report card at quick scale.
+
+One command that asserts every reproduction criterion — the capstone of
+the benchmark suite. (Exact criteria are scale-independent; shape criteria
+run the simulations.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.report_card import format_card, run
+
+
+def test_bench_report_card(benchmark):
+    criteria = run_once(benchmark, run, quick=True)
+    failing = [c for c in criteria if not c.passed]
+    assert not failing, "\n" + format_card(criteria)
+    assert len(criteria) >= 20

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (system configurations)."""
+
+from repro.experiments import table1_configs
+
+
+def test_bench_table1_configs(benchmark):
+    result = benchmark(table1_configs.run)
+    nvwa = result.rows[2]
+    assert "128 SUs and 70 EUs" in nvwa["compute"]
+    assert "28x16PE" in nvwa["compute"]
+    assert "HBM" in nvwa["off_chip_memory"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table II (area/power breakdown)."""
+
+import pytest
+
+from repro.experiments import table2_area_power
+
+
+def test_bench_table2_area_power(benchmark):
+    result = benchmark(table2_area_power.run)
+    total = result.rows[-1]
+    assert total["area_mm2"] == pytest.approx(27.009, abs=0.01)
+    assert total["power_w"] == pytest.approx(5.754, abs=0.01)
+    # scheduler share, the paper's headline: small area/power cost
+    assert "5.85% area" in result.notes
+    assert "13.38% power" in result.notes

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table III (unified interface definitions)."""
+
+from repro.experiments import table3_interface
+
+
+def test_bench_table3_interface(benchmark):
+    result = benchmark(table3_interface.run)
+    assert len(result.rows) == 6
+    data_rows = [r for r in result.rows if r["interface"] == "Data"]
+    control_rows = [r for r in result.rows if r["interface"] == "Control"]
+    assert len(data_rows) == 4 and len(control_rows) == 2
+    # EU input carries exactly the SU output record (the producer-consumer
+    # contract of Table III)
+    su_out = next(r for r in data_rows
+                  if r["unit"] == "SUs" and r["direction"] == "Output")
+    eu_in = next(r for r in data_rows
+                 if r["unit"] == "EUs" and r["direction"] == "Input")
+    assert su_out["signals"] == eu_in["signals"]

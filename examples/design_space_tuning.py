@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scenario: retune NvWa's hybrid EU pool for a new sequencing platform.
+
+The paper configures its 70 EUs from the NA12878 hit-length distribution by
+solving Equation 5 (Sec. IV-C). A lab adopting a long-read workflow has a
+different distribution — this example walks the paper's own configuration
+procedure on a long-read dataset:
+
+1. measure the hit-length interval demand of the new workload,
+2. solve Equation 5 for the unit mix under the same 2880-PE budget,
+3. simulate the stock (short-read) configuration and the retuned one,
+4. sweep the Hits Buffer depth to re-validate the Coordinator sizing.
+
+Run:  python examples/design_space_tuning.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import sweep_buffer_depth, workload_interval_stats
+from repro.core import (
+    NvWaAccelerator,
+    NvWaConfig,
+    baseline,
+    solve_unit_mix,
+    synthetic_workload,
+)
+from repro.genome import get_dataset
+
+
+def main() -> None:
+    profile = get_dataset("H.s.-long")
+    workload = synthetic_workload(profile, 1200, seed=23)
+
+    print("=== 1. Measure the new workload's hit-length demand ===")
+    stats = workload_interval_stats(workload)
+    print(f"count mass per interval:  "
+          f"{[round(m, 3) for m in stats.count_mass]}")
+    print(f"demand mass (Equation 5 input): "
+          f"{[round(m, 3) for m in stats.demand_mass]}")
+
+    print("\n=== 2. Solve Equation 5 under the 2880-PE budget ===")
+    stock = NvWaConfig()
+    mix = solve_unit_mix(stats.demand_mass, stock.eu_classes,
+                         stock.total_pes)
+    print(f"stock EU mix  : {dict(stock.eu_config)}")
+    print(f"retuned EU mix: {mix}")
+    tuned = replace(stock,
+                    eu_config=tuple(sorted((pe, n) for pe, n in mix.items()
+                                           if n > 0)))
+
+    print("\n=== 3. Simulate stock vs retuned configuration ===")
+    stock_report = NvWaAccelerator(baseline.nvwa(stock)).run(workload)
+    tuned_report = NvWaAccelerator(baseline.nvwa(tuned)).run(workload)
+    for name, report in (("stock", stock_report), ("retuned", tuned_report)):
+        print(f"{name:>8}: {report.throughput.kreads_per_second:>10,.0f} "
+              f"Kreads/s  EU util {report.eu_utilization:.1%}  optimal "
+              f"placement {report.assignment_quality.overall_fraction():.1%}")
+    gain = stock_report.cycles / tuned_report.cycles
+    print(f"retuning gain on the long-read workload: {gain:.2f}x")
+    print("reading the result: Equation 5 trades unit *count* for matched "
+          "unit *size*, so it maximises per-unit utilization; when the "
+          "stock pool's extra parallelism still covers the demand, raw "
+          "throughput can favour the stock mix — the quantitative form of "
+          "the paper's Sec. V-F finding that the NA12878-derived "
+          "configuration generalises across datasets.")
+
+    print("\n=== 4. Re-validate the Hits Buffer depth (Fig 13a) ===")
+    for point in sweep_buffer_depth(workload, depths=(128, 512, 1024, 4096),
+                                    base=tuned):
+        print(f"depth {point.depth:>5}: "
+              f"{point.kreads_per_second:>10,.0f} Kreads/s  "
+              f"SU {point.su_utilization:.1%}  EU {point.eu_utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

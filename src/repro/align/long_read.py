@@ -1,0 +1,158 @@
+"""Long-read alignment: the seed-and-chain-then-fill paradigm (Sec. VI).
+
+"a handful of existing long reads aligners take the seed-and-chain-then-
+fill paradigm. It is expected that [it] will have the same execution
+diversity problem ... since each input read has different characteristics."
+
+Pipeline: minimizer anchors → co-linear chaining → *fill*: a banded global
+alignment of the read against the chained reference window (the per-anchor
+gaps are what GACT tiles through in hardware). This is the software
+counterpart of the paper's long-read discussion and the source of
+long-read workloads for the accelerator simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.genome import sequence as seq
+from repro.genome.reads import Read
+from repro.genome.reference import ReferenceGenome
+from repro.seeding.chaining import (
+    Anchor,
+    chain_anchors,
+    chain_anchors_dp,
+    top_chains,
+)
+from repro.seeding.minimizers import MinimizerIndex
+from repro.extension.alignment import Alignment
+from repro.extension.banded import banded_global
+from repro.extension.scoring import BWA_MEM_SCORING, ScoringScheme
+
+
+@dataclass
+class LongReadWork:
+    """Phase work for one long read (the long-read Fig-2 analogue)."""
+
+    minimizers_matched: int = 0
+    anchors: int = 0
+    chains: int = 0
+    fill_cells: int = 0
+
+
+@dataclass
+class LongReadAlignment:
+    """Full output for one long read."""
+
+    read: Read
+    best: Optional[Alignment]
+    work: LongReadWork = field(default_factory=LongReadWork)
+
+    @property
+    def aligned(self) -> bool:
+        return self.best is not None
+
+
+class LongReadAligner:
+    """Minimizer-seeded, chain-then-fill long-read aligner.
+
+    Args:
+        reference: genome to align against.
+        k / w: minimizer parameters (minimap2-style defaults).
+        min_chain_anchors: chains with fewer anchors are discarded.
+        band_slack: extra band width beyond the read/window length
+            difference for the fill step.
+    """
+
+    def __init__(self, reference: ReferenceGenome, k: int = 15, w: int = 10,
+                 min_chain_anchors: int = 3, band_slack: int = 48,
+                 max_chains: int = 4,
+                 scoring: ScoringScheme = BWA_MEM_SCORING,
+                 chainer: str = "dp"):
+        if min_chain_anchors <= 0:
+            raise ValueError("min_chain_anchors must be positive")
+        if band_slack <= 0:
+            raise ValueError("band_slack must be positive")
+        if chainer not in ("dp", "greedy"):
+            raise ValueError(f"chainer must be dp or greedy, got {chainer!r}")
+        self.reference = reference
+        self.text = reference.concatenated()
+        self.index = MinimizerIndex(self.text, k=k, w=w)
+        self.min_chain_anchors = min_chain_anchors
+        self.band_slack = band_slack
+        self.max_chains = max_chains
+        self.scoring = scoring
+        self.chainer = chainer
+
+    def collect_anchors(self, read_seq: str,
+                        work: LongReadWork) -> List[Anchor]:
+        """Seeding: matching minimizers become chaining anchors."""
+        anchors: List[Anchor] = []
+        k = self.index.k
+        for hit in self.index.anchors(read_seq):
+            work.minimizers_matched += 1
+            if hit.reverse:
+                # map the reverse-strand match into forward-read coords of
+                # the reverse-complemented read later; anchor keeps strand.
+                read_start = len(read_seq) - hit.query_pos - k
+            else:
+                read_start = hit.query_pos
+            anchors.append(Anchor(read_start=read_start,
+                                  read_end=read_start + k,
+                                  ref_start=hit.ref_pos,
+                                  reverse=hit.reverse))
+        work.anchors = len(anchors)
+        return anchors
+
+    def fill(self, read_seq: str, chain, work: LongReadWork,
+             ) -> Optional[Alignment]:
+        """Fill: banded global alignment over the chained window."""
+        oriented = (seq.reverse_complement(read_seq) if chain.reverse
+                    else read_seq)
+        lead = chain.read_start
+        tail = len(oriented) - chain.read_end
+        window_start = max(0, chain.ref_start - lead - self.band_slack)
+        window_end = min(len(self.text),
+                         chain.ref_end + tail + self.band_slack)
+        window = self.text[window_start:window_end]
+        band = abs(len(oriented) - len(window)) + self.band_slack
+        try:
+            result = banded_global(oriented, window, band_width=band,
+                                   scoring=self.scoring)
+        except ValueError:
+            return None
+        work.fill_cells += result.alignment.cells
+        inner = result.alignment
+        return Alignment(score=inner.score, cigar=inner.cigar,
+                         read_start=0, read_end=len(oriented),
+                         ref_start=window_start + inner.ref_start,
+                         ref_end=window_start + inner.ref_end,
+                         reverse=chain.reverse, cells=inner.cells)
+
+    def align(self, read: Read) -> LongReadAlignment:
+        """Seed → chain → fill for one long read."""
+        work = LongReadWork()
+        anchors = self.collect_anchors(read.sequence, work)
+        if self.chainer == "dp":
+            raw_chains = chain_anchors_dp(anchors, max_gap=500)
+        else:
+            raw_chains = chain_anchors(anchors, max_gap=500,
+                                       max_diagonal_diff=100)
+        chains = [c for c in raw_chains
+                  if len(c.anchors) >= self.min_chain_anchors]
+        chains = top_chains(chains, self.max_chains) if chains else []
+        work.chains = len(chains)
+        best: Optional[Alignment] = None
+        for chain in chains:
+            candidate = self.fill(read.sequence, chain, work)
+            if candidate is None:
+                continue
+            if best is None or candidate.score > best.score:
+                best = candidate
+        if best is not None and best.score <= 0:
+            best = None
+        return LongReadAlignment(read=read, best=best, work=work)
+
+    def align_all(self, reads: Sequence[Read]) -> List[LongReadAlignment]:
+        return [self.align(read) for read in reads]

@@ -1,0 +1,162 @@
+"""Paired-end alignment: pairing logic and mate rescue.
+
+Production short-read alignment is paired: after aligning the mates
+independently, the aligner checks FR orientation and insert-size
+consistency (a *proper pair*), and when one mate fails to align on its own
+it is *rescued* by a Smith-Waterman search restricted to the window where
+the library's insert distribution predicts it (exactly BWA-MEM's
+mate-rescue step). Rescue reuses the repro extension substrate, so the
+whole feature is a consumer of the public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.genome import sequence as seq
+from repro.genome.pairs import ReadPair
+from repro.genome.reference import ReferenceGenome
+from repro.align.pipeline import ReadAlignment, SoftwareAligner
+from repro.extension.alignment import Alignment
+from repro.extension.smith_waterman import smith_waterman
+
+
+@dataclass(frozen=True)
+class PairedResult:
+    """A pair's alignment outcome."""
+
+    pair: ReadPair
+    result1: ReadAlignment
+    result2: ReadAlignment
+    proper: bool
+    insert_size: Optional[int]
+    rescued_mate: int = 0  # 0 = none, 1 or 2 = which mate was rescued
+
+    @property
+    def both_mapped(self) -> bool:
+        return self.result1.aligned and self.result2.aligned
+
+
+class PairedAligner:
+    """Aligns read pairs with proper-pair detection and mate rescue.
+
+    Args:
+        reference: genome to align against.
+        insert_mean / insert_sd: the library's insert distribution (drives
+            the proper-pair window and where rescue searches).
+        rescue_score_fraction: a rescued alignment must reach this fraction
+            of the mate's length to be accepted.
+    """
+
+    def __init__(self, reference: ReferenceGenome,
+                 insert_mean: float = 400.0, insert_sd: float = 50.0,
+                 rescue_score_fraction: float = 0.5,
+                 aligner: Optional[SoftwareAligner] = None):
+        if insert_mean <= 0 or insert_sd < 0:
+            raise ValueError("invalid insert distribution")
+        if not 0.0 < rescue_score_fraction <= 1.0:
+            raise ValueError("rescue_score_fraction must be in (0, 1]")
+        self.reference = reference
+        self.text = reference.concatenated()
+        self.insert_mean = insert_mean
+        self.insert_sd = insert_sd
+        self.rescue_score_fraction = rescue_score_fraction
+        self.aligner = aligner or SoftwareAligner(reference)
+
+    # ------------------------------------------------------------------ #
+    # Pairing logic
+    # ------------------------------------------------------------------ #
+
+    def insert_window(self) -> Tuple[int, int]:
+        """Acceptable insert sizes: mean ± 4 sd (BWA-MEM's default gate)."""
+        lo = max(1, int(self.insert_mean - 4 * self.insert_sd))
+        hi = int(self.insert_mean + 4 * self.insert_sd)
+        return lo, hi
+
+    def observed_insert(self, a1: Alignment, a2: Alignment) -> Optional[int]:
+        """Fragment length implied by two mate alignments (FR only)."""
+        if a1.reverse == a2.reverse:
+            return None  # FF/RR: not FR-oriented
+        forward, reverse = (a1, a2) if not a1.reverse else (a2, a1)
+        insert = reverse.ref_end - forward.ref_start
+        return insert if insert > 0 else None
+
+    def is_proper(self, a1: Alignment, a2: Alignment) -> bool:
+        insert = self.observed_insert(a1, a2)
+        if insert is None:
+            return False
+        lo, hi = self.insert_window()
+        return lo <= insert <= hi
+
+    # ------------------------------------------------------------------ #
+    # Mate rescue
+    # ------------------------------------------------------------------ #
+
+    def rescue_window(self, anchor: Alignment,
+                      mate_length: int) -> Tuple[int, int]:
+        """Reference window where the missing mate should sit."""
+        lo_ins, hi_ins = self.insert_window()
+        if anchor.reverse:
+            # anchor is the reverse mate: its partner lies upstream
+            start = anchor.ref_end - hi_ins
+            end = anchor.ref_end - lo_ins + mate_length
+        else:
+            start = anchor.ref_start + lo_ins - mate_length
+            end = anchor.ref_start + hi_ins
+        return max(0, start), min(len(self.text), max(0, end))
+
+    def rescue(self, mate_sequence: str,
+               anchor: Alignment) -> Optional[Alignment]:
+        """SW the unmapped mate against the predicted window."""
+        window_start, window_end = self.rescue_window(anchor,
+                                                      len(mate_sequence))
+        if window_end - window_start < len(mate_sequence) // 2:
+            return None
+        window = self.text[window_start:window_end]
+        # the missing mate has the opposite orientation of its anchor
+        oriented = (mate_sequence if anchor.reverse
+                    else seq.reverse_complement(mate_sequence))
+        local = smith_waterman(oriented, window,
+                               scoring=self.aligner.scoring)
+        threshold = self.rescue_score_fraction * len(mate_sequence) \
+            * self.aligner.scoring.match
+        if local.score < threshold:
+            return None
+        return Alignment(score=local.score, cigar=local.cigar,
+                         read_start=local.read_start,
+                         read_end=local.read_end,
+                         ref_start=window_start + local.ref_start,
+                         ref_end=window_start + local.ref_end,
+                         reverse=not anchor.reverse, cells=local.cells)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def align_pair(self, pair: ReadPair, pair_idx: int = 0) -> PairedResult:
+        r1 = self.aligner.align(pair.mate1, read_idx=2 * pair_idx)
+        r2 = self.aligner.align(pair.mate2, read_idx=2 * pair_idx + 1)
+        rescued = 0
+        if r1.aligned and not r2.aligned:
+            fixed = self.rescue(pair.mate2.sequence, r1.best)
+            if fixed is not None:
+                r2 = ReadAlignment(read=pair.mate2, best=fixed,
+                                   hits=r2.hits, work=r2.work)
+                rescued = 2
+        elif r2.aligned and not r1.aligned:
+            fixed = self.rescue(pair.mate1.sequence, r2.best)
+            if fixed is not None:
+                r1 = ReadAlignment(read=pair.mate1, best=fixed,
+                                   hits=r1.hits, work=r1.work)
+                rescued = 1
+        proper = (r1.aligned and r2.aligned
+                  and self.is_proper(r1.best, r2.best))
+        insert = (self.observed_insert(r1.best, r2.best)
+                  if r1.aligned and r2.aligned else None)
+        return PairedResult(pair=pair, result1=r1, result2=r2,
+                            proper=proper, insert_size=insert,
+                            rescued_mate=rescued)
+
+    def align_pairs(self, pairs: Sequence[ReadPair]) -> List[PairedResult]:
+        return [self.align_pair(pair, idx) for idx, pair in enumerate(pairs)]

@@ -1,0 +1,227 @@
+"""End-to-end software read aligner (the functional ground truth).
+
+This is the BWA-MEM-shaped pipeline of the paper's Fig 1: Find Seeds →
+Filter and Chain → Seeds Extension → Get Result, built on the repro
+substrates (bidirectional FM-index SMEMs, greedy chaining, affine-gap
+Smith-Waterman). NvWa's computing units "are faithful to the standard read
+alignment software, which allows us to have no loss of accuracy" — in this
+reproduction that statement is checkable: the accelerator simulation
+executes *this* pipeline's work items, so its outputs are identical by
+construction, and tests verify this aligner recovers the simulated reads'
+true origins.
+
+It also produces the per-read phase work measurements (seeding memory
+accesses, extension DP cells) that drive Fig 2's breakdown and the cycle
+simulator's timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.genome import sequence as seq
+from repro.genome.reads import Read
+from repro.genome.reference import ReferenceGenome
+from repro.seeding.bidirectional import BidirectionalFMIndex
+from repro.seeding.chaining import Anchor, chain_anchors, filter_anchors, top_chains
+from repro.seeding.smem import find_smems
+from repro.extension.alignment import Alignment
+from repro.extension.scoring import BWA_MEM_SCORING, ScoringScheme
+from repro.extension.smith_waterman import smith_waterman
+from repro.core.interface import Hit
+
+
+@dataclass
+class PhaseWork:
+    """Work performed in each phase for one read (Fig 2's raw material)."""
+
+    seeding_accesses: int = 0
+    seeding_steps: int = 0
+    extension_cells: int = 0
+    hit_count: int = 0
+
+
+@dataclass
+class ReadAlignment:
+    """Full pipeline output for one read."""
+
+    read: Read
+    best: Optional[Alignment]
+    hits: List[Hit] = field(default_factory=list)
+    work: PhaseWork = field(default_factory=PhaseWork)
+
+    @property
+    def aligned(self) -> bool:
+        return self.best is not None
+
+    @property
+    def mapped_ref_start(self) -> Optional[int]:
+        """Linear reference coordinate where the read's alignment begins."""
+        if self.best is None:
+            return None
+        return self.best.ref_start
+
+
+class SoftwareAligner:
+    """Seed-and-extend aligner over a reference genome.
+
+    Args:
+        reference: genome to align against.
+        min_seed_length: SMEMs shorter than this are filtered (Step ❷).
+        max_seed_occurrences: repeat masking threshold for seeds.
+        max_chains: extend at most this many top chains per strand.
+        window_pad: reference bases added around a chain for extension.
+        scoring: affine scheme for extension (BWA-MEM defaults).
+        occ_interval: FM-index checkpoint spacing (paper: 128).
+        seeding: ``"fmindex"`` for BWA-MEM's SMEMs (default) or
+            ``"hash"`` for Darwin's k-mer table — the two seeding
+            algorithms of Sec. II-B, selectable because NvWa's loose
+            coupling makes the seeding substrate swappable.
+        hash_k: k-mer length for the hash seeding mode.
+    """
+
+    def __init__(self, reference: ReferenceGenome,
+                 min_seed_length: int = 19,
+                 max_seed_occurrences: int = 64,
+                 max_chains: int = 8,
+                 window_pad: int = 24,
+                 scoring: ScoringScheme = BWA_MEM_SCORING,
+                 occ_interval: int = 128,
+                 seeding: str = "fmindex",
+                 hash_k: int = 12):
+        if seeding not in ("fmindex", "hash"):
+            raise ValueError(
+                f"seeding must be fmindex or hash, got {seeding!r}")
+        self.reference = reference
+        self.text = reference.concatenated()
+        self.seeding = seeding
+        if seeding == "fmindex":
+            self.index = BidirectionalFMIndex(self.text,
+                                              occ_interval=occ_interval)
+            self.hash_index = None
+        else:
+            from repro.seeding.hashindex import KmerHashIndex
+            self.index = None
+            self.hash_index = KmerHashIndex(self.text, k=hash_k)
+        self.min_seed_length = min_seed_length
+        self.max_seed_occurrences = max_seed_occurrences
+        self.max_chains = max_chains
+        self.window_pad = window_pad
+        self.scoring = scoring
+
+    # ------------------------------------------------------------------ #
+    # Pipeline steps
+    # ------------------------------------------------------------------ #
+
+    @property
+    def anchor_min_length(self) -> int:
+        """Anchor filter threshold (hash k-mers are shorter than SMEMs)."""
+        if self.seeding == "hash":
+            return self.hash_index.k
+        return self.min_seed_length
+
+    def collect_anchors(self, read_seq: str, work: PhaseWork) -> List[Anchor]:
+        """Step ❶: exact-match anchors of the read and its reverse
+        complement, from the configured seeding algorithm."""
+        if self.seeding == "hash":
+            return self._collect_hash_anchors(read_seq, work)
+        return self._collect_smem_anchors(read_seq, work)
+
+    def _collect_smem_anchors(self, read_seq: str,
+                              work: PhaseWork) -> List[Anchor]:
+        anchors: List[Anchor] = []
+        for reverse, oriented in ((False, read_seq),
+                                  (True, seq.reverse_complement(read_seq))):
+            before = self.index.occ_accesses
+            smems = find_smems(self.index, oriented,
+                               min_length=self.min_seed_length,
+                               max_occurrences=self.max_seed_occurrences)
+            work.seeding_steps += sum(m.length for m in smems) or len(oriented)
+            for smem in smems:
+                positions = self.index.locate(smem.interval,
+                                              max_hits=self.max_seed_occurrences)
+                for pos in positions:
+                    anchors.append(Anchor(read_start=smem.read_start,
+                                          read_end=smem.read_end,
+                                          ref_start=pos, reverse=reverse))
+            work.seeding_accesses += self.index.occ_accesses - before
+        return anchors
+
+    def _collect_hash_anchors(self, read_seq: str,
+                              work: PhaseWork) -> List[Anchor]:
+        """Darwin's seeding: every k-mer of both orientations, 2+P cost."""
+        anchors: List[Anchor] = []
+        k = self.hash_index.k
+        for reverse, oriented in ((False, read_seq),
+                                  (True, seq.reverse_complement(read_seq))):
+            if len(oriented) < k:
+                continue
+            before = self.hash_index.stats.total
+            for read_pos, ref_pos in self.hash_index.seeds_for_read(
+                    oriented, stride=1,
+                    max_hits_per_kmer=self.max_seed_occurrences):
+                anchors.append(Anchor(read_start=read_pos,
+                                      read_end=read_pos + k,
+                                      ref_start=ref_pos, reverse=reverse))
+            work.seeding_steps += len(oriented) - k + 1
+            work.seeding_accesses += self.hash_index.stats.total - before
+        return anchors
+
+    def build_hits(self, read_idx: int, read_len: int,
+                   anchors: Sequence[Anchor]) -> List[Hit]:
+        """Step ❷: filter + chain, then emit Table III hit records."""
+        filtered = filter_anchors(anchors, self.anchor_min_length)
+        chains = top_chains(chain_anchors(filtered), self.max_chains) \
+            if filtered else []
+        hits = []
+        for hit_idx, chain in enumerate(chains):
+            window_start = max(0, chain.ref_start - chain.read_start
+                               - self.window_pad)
+            window_end = min(len(self.text),
+                             chain.ref_end + (read_len - chain.read_end)
+                             + self.window_pad)
+            hits.append(Hit(read_idx=read_idx, hit_idx=hit_idx,
+                            reverse=chain.reverse,
+                            read_start=chain.read_start,
+                            read_end=chain.read_end,
+                            ref_start=window_start, ref_end=window_end))
+        return hits
+
+    def extend_hit(self, read_seq: str, hit: Hit,
+                   work: PhaseWork) -> Alignment:
+        """Step ❸: affine Smith-Waterman over the hit's reference window."""
+        oriented = (seq.reverse_complement(read_seq) if hit.reverse
+                    else read_seq)
+        window = self.text[hit.ref_start:hit.ref_end]
+        local = smith_waterman(oriented, window, scoring=self.scoring)
+        work.extension_cells += local.cells
+        return Alignment(score=local.score, cigar=local.cigar,
+                         read_start=local.read_start,
+                         read_end=local.read_end,
+                         ref_start=hit.ref_start + local.ref_start,
+                         ref_end=hit.ref_start + local.ref_end,
+                         reverse=hit.reverse, cells=local.cells)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def align(self, read: Read, read_idx: int = 0) -> ReadAlignment:
+        """Run the full pipeline for one read (Steps ❶-❹)."""
+        work = PhaseWork()
+        anchors = self.collect_anchors(read.sequence, work)
+        hits = self.build_hits(read_idx, len(read.sequence), anchors)
+        work.hit_count = len(hits)
+        best: Optional[Alignment] = None
+        for hit in hits:
+            candidate = self.extend_hit(read.sequence, hit, work)
+            if best is None or candidate.score > best.score:
+                best = candidate
+        if best is not None and best.score <= 0:
+            best = None
+        return ReadAlignment(read=read, best=best, hits=hits, work=work)
+
+    def align_all(self, reads: Sequence[Read]) -> List[ReadAlignment]:
+        """Align a batch of reads, indexing them 0..n-1."""
+        return [self.align(read, idx) for idx, read in enumerate(reads)]

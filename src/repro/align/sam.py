@@ -1,0 +1,168 @@
+"""SAM output for the alignment pipelines.
+
+The deliverable a downstream user actually consumes: standard SAM records
+(header + one line per read) from :class:`~repro.align.pipeline.
+SoftwareAligner` or :class:`~repro.align.long_read.LongReadAligner`
+results. MAPQ follows the BWA-style heuristic of scaling the gap between
+the best and second-best alignment scores.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TextIO, Union
+
+from repro.genome import sequence as seq
+from repro.genome.reference import ReferenceGenome
+from repro.align.pipeline import ReadAlignment
+
+#: SAM flags used here.
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+PathOrHandle = Union[str, os.PathLike, TextIO]
+
+
+def mapq_estimate(best_score: int, second_score: Optional[int],
+                  read_length: int, match_score: int = 1) -> int:
+    """BWA-style mapping quality from the best/second score gap.
+
+    A unique full-score alignment gets 60; ties get 0; the gap scales the
+    range in between.
+    """
+    if read_length <= 0:
+        raise ValueError("read_length must be positive")
+    if best_score <= 0:
+        return 0
+    ceiling = read_length * match_score
+    if second_score is None or second_score <= 0:
+        base = 60.0 * best_score / ceiling
+        return max(0, min(60, int(round(base))))
+    if second_score >= best_score:
+        return 0
+    gap = (best_score - second_score) / best_score
+    return max(0, min(60, int(round(60.0 * gap * best_score / ceiling + 20
+                                    * gap))))
+
+
+def sam_header(reference: ReferenceGenome,
+               program: str = "repro-nvwa") -> List[str]:
+    """@HD/@SQ/@PG header lines."""
+    lines = ["@HD\tVN:1.6\tSO:unsorted"]
+    for chrom in reference.chromosomes:
+        lines.append(f"@SQ\tSN:{chrom.name}\tLN:{len(chrom)}")
+    lines.append(f"@PG\tID:{program}\tPN:{program}")
+    return lines
+
+
+def sam_record(result: ReadAlignment, reference: ReferenceGenome,
+               mapq: Optional[int] = None) -> str:
+    """One SAM line for a pipeline result."""
+    read = result.read
+    if not result.aligned:
+        quality = read.quality or "*"
+        return "\t".join([read.read_id, str(FLAG_UNMAPPED), "*", "0", "0",
+                          "*", "*", "0", "0", read.sequence, quality])
+    best = result.best
+    chrom, local = reference.locate(best.ref_start)
+    flag = FLAG_REVERSE if best.reverse else 0
+    cigar = _clipped_cigar(best, len(read.sequence))
+    sequence = (seq.reverse_complement(read.sequence) if best.reverse
+                else read.sequence)
+    quality = read.quality or "*"
+    if best.reverse and quality != "*":
+        quality = quality[::-1]
+    if mapq is None:
+        mapq = mapq_estimate(best.score, _second_best(result),
+                             len(read.sequence))
+    return "\t".join([read.read_id, str(flag), chrom, str(local + 1),
+                      str(mapq), cigar, "*", "0", "0", sequence, quality])
+
+
+def _second_best(result: ReadAlignment) -> Optional[int]:
+    """Second-best extension score, if the pipeline produced several hits."""
+    scores = getattr(result, "all_scores", None)
+    if scores and len(scores) > 1:
+        return sorted(scores, reverse=True)[1]
+    return None
+
+
+def _clipped_cigar(best, read_length: int) -> str:
+    """Soft-clip the unaligned read flanks around the local alignment."""
+    lead = best.read_start
+    tail = read_length - best.read_end
+    parts = []
+    if lead:
+        parts.append(f"{lead}S")
+    parts.append(str(best.cigar) if best.cigar.ops else f"{best.read_span}M")
+    if tail:
+        parts.append(f"{tail}S")
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """A parsed SAM alignment line (the fields this library emits)."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int
+    mapq: int
+    cigar: str
+    sequence: str
+    quality: str
+
+    @property
+    def is_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & FLAG_REVERSE)
+
+
+def parse_sam(source: PathOrHandle):
+    """Yield :class:`SamRecord` for each alignment line (header skipped).
+
+    Round-trip companion of :func:`write_sam`; enough SAM for the
+    pipelines here, not a general-purpose SAM parser.
+    """
+    own = isinstance(source, (str, os.PathLike))
+    handle = open(source, "r", encoding="ascii") if own else source
+    try:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("@"):
+                continue
+            fields = line.split("\t")
+            if len(fields) < 11:
+                raise ValueError(f"truncated SAM line: {line!r}")
+            yield SamRecord(qname=fields[0], flag=int(fields[1]),
+                            rname=fields[2], pos=int(fields[3]),
+                            mapq=int(fields[4]), cigar=fields[5],
+                            sequence=fields[9], quality=fields[10])
+    finally:
+        if own:
+            handle.close()
+
+
+def write_sam(results: Sequence[ReadAlignment],
+              reference: ReferenceGenome,
+              target: PathOrHandle) -> int:
+    """Write header + records; returns the number of mapped reads."""
+    own = isinstance(target, (str, os.PathLike))
+    handle = open(target, "w", encoding="ascii") if own else target
+    mapped = 0
+    try:
+        for line in sam_header(reference):
+            handle.write(line + "\n")
+        for result in results:
+            handle.write(sam_record(result, reference) + "\n")
+            if result.aligned:
+                mapped += 1
+    finally:
+        if own:
+            handle.close()
+    return mapped

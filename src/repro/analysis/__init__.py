@@ -1,0 +1,54 @@
+"""Workload/result analysis: distributions, breakdowns, DSE sweeps."""
+
+from repro.analysis.distributions import (
+    PAPER_INTERVALS,
+    IntervalStats,
+    dataset_interval_table,
+    distribution_similarity,
+    interval_stats,
+    workload_interval_stats,
+)
+from repro.analysis.breakdown import (
+    DiversitySummary,
+    ReadBreakdown,
+    phase_breakdown,
+    summarize_diversity,
+)
+from repro.analysis.dse import (
+    BufferDepthPoint,
+    IntervalPoint,
+    ThresholdPoint,
+    best_tradeoff,
+    interval_classes,
+    service_demand_mass,
+    sweep_buffer_depth,
+    sweep_idle_trigger,
+    sweep_interval_count,
+    sweep_switch_threshold,
+)
+from repro.analysis.accuracy import AccuracyReport, evaluate
+from repro.analysis.mix_search import (
+    MixPoint,
+    equation5_optimality_gap,
+    evaluate_mix,
+    local_search,
+)
+from repro.analysis.plotting import (
+    bar_chart,
+    series_table,
+    sparkline,
+    utilization_panel,
+)
+
+__all__ = [
+    "PAPER_INTERVALS", "IntervalStats", "dataset_interval_table",
+    "distribution_similarity", "interval_stats", "workload_interval_stats",
+    "DiversitySummary", "ReadBreakdown", "phase_breakdown",
+    "summarize_diversity",
+    "BufferDepthPoint", "IntervalPoint", "ThresholdPoint", "best_tradeoff",
+    "interval_classes", "service_demand_mass", "sweep_buffer_depth",
+    "sweep_idle_trigger", "sweep_interval_count", "sweep_switch_threshold",
+    "AccuracyReport", "evaluate",
+    "MixPoint", "equation5_optimality_gap", "evaluate_mix", "local_search",
+    "bar_chart", "series_table", "sparkline", "utilization_panel",
+]

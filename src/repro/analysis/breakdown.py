@@ -1,0 +1,87 @@
+"""Per-read phase execution breakdown (Fig 2).
+
+Fig 2 plots, for 500 reads sampled from NA12878, each read's seeding and
+seed-extension time under BWA-MEM, establishing the diversity problem:
+"for each read ... the proportion of the seeding and the seed-extension
+phase varies, and the total execution time is also different".
+
+We regenerate it by running the software pipeline and converting its
+measured phase work into time with the CPU baseline's cost constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.align.pipeline import ReadAlignment
+from repro.baselines.platforms import CPU_BWA_MEM, SoftwarePlatform
+
+
+@dataclass(frozen=True)
+class ReadBreakdown:
+    """One bar of Fig 2."""
+
+    read_id: str
+    seeding_us: float
+    extension_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.seeding_us + self.extension_us
+
+    @property
+    def seeding_fraction(self) -> float:
+        if self.total_us == 0:
+            return 0.0
+        return self.seeding_us / self.total_us
+
+
+def phase_breakdown(results: Sequence[ReadAlignment],
+                    platform: SoftwarePlatform = CPU_BWA_MEM,
+                    ) -> List[ReadBreakdown]:
+    """Convert measured phase work into per-read microsecond estimates."""
+    out = []
+    for result in results:
+        seeding_ns = result.work.seeding_accesses * platform.ns_per_access
+        extension_ns = result.work.extension_cells * platform.ns_per_cell
+        out.append(ReadBreakdown(read_id=result.read.read_id,
+                                 seeding_us=seeding_ns / 1e3,
+                                 extension_us=extension_ns / 1e3))
+    return out
+
+
+@dataclass(frozen=True)
+class DiversitySummary:
+    """Quantifies the diversity problem Fig 2 illustrates."""
+
+    reads: int
+    mean_total_us: float
+    max_total_us: float
+    min_total_us: float
+    mean_seeding_fraction: float
+    seeding_fraction_spread: float
+
+    @property
+    def total_spread(self) -> float:
+        """Max/min total time across reads (>1 means diverse runtimes)."""
+        if self.min_total_us == 0:
+            return float("inf")
+        return self.max_total_us / self.min_total_us
+
+
+def summarize_diversity(breakdowns: Sequence[ReadBreakdown],
+                        ) -> DiversitySummary:
+    """Aggregate the per-read bars into the diversity statistics."""
+    if not breakdowns:
+        raise ValueError("no breakdowns to summarise")
+    totals = [b.total_us for b in breakdowns]
+    fractions = [b.seeding_fraction for b in breakdowns]
+    return DiversitySummary(
+        reads=len(breakdowns),
+        mean_total_us=sum(totals) / len(totals),
+        max_total_us=max(totals),
+        min_total_us=min(totals),
+        mean_seeding_fraction=sum(fractions) / len(fractions),
+        seeding_fraction_spread=max(fractions) - min(fractions),
+    )

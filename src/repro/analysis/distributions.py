@@ -1,0 +1,99 @@
+"""Hit-length distribution analysis (Fig 9(a), Fig 14(b)).
+
+Extracts interval statistics from hit-length samples or workloads — the
+measurements NvWa's Hybrid Units Strategy is configured from (Sec. IV-C:
+"The hit distribution can be derived from a standard dataset or the
+average of multiple datasets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.workload import Workload
+from repro.genome.datasets import DatasetProfile
+
+#: The paper's four EU intervals.
+PAPER_INTERVALS: Tuple[int, ...] = (16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Count and demand mass of hit lengths over a set of intervals."""
+
+    bounds: Tuple[int, ...]
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) != len(self.counts):
+            raise ValueError("bounds and counts must align")
+        if sum(self.counts) == 0:
+            raise ValueError("no hits to analyse")
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def count_mass(self) -> Tuple[float, ...]:
+        """Fraction of hits per interval (Fig 14(b)'s percentages)."""
+        return tuple(c / self.total for c in self.counts)
+
+    @property
+    def demand_mass(self) -> Tuple[float, ...]:
+        """Length-weighted mass — the s of Equation (4)/(5)."""
+        weighted = [c * b for c, b in zip(self.counts, self.bounds)]
+        total = sum(weighted)
+        return tuple(w / total for w in weighted)
+
+
+def interval_stats(hit_lengths: Sequence[int],
+                   bounds: Sequence[int] = PAPER_INTERVALS) -> IntervalStats:
+    """Bucket hit lengths into intervals; the last bucket absorbs longer."""
+    if not hit_lengths:
+        raise ValueError("no hit lengths supplied")
+    counts = [0] * len(bounds)
+    for length in hit_lengths:
+        if length <= 0:
+            raise ValueError(f"hit length must be positive, got {length}")
+        for idx, hi in enumerate(bounds):
+            if length <= hi or idx == len(bounds) - 1:
+                counts[idx] += 1
+                break
+    return IntervalStats(bounds=tuple(bounds), counts=tuple(counts))
+
+
+def workload_interval_stats(workload: Workload,
+                            bounds: Sequence[int] = PAPER_INTERVALS,
+                            ) -> IntervalStats:
+    """Interval statistics of a workload's hits."""
+    return interval_stats(workload.hit_lengths(), bounds)
+
+
+def dataset_interval_table(profiles: Sequence[DatasetProfile],
+                           samples_per_dataset: int = 20_000,
+                           seed: int = 0,
+                           bounds: Sequence[int] = PAPER_INTERVALS,
+                           ) -> Dict[str, Tuple[float, ...]]:
+    """Fig 14(b): per-dataset interval count-mass percentages."""
+    if samples_per_dataset <= 0:
+        raise ValueError("samples_per_dataset must be positive")
+    table = {}
+    for idx, profile in enumerate(profiles):
+        lengths = profile.sample_hit_lengths(samples_per_dataset,
+                                             seed=seed + idx,
+                                             intervals=tuple(bounds))
+        table[profile.name] = interval_stats(lengths, bounds).count_mass
+    return table
+
+
+def distribution_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Total-variation similarity in [0, 1]; 1 = identical masses.
+
+    Used to verify the Fig 14(b) claim that 2nd-generation datasets share
+    roughly the NA12878 distribution (why one NvWa configuration holds).
+    """
+    if len(a) != len(b):
+        raise ValueError("mass vectors must have equal length")
+    return 1.0 - 0.5 * sum(abs(x - y) for x, y in zip(a, b))

@@ -1,0 +1,212 @@
+"""Design-space exploration drivers (Fig 13).
+
+Sweeps the two Coordinator hyper-parameters the paper explores:
+
+- Hits Buffer depth (Fig 13(a)): throughput plus SU/EU utilization per
+  depth; "the best result is achieved when the buffer depth is 1024".
+- Interval count (Fig 13(b)): throughput plus Coordinator power; "we take
+  an interval of four ... the best trade-off between throughput and power".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.accelerator import NvWaAccelerator
+from repro.core.config import NvWaConfig
+from repro.core.hybrid_units import solve_unit_mix
+from repro.core.workload import Workload
+from repro.extension.systolic import matrix_fill_latency, optimal_pe_count
+from repro.power.area_power import coordinator_power
+
+
+@dataclass(frozen=True)
+class BufferDepthPoint:
+    """One x-position of Fig 13(a)."""
+
+    depth: int
+    kreads_per_second: float
+    su_utilization: float
+    eu_utilization: float
+
+
+def sweep_buffer_depth(workload: Workload,
+                       depths: Sequence[int] = (64, 128, 256, 512, 1024,
+                                                2048, 4096),
+                       base: NvWaConfig = None) -> List[BufferDepthPoint]:
+    """Fig 13(a): run the full simulation at each Hits Buffer depth."""
+    if not depths:
+        raise ValueError("need at least one depth")
+    base = base or NvWaConfig()
+    points = []
+    for depth in depths:
+        config = replace(base, hits_buffer_depth=depth)
+        report = NvWaAccelerator(config).run(workload)
+        points.append(BufferDepthPoint(
+            depth=depth,
+            kreads_per_second=report.throughput.kreads_per_second,
+            su_utilization=report.su_utilization,
+            eu_utilization=report.eu_utilization))
+    return points
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """One x-position of Fig 13(b)."""
+
+    intervals: int
+    eu_config: Tuple[Tuple[int, int], ...]
+    kreads_per_second: float
+    coordinator_power_w: float
+
+    @property
+    def throughput_per_watt(self) -> float:
+        return self.kreads_per_second / self.coordinator_power_w
+
+
+def interval_classes(count: int, max_class: int = 128) -> Tuple[int, ...]:
+    """Power-of-two EU classes for an interval count, topping at 128.
+
+    4 intervals -> (16, 32, 64, 128); 2 -> (32, 128); 1 -> (64,);
+    8 -> (2, 4, 8, 16, 32, 64, 128) capped at seven doublings.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if count == 1:
+        return (64,)
+    classes = []
+    pe = max_class
+    for _ in range(count):
+        classes.append(pe)
+        pe //= 2
+        if pe < 2:
+            break
+    return tuple(sorted(classes))
+
+
+def service_demand_mass(hit_lengths: Sequence[int],
+                        classes: Sequence[int],
+                        ref_pad: int = 8) -> Tuple[float, ...]:
+    """Per-class service demand: the generalised Equation-5 ``s``.
+
+    Each hit contributes its Formula-3 fill latency on its latency-optimal
+    class. With the paper's interval-aligned classes this reduces to the
+    count-times-length weighting of Equation 4; for arbitrary class sets
+    (the Fig 13(b) sweep) it attributes demand where the allocator will
+    actually send the hit.
+    """
+    if not hit_lengths:
+        raise ValueError("no hit lengths supplied")
+    ordered = tuple(sorted(set(classes)))
+    demand = {pe: 0.0 for pe in ordered}
+    for length in hit_lengths:
+        pe = optimal_pe_count(length, ordered)
+        demand[pe] += matrix_fill_latency(length + ref_pad, length, pe)
+    total = sum(demand.values())
+    return tuple(demand[pe] / total for pe in ordered)
+
+
+def sweep_interval_count(workload: Workload,
+                         interval_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                         base: NvWaConfig = None) -> List[IntervalPoint]:
+    """Fig 13(b): re-derive the EU mix per interval count via the
+    (generalised) Equation 5, simulate, and evaluate Coordinator power.
+
+    Interval counts whose class set saturates the doubling range (e.g. 8
+    and 16 both yield seven classes ending at 128) are deduplicated.
+    """
+    if not interval_counts:
+        raise ValueError("need at least one interval count")
+    base = base or NvWaConfig()
+    lengths = workload.hit_lengths()
+    seen: Dict[Tuple[int, ...], bool] = {}
+    points = []
+    for count in interval_counts:
+        classes = interval_classes(count)
+        if classes in seen:
+            continue
+        seen[classes] = True
+        demand = service_demand_mass(lengths, classes)
+        mix = solve_unit_mix(demand, classes, base.total_pes)
+        eu_config = tuple(sorted((pe, n) for pe, n in mix.items() if n > 0))
+        config = replace(base, eu_config=eu_config,
+                         reference_classes=classes)
+        report = NvWaAccelerator(config).run(workload)
+        points.append(IntervalPoint(
+            intervals=len(classes),
+            eu_config=eu_config,
+            kreads_per_second=report.throughput.kreads_per_second,
+            coordinator_power_w=coordinator_power(
+                intervals=len(classes),
+                buffer_depth=base.hits_buffer_depth)))
+    return points
+
+
+def best_tradeoff(points: Sequence[IntervalPoint]) -> IntervalPoint:
+    """The interval point with the best throughput-per-Coordinator-Watt."""
+    if not points:
+        raise ValueError("no points to choose from")
+    return max(points, key=lambda p: p.throughput_per_watt)
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """One point of a Coordinator-threshold sweep."""
+
+    value: float
+    kreads_per_second: float
+    su_utilization: float
+    eu_utilization: float
+
+
+def sweep_switch_threshold(workload: Workload,
+                           thresholds: Sequence[float] = (0.25, 0.5, 0.75,
+                                                          0.9, 1.0),
+                           base: NvWaConfig = None) -> List[ThresholdPoint]:
+    """Sweep the Hits Buffer switch threshold (the paper's "e.g. 75 %").
+
+    Low thresholds switch eagerly (more switch overhead, finer batches);
+    a threshold of 1.0 waits for a completely full Store Buffer.
+    """
+    if not thresholds:
+        raise ValueError("need at least one threshold")
+    if any(not 0.0 < t <= 1.0 for t in thresholds):
+        raise ValueError("thresholds must be in (0, 1]")
+    base = base or NvWaConfig()
+    points = []
+    for threshold in thresholds:
+        config = replace(base, switch_threshold=threshold)
+        report = NvWaAccelerator(config).run(workload)
+        points.append(ThresholdPoint(
+            value=threshold,
+            kreads_per_second=report.throughput.kreads_per_second,
+            su_utilization=report.su_utilization,
+            eu_utilization=report.eu_utilization))
+    return points
+
+
+def sweep_idle_trigger(workload: Workload,
+                       fractions: Sequence[float] = (0.0, 0.05, 0.15, 0.3,
+                                                     0.5),
+                       base: NvWaConfig = None) -> List[ThresholdPoint]:
+    """Sweep the Allocate Trigger's idle-EU fraction (the paper's 15 %).
+
+    Low fractions request allocation rounds eagerly (lower latency, more
+    scheduling activity); high fractions batch harder but let EUs idle.
+    """
+    if not fractions:
+        raise ValueError("need at least one fraction")
+    if any(not 0.0 <= f <= 1.0 for f in fractions):
+        raise ValueError("fractions must be in [0, 1]")
+    base = base or NvWaConfig()
+    points = []
+    for fraction in fractions:
+        config = replace(base, idle_trigger_fraction=fraction)
+        report = NvWaAccelerator(config).run(workload)
+        points.append(ThresholdPoint(
+            value=fraction,
+            kreads_per_second=report.throughput.kreads_per_second,
+            su_utilization=report.su_utilization,
+            eu_utilization=report.eu_utilization))
+    return points

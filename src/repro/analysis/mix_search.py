@@ -1,0 +1,114 @@
+"""Empirical unit-mix search: how good is Equation 5's closed form?
+
+The Hybrid Units Strategy sizes the EU classes analytically. This module
+searches the mix space empirically — local search over integer mixes at a
+fixed PE budget, evaluating each candidate with the full cycle simulation —
+so tests and benches can quantify how close the paper's formula lands to
+the best mix money can buy at the same area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.accelerator import NvWaAccelerator
+from repro.core.config import NvWaConfig
+from repro.core.workload import Workload
+
+
+@dataclass(frozen=True)
+class MixPoint:
+    """One evaluated unit mix."""
+
+    mix: Tuple[Tuple[int, int], ...]
+    kreads_per_second: float
+    total_pes: int
+
+
+def evaluate_mix(mix: Dict[int, int], workload: Workload,
+                 base: Optional[NvWaConfig] = None) -> MixPoint:
+    """Simulate one unit mix; returns its throughput point."""
+    if not mix or all(count <= 0 for count in mix.values()):
+        raise ValueError("mix must contain at least one unit")
+    base = base or NvWaConfig()
+    eu_config = tuple(sorted((pe, n) for pe, n in mix.items() if n > 0))
+    config = replace(base, eu_config=eu_config)
+    report = NvWaAccelerator(config).run(workload)
+    return MixPoint(mix=eu_config,
+                    kreads_per_second=report.throughput.kreads_per_second,
+                    total_pes=config.total_pes)
+
+
+def _neighbours(mix: Dict[int, int],
+                classes: Sequence[int]) -> List[Dict[int, int]]:
+    """Budget-preserving single moves: shift PEs from one class to another.
+
+    Moving one unit of class ``a`` out frees ``a`` PEs, which buy
+    ``a // b`` units of class ``b`` (only exact exchanges keep the budget
+    tight, so we use the power-of-two structure: a -> 2x (a/2)-PE units or
+    2x a -> one (2a)-PE unit).
+    """
+    out = []
+    ordered = sorted(classes)
+    for i, pe in enumerate(ordered):
+        # split one unit into two of the next class down
+        if i > 0 and ordered[i - 1] * 2 == pe and mix.get(pe, 0) >= 1:
+            candidate = dict(mix)
+            candidate[pe] -= 1
+            candidate[ordered[i - 1]] = candidate.get(ordered[i - 1], 0) + 2
+            out.append(candidate)
+        # merge two units into one of the next class up
+        if i + 1 < len(ordered) and ordered[i + 1] == pe * 2 \
+                and mix.get(pe, 0) >= 2:
+            candidate = dict(mix)
+            candidate[pe] -= 2
+            candidate[ordered[i + 1]] = candidate.get(ordered[i + 1], 0) + 1
+            out.append(candidate)
+    return [c for c in out if any(v > 0 for v in c.values())]
+
+
+def local_search(start_mix: Dict[int, int], workload: Workload,
+                 base: Optional[NvWaConfig] = None,
+                 max_steps: int = 12) -> List[MixPoint]:
+    """Hill-climb from ``start_mix`` by budget-preserving unit exchanges.
+
+    Returns the visited trajectory (first = start, last = local optimum).
+    Every candidate costs one full simulation, so ``max_steps`` bounds the
+    search.
+    """
+    if max_steps <= 0:
+        raise ValueError("max_steps must be positive")
+    base = base or NvWaConfig()
+    classes = sorted(start_mix)
+    current = {pe: n for pe, n in start_mix.items() if n > 0}
+    trajectory = [evaluate_mix(current, workload, base)]
+    for _ in range(max_steps):
+        best_candidate: Optional[Tuple[MixPoint, Dict[int, int]]] = None
+        for candidate in _neighbours(current, classes):
+            point = evaluate_mix(candidate, workload, base)
+            if best_candidate is None or point.kreads_per_second > \
+                    best_candidate[0].kreads_per_second:
+                best_candidate = (point, candidate)
+        if best_candidate is None or \
+                best_candidate[0].kreads_per_second <= \
+                trajectory[-1].kreads_per_second:
+            break
+        trajectory.append(best_candidate[0])
+        current = best_candidate[1]
+    return trajectory
+
+
+def equation5_optimality_gap(workload: Workload,
+                             base: Optional[NvWaConfig] = None,
+                             max_steps: int = 8) -> Tuple[float, MixPoint,
+                                                          MixPoint]:
+    """(gap, eq5_point, best_point): how far Equation 5 sits from the
+    local-search optimum at the same PE budget. gap = best/eq5 - 1."""
+    base = base or NvWaConfig()
+    start = dict(base.eu_config)
+    trajectory = local_search(start, workload, base, max_steps=max_steps)
+    eq5_point = trajectory[0]
+    best_point = max(trajectory, key=lambda p: p.kreads_per_second)
+    gap = best_point.kreads_per_second / eq5_point.kreads_per_second - 1.0
+    return gap, eq5_point, best_point

@@ -1,0 +1,80 @@
+"""Terminal plotting helpers (no external plotting dependency).
+
+The experiment runner prints tables; these helpers add the curve shapes —
+unicode sparklines for utilization series (Fig 12) and simple bar charts
+for comparisons (Fig 11) — so the exhibits are *visible* in a terminal,
+not just tabulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Eight-level block characters, low to high.
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0,
+              hi: float = 1.0) -> str:
+    """Render a series as a unicode sparkline over ``[lo, hi]``."""
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+    out = []
+    top = len(SPARK_LEVELS) - 1
+    for value in values:
+        clamped = min(max(float(value), lo), hi)
+        level = round((clamped - lo) / (hi - lo) * top)
+        out.append(SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def utilization_panel(series: Dict[str, Sequence[float]],
+                      width_label: int = 24) -> str:
+    """Fig 12-style panel: one labelled sparkline per series."""
+    lines = []
+    for label, values in series.items():
+        mean = sum(values) / len(values) if len(values) else 0.0
+        lines.append(f"{label:<{width_label}} {sparkline(values)} "
+                     f"(avg {mean:.1%})")
+    return "\n".join(lines)
+
+
+def bar_chart(items: Dict[str, float], width: int = 40,
+              log_scale: bool = False) -> str:
+    """Horizontal bar chart; ``log_scale`` suits the Fig 11 ranges."""
+    import math
+    if not items:
+        return ""
+    if any(v < 0 for v in items.values()):
+        raise ValueError("bar chart values must be non-negative")
+    if log_scale:
+        transform = lambda v: math.log10(v + 1)
+    else:
+        transform = float
+    peak = max(transform(v) for v in items.values()) or 1.0
+    label_width = max(len(k) for k in items)
+    lines = []
+    for key, value in items.items():
+        filled = int(round(transform(value) / peak * width))
+        lines.append(f"{key:<{label_width}} "
+                     f"{'█' * filled}{'·' * (width - filled)} "
+                     f"{value:,.1f}")
+    return "\n".join(lines)
+
+
+def series_table(series: Dict[str, Sequence[float]],
+                 bins_shown: int = 10) -> List[Dict[str, float]]:
+    """Downsample series into a row-per-bin table (CSV-friendly)."""
+    if bins_shown <= 0:
+        raise ValueError("bins_shown must be positive")
+    rows = []
+    for idx in range(bins_shown):
+        row: Dict[str, float] = {"bin": idx}
+        for label, values in series.items():
+            if not len(values):
+                row[label] = 0.0
+                continue
+            src = int(idx * len(values) / bins_shown)
+            row[label] = round(float(values[src]), 4)
+        rows.append(row)
+    return rows

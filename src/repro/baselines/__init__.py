@@ -1,0 +1,21 @@
+"""Analytic comparison-platform models (CPU, GPU, FPGA, ASIC, PIM)."""
+
+from repro.baselines.platforms import (
+    CPU_BWA_MEM,
+    FPGA_ERT_SEEDEX,
+    GENAX,
+    GENCACHE,
+    GPU_GASAL2,
+    PLATFORMS,
+    ReportedPlatform,
+    SoftwarePlatform,
+    WorkloadStats,
+    paper_reported_nvwa_kreads,
+    speedups_against,
+)
+
+__all__ = [
+    "CPU_BWA_MEM", "FPGA_ERT_SEEDEX", "GENAX", "GENCACHE", "GPU_GASAL2",
+    "PLATFORMS", "ReportedPlatform", "SoftwarePlatform", "WorkloadStats",
+    "paper_reported_nvwa_kreads", "speedups_against",
+]

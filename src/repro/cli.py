@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli simulate  --length 100000 --reads 500 --out-prefix x
+    python -m repro.cli align     --reference x.fa --reads x.fq --out x.sam
+    python -m repro.cli align     --reference x.fa --reads x.fq --long
+    python -m repro.cli accelerate --dataset H.s. --reads 2000
+    python -m repro.cli accelerate --reference x.fa --reads-file x.fq
+    python -m repro.cli experiments fig11 fig13 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.genome.io import write_fasta, write_fastq
+    from repro.genome.reads import ErrorModel, ReadSimulator
+    from repro.genome.reference import SyntheticReference
+
+    reference = SyntheticReference(length=args.length,
+                                  chromosomes=args.chromosomes,
+                                  seed=args.seed).build()
+    error = ErrorModel(substitution_rate=args.error_rate,
+                       insertion_rate=args.error_rate / 10,
+                       deletion_rate=args.error_rate / 10)
+    reads = ReadSimulator(reference, read_length=args.read_length,
+                          error_model=error, seed=args.seed).simulate(
+                              args.reads)
+    fasta = f"{args.out_prefix}.fa"
+    fastq = f"{args.out_prefix}.fq"
+    write_fasta(reference, fasta)
+    write_fastq(reads, fastq)
+    print(f"wrote {fasta} ({len(reference):,} bp) and {fastq} "
+          f"({len(reads)} reads)")
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    from repro.analysis.accuracy import evaluate
+    from repro.genome.io import parse_fastq, read_reference
+
+    reference = read_reference(args.reference)
+    reads = list(parse_fastq(args.reads))
+    if args.long:
+        from repro.align.long_read import LongReadAligner
+        aligner = LongReadAligner(reference)
+        results = aligner.align_all(reads)
+        mapped = sum(1 for r in results if r.aligned)
+        print(f"long-read mode: mapped {mapped}/{len(reads)} reads")
+        if args.out:
+            print("note: SAM output currently covers the short-read "
+                  "pipeline; long-read results printed only")
+        return 0
+
+    from repro.align.pipeline import SoftwareAligner
+    from repro.align.sam import write_sam
+
+    aligner = SoftwareAligner(reference)
+    results = aligner.align_all(reads)
+    report = evaluate(results, reference)
+    print(f"mapped {report.mapped}/{report.total} reads "
+          f"({report.mapped_fraction:.1%})")
+    if args.out:
+        write_sam(results, reference, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_accelerate(args: argparse.Namespace) -> int:
+    from repro.core import NvWaAccelerator, baseline
+
+    if args.reference and args.reads_file:
+        from repro.align.pipeline import SoftwareAligner
+        from repro.core import workload_from_pipeline
+        from repro.genome.io import parse_fastq, read_reference
+        reference = read_reference(args.reference)
+        reads = list(parse_fastq(args.reads_file))
+        results = SoftwareAligner(reference).align_all(reads)
+        workload = workload_from_pipeline(results)
+        source = f"{len(reads)} reads from {args.reads_file}"
+    else:
+        from repro.core import synthetic_workload
+        from repro.genome.datasets import get_dataset
+        profile = get_dataset(args.dataset)
+        workload = synthetic_workload(profile, args.reads, seed=args.seed)
+        source = f"{args.reads} synthetic {profile.name} reads"
+
+    nvwa = NvWaAccelerator(baseline.nvwa()).run(workload)
+    base = NvWaAccelerator(baseline.sus_eus_baseline()).run(workload)
+    print(f"workload: {source}, {workload.total_hits} hits")
+    print(f"NvWa:    {nvwa.cycles:>10,} cycles  "
+          f"{nvwa.throughput.kreads_per_second:>12,.0f} Kreads/s  "
+          f"SU {nvwa.su_utilization:.0%}  EU {nvwa.eu_utilization:.0%}")
+    print(f"SUs+EUs: {base.cycles:>10,} cycles  "
+          f"{base.throughput.kreads_per_second:>12,.0f} Kreads/s  "
+          f"SU {base.su_utilization:.0%}  EU {base.eu_utilization:.0%}")
+    print(f"scheduling speedup: {base.cycles / nvwa.cycles:.2f}x")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_experiments
+    for result in run_experiments(args.names, quick=args.quick,
+                                  csv_dir=args.csv_dir):
+        print(result.format())
+        print()
+    return 0
+
+
+def _cmd_report_card(args: argparse.Namespace) -> int:
+    from repro.experiments.report_card import format_card, run
+    criteria = run(quick=args.quick)
+    print(format_card(criteria))
+    return 0 if all(c.passed for c in criteria) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NvWa (HPCA 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate a reference + reads")
+    p.add_argument("--length", type=int, default=100_000)
+    p.add_argument("--chromosomes", type=int, default=2)
+    p.add_argument("--reads", type=int, default=500)
+    p.add_argument("--read-length", type=int, default=101)
+    p.add_argument("--error-rate", type=float, default=0.001)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-prefix", required=True)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("align", help="align FASTQ reads to a FASTA reference")
+    p.add_argument("--reference", required=True)
+    p.add_argument("--reads", required=True)
+    p.add_argument("--out", help="SAM output path")
+    p.add_argument("--long", action="store_true",
+                   help="use the long-read (chain-then-fill) pipeline")
+    p.set_defaults(func=_cmd_align)
+
+    p = sub.add_parser("accelerate",
+                       help="simulate NvWa vs the SUs+EUs baseline")
+    p.add_argument("--dataset", default="H.s.")
+    p.add_argument("--reads", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--reference", help="FASTA (with --reads-file)")
+    p.add_argument("--reads-file", help="FASTQ (with --reference)")
+    p.set_defaults(func=_cmd_accelerate)
+
+    p = sub.add_parser("experiments", help="regenerate paper exhibits")
+    p.add_argument("names", nargs="*",
+                   help="exhibit keys (fig11, table2, ...); empty = all")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--csv-dir", help="also write CSVs here")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("report-card",
+                       help="check every reproduction criterion")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_report_card)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

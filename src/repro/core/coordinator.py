@@ -1,0 +1,360 @@
+"""The Coordinator (Sec. IV-D, Fig 10): Hits Buffer + Allocate Judger +
+greedy Hits Allocator.
+
+Dataflow: SUs push hits into the Store Buffer (SB); when the SB reaches the
+switch threshold (75 %) and the Processing Buffer (PB) has drained, the
+buffers swap. Allocation rounds — triggered by the Extension Scheduler when
+enough EUs are idle (15 %) — read a fixed-size batch from the PB at the
+current ``offset``, compute hit lengths, sort, split by a length threshold
+into EU groups, place each hit on its optimal or an adjacent (sub-optimal)
+idle unit, compact the unallocated hits back at the batch position and
+advance ``offset`` past the allocated ones. That write-back + offset rule
+is the paper's solution to the *hits fragmentation problem*: a hit that
+failed allocation is retried first on the next round instead of leaking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.workload import HitTask
+from repro.extension.systolic import optimal_pe_count
+from repro.sim.stats import CounterSet
+
+
+class HitsBuffer:
+    """Double-buffered hit store (SB + PB) with fragmentation handling."""
+
+    def __init__(self, depth: int = 1024, switch_threshold: float = 0.75):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if not 0.0 < switch_threshold <= 1.0:
+            raise ValueError(
+                f"switch_threshold must be in (0, 1], got {switch_threshold}")
+        self.depth = depth
+        self.switch_threshold = switch_threshold
+        self._store: List[HitTask] = []
+        self._processing: List[HitTask] = []
+        self.offset = 0
+        self.counters = CounterSet()
+
+    # ------------------------------ SB side ------------------------------ #
+
+    @property
+    def store_occupancy(self) -> int:
+        return len(self._store)
+
+    @property
+    def store_free(self) -> int:
+        return self.depth - len(self._store)
+
+    def offer(self, hits: Sequence[HitTask]) -> int:
+        """Append hits to the SB; returns how many fit (rest are refused,
+        which back-pressures the producing SU — the paper's *blocking*)."""
+        space = self.store_free
+        accepted = list(hits[:space])
+        self._store.extend(accepted)
+        if len(accepted) < len(hits):
+            self.counters.add("sb_rejects", len(hits) - len(accepted))
+        return len(accepted)
+
+    # ------------------------------ switch ------------------------------ #
+
+    @property
+    def pb_drained(self) -> bool:
+        return self.offset >= len(self._processing)
+
+    def should_switch(self, producers_done: bool = False) -> bool:
+        """75 %-full rule, or a final flush once the SUs have finished."""
+        if not self.pb_drained:
+            return False
+        if len(self._store) >= math.ceil(self.switch_threshold * self.depth):
+            return True
+        return producers_done and bool(self._store)
+
+    def switch(self) -> int:
+        """Swap SB and PB; returns the new PB's hit count."""
+        if not self.pb_drained:
+            raise RuntimeError("cannot switch while the PB still holds hits")
+        self._processing = self._store
+        self._store = []
+        self.offset = 0
+        self.counters.add("switches")
+        return len(self._processing)
+
+    # ------------------------------ PB side ------------------------------ #
+
+    @property
+    def processing_remaining(self) -> int:
+        return len(self._processing) - self.offset
+
+    def next_batch(self, batch_size: int) -> List[HitTask]:
+        """Fig 10 step ❶: read the next batch at the current offset."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return self._processing[self.offset:self.offset + batch_size]
+
+    def writeback(self, allocated: Sequence[HitTask],
+                  unallocated: Sequence[HitTask],
+                  consumed: Optional[int] = None) -> None:
+        """Fig 10 steps ❼-❾: allocated hits retire, unallocated hits are
+        written back at the batch position; offset skips the allocated.
+
+        ``consumed`` is the number of PB slots the original batch occupied
+        (defaults to ``len(allocated) + len(unallocated)``); passing it
+        explicitly lets ablations retire placed hits without advancing the
+        offset (head-of-line semantics).
+        """
+        batch_len = len(allocated) + len(unallocated)
+        if consumed is None:
+            consumed = batch_len
+        if consumed < batch_len:
+            raise ValueError("cannot write back more hits than consumed")
+        if consumed > self.processing_remaining:
+            raise ValueError("writeback larger than outstanding batch")
+        self._processing[self.offset:self.offset + consumed] = \
+            list(allocated) + list(unallocated)
+        self.offset += len(allocated)
+        self.counters.add("hits_allocated", len(allocated))
+        self.counters.add("hits_deferred", len(unallocated))
+
+
+@dataclass(frozen=True)
+class EUGroup:
+    """A group of EU classes sharing hits (Fig 10 step ❺)."""
+
+    classes: Tuple[int, ...]
+
+    @property
+    def max_class(self) -> int:
+        return max(self.classes)
+
+
+def build_groups(pe_classes: Sequence[int]) -> List[EUGroup]:
+    """Group adjacent EU classes pairwise: {16,32} and {64,128}.
+
+    With an odd class count the middle class joins the upper group; a
+    single class forms its own group.
+    """
+    ordered = tuple(sorted(set(pe_classes)))
+    if not ordered:
+        raise ValueError("need at least one PE class")
+    if len(ordered) == 1:
+        return [EUGroup(ordered)]
+    half = len(ordered) // 2
+    return [EUGroup(ordered[:half]), EUGroup(ordered[half:])]
+
+
+def split_thresholds(groups: Sequence[EUGroup]) -> List[float]:
+    """Length boundaries between consecutive groups.
+
+    Geometric midpoint between a group's largest class and the next
+    group's smallest — with classes {16,32}/{64,128} this puts the Fig 10
+    example's hit of length 40 (√(32·64) ≈ 45) in the upper group, as the
+    paper shows.
+    """
+    bounds = []
+    for a, b in zip(groups, groups[1:]):
+        bounds.append(math.sqrt(a.max_class * min(b.classes)))
+    return bounds
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One hit placed on one EU."""
+
+    hit: HitTask
+    unit_id: int
+    pe_count: int
+    optimal: bool
+
+
+class HitsAllocator:
+    """Greedy low-latency allocation of a hit batch to idle EUs."""
+
+    def __init__(self, pe_classes: Sequence[int]):
+        self.pe_classes = tuple(sorted(set(pe_classes)))
+        if not self.pe_classes:
+            raise ValueError("need at least one PE class")
+        self.groups = build_groups(self.pe_classes)
+        self.thresholds = split_thresholds(self.groups)
+        self.counters = CounterSet()
+
+    def group_of(self, hit_len: int) -> int:
+        """Fig 10 step ❹: which group a hit belongs to by length."""
+        for idx, bound in enumerate(self.thresholds):
+            if hit_len <= bound:
+                return idx
+        return len(self.groups) - 1
+
+    def allocate(self, batch: Sequence[HitTask],
+                 idle_units: Dict[int, int],
+                 ) -> Tuple[List[Placement], List[HitTask]]:
+        """Fig 10 steps ❷-❻: place a batch onto idle units.
+
+        Args:
+            batch: hits read from the PB.
+            idle_units: ``unit_id -> pe_count`` of currently idle EUs.
+
+        Returns ``(placements, unallocated)``; ``unallocated`` preserves
+        batch order for write-back.
+        """
+        free: Dict[int, List[int]] = {}
+        for unit_id, pe in idle_units.items():
+            free.setdefault(pe, []).append(unit_id)
+        for units in free.values():
+            units.sort(reverse=True)  # pop() yields the lowest index first
+
+        ordered = sorted(batch, key=lambda h: h.hit_len)  # step ❸
+        placements: List[Placement] = []
+        taken = set()
+        for hit in ordered:
+            placement = self._place(hit, free)
+            if placement is not None:
+                placements.append(placement)
+                taken.add(id(hit))
+        unallocated = [h for h in batch if id(h) not in taken]
+        self.counters.add("allocated", len(placements))
+        self.counters.add("deferred", len(unallocated))
+        return placements, unallocated
+
+    def _place(self, hit: HitTask,
+               free: Dict[int, List[int]]) -> Optional[Placement]:
+        best_pe = optimal_pe_count(hit.hit_len, self.pe_classes)
+        group = self.groups[self.group_of(hit.hit_len)]
+        # Optimal class first, then the group's other classes by closeness.
+        candidates = [best_pe] + sorted(
+            (pe for pe in group.classes if pe != best_pe),
+            key=lambda pe: abs(pe - best_pe))
+        for pe in candidates:
+            units = free.get(pe)
+            if units:
+                unit_id = units.pop()
+                self.counters.add("optimal" if pe == best_pe else "suboptimal")
+                return Placement(hit=hit, unit_id=unit_id, pe_count=pe,
+                                 optimal=pe == best_pe)
+        return None
+
+
+class StrictClassAllocator:
+    """The paper's basic method (1): per-class groups, optimal-only.
+
+    "Allocating computing units in groups with the same number of PEs
+    guarantees that the different groups do not interfere and that the
+    optimal computing unit is always assigned to the hit. However, once
+    the number of hits is more than idle resources, hits can not be
+    allocated to resources, which affects the scheduling efficiency."
+
+    Every placement is optimal by construction; anything whose optimal
+    class is busy defers — the scheduling-efficiency cost the grouped
+    Hits Allocator fixes.
+    """
+
+    def __init__(self, pe_classes: Sequence[int]):
+        self.pe_classes = tuple(sorted(set(pe_classes)))
+        if not self.pe_classes:
+            raise ValueError("need at least one PE class")
+        self.counters = CounterSet()
+
+    def allocate(self, batch: Sequence[HitTask],
+                 idle_units: Dict[int, int],
+                 ) -> Tuple[List[Placement], List[HitTask]]:
+        free: Dict[int, List[int]] = {}
+        for unit_id, pe in idle_units.items():
+            free.setdefault(pe, []).append(unit_id)
+        for units in free.values():
+            units.sort(reverse=True)
+        placements: List[Placement] = []
+        taken = set()
+        for hit in sorted(batch, key=lambda h: h.hit_len):
+            best_pe = optimal_pe_count(hit.hit_len, self.pe_classes)
+            units = free.get(best_pe)
+            if units:
+                unit_id = units.pop()
+                self.counters.add("optimal")
+                placements.append(Placement(hit=hit, unit_id=unit_id,
+                                            pe_count=best_pe, optimal=True))
+                taken.add(id(hit))
+        unallocated = [h for h in batch if id(h) not in taken]
+        self.counters.add("allocated", len(placements))
+        self.counters.add("deferred", len(unallocated))
+        return placements, unallocated
+
+
+class PooledAllocator:
+    """The paper's basic method (2): one shared pool, optimal-first.
+
+    "Allocating all computing units in one group ensures that all idle
+    resources are shared, making it easier to allocate hits to idle
+    computing units. Unfortunately, this approach is too aggressive and can
+    easily lead to short hits being executed by large computing units."
+
+    Each hit takes its latency-optimal class when one is idle, otherwise
+    *any* idle unit — work-conserving but latency-careless, which is what
+    the grouped Hits Allocator improves on.
+    """
+
+    def __init__(self, pe_classes: Sequence[int]):
+        self.pe_classes = tuple(sorted(set(pe_classes)))
+        if not self.pe_classes:
+            raise ValueError("need at least one PE class")
+        self.counters = CounterSet()
+
+    def allocate(self, batch: Sequence[HitTask],
+                 idle_units: Dict[int, int],
+                 ) -> Tuple[List[Placement], List[HitTask]]:
+        free: Dict[int, List[int]] = {}
+        for unit_id, pe in idle_units.items():
+            free.setdefault(pe, []).append(unit_id)
+        for units in free.values():
+            units.sort(reverse=True)
+        placements: List[Placement] = []
+        taken = set()
+        for hit in batch:
+            best_pe = optimal_pe_count(hit.hit_len, self.pe_classes)
+            candidates = [best_pe] + [pe for pe in self.pe_classes
+                                      if pe != best_pe]
+            for pe in candidates:
+                units = free.get(pe)
+                if units:
+                    unit_id = units.pop()
+                    optimal = pe == best_pe
+                    self.counters.add("optimal" if optimal else "suboptimal")
+                    placements.append(Placement(hit=hit, unit_id=unit_id,
+                                                pe_count=pe, optimal=optimal))
+                    taken.add(id(hit))
+                    break
+        unallocated = [h for h in batch if id(h) not in taken]
+        self.counters.add("allocated", len(placements))
+        self.counters.add("deferred", len(unallocated))
+        return placements, unallocated
+
+
+class FIFOAllocator:
+    """Baseline dispatch: hits in order onto any idle unit (no matching)."""
+
+    def __init__(self, pe_classes: Sequence[int]):
+        self.pe_classes = tuple(sorted(set(pe_classes)))
+        self.counters = CounterSet()
+
+    def allocate(self, batch: Sequence[HitTask],
+                 idle_units: Dict[int, int],
+                 ) -> Tuple[List[Placement], List[HitTask]]:
+        order = sorted(idle_units.items())
+        placements: List[Placement] = []
+        cursor = 0
+        for hit in batch:
+            if cursor >= len(order):
+                break
+            unit_id, pe = order[cursor]
+            cursor += 1
+            optimal = pe == optimal_pe_count(hit.hit_len, self.pe_classes)
+            self.counters.add("optimal" if optimal else "suboptimal")
+            placements.append(Placement(hit=hit, unit_id=unit_id,
+                                        pe_count=pe, optimal=optimal))
+        unallocated = list(batch[len(placements):])
+        self.counters.add("allocated", len(placements))
+        self.counters.add("deferred", len(unallocated))
+        return placements, unallocated

@@ -1,0 +1,28 @@
+"""One module per paper exhibit; see :mod:`repro.experiments.runner`."""
+
+from repro.experiments import (
+    energy_comparison,
+    fig02_breakdown,
+    fig03_scheduling_effect,
+    fig05_scheduling,
+    fig07_systolic_example,
+    fig08_latency_curves,
+    fig09_hybrid_toy,
+    fig11_throughput,
+    fig12_utilization,
+    fig13_dse,
+    fig14_datasets,
+    table1_configs,
+    table2_area_power,
+    table3_interface,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "energy_comparison", "fig02_breakdown", "fig03_scheduling_effect",
+    "fig05_scheduling",
+    "fig07_systolic_example", "fig08_latency_curves", "fig09_hybrid_toy",
+    "fig11_throughput", "fig12_utilization", "fig13_dse", "fig14_datasets",
+    "table1_configs", "table2_area_power", "table3_interface",
+]

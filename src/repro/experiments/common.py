@@ -1,0 +1,95 @@
+"""Shared experiment plumbing.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` that
+regenerates one paper exhibit (table or figure) — the same rows/series the
+paper reports, alongside the paper's published values for comparison.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated exhibit.
+
+    Attributes:
+        exhibit: paper label, e.g. "Figure 11".
+        title: what the exhibit shows.
+        rows: list of dict rows (the regenerated data).
+        paper: the paper's published values for the same quantities, for
+            side-by-side comparison in EXPERIMENTS.md.
+        notes: caveats (substitutions, calibration).
+    """
+
+    exhibit: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    paper: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def columns(self) -> List[str]:
+        ordered: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in ordered:
+                    ordered.append(key)
+        return ordered
+
+    def format(self, max_rows: Optional[int] = 40) -> str:
+        """Render as a fixed-width text table."""
+        lines = [f"== {self.exhibit}: {self.title} =="]
+        cols = self.columns()
+        if cols:
+            shown = self.rows if max_rows is None else self.rows[:max_rows]
+            widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in shown))
+                      for c in cols}
+            lines.append("  ".join(c.ljust(widths[c]) for c in cols))
+            for row in shown:
+                lines.append("  ".join(
+                    _fmt(row.get(c)).ljust(widths[c]) for c in cols))
+            if max_rows is not None and len(self.rows) > max_rows:
+                lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        if self.paper:
+            lines.append("-- paper reference --")
+            for key, value in self.paper.items():
+                lines.append(f"  {key}: {value}")
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self, target: Union[str, os.PathLike, TextIO]) -> int:
+        """Write the rows as CSV (for external plotting); returns row count.
+
+        The paper-reference and notes travel as ``#``-prefixed header
+        comments so a single file is self-describing.
+        """
+        own = isinstance(target, (str, os.PathLike))
+        handle = open(target, "w", encoding="utf-8", newline="") \
+            if own else target
+        try:
+            handle.write(f"# {self.exhibit}: {self.title}\n")
+            for key, value in self.paper.items():
+                handle.write(f"# paper {key}: {value}\n")
+            if self.notes:
+                handle.write(f"# note: {self.notes}\n")
+            writer = csv.DictWriter(handle, fieldnames=self.columns())
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        finally:
+            if own:
+                handle.close()
+        return len(self.rows)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

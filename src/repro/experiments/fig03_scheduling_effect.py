@@ -1,0 +1,79 @@
+"""Figure 3: execution breakdown with and without multi-stage scheduling.
+
+The paper's Fig 3 contrasts the traditional accelerator flow (batched SU
+loads, blocked hits) with the scheduled flow (fine-grained loads, hits
+dispatched to matched units). We regenerate it from recorded execution
+traces of the two configurations on the same small read stream, reporting
+the concrete behaviours the figure narrates: how long SUs idle between
+reads, and how often hits wait for a matched unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.core import baseline
+from repro.core.accelerator import NvWaAccelerator
+from repro.core.workload import Workload, synthetic_workload
+from repro.experiments.common import ExperimentResult
+from repro.genome.datasets import get_dataset
+
+
+def su_idle_gaps(trace, num_sus: int) -> Dict[str, float]:
+    """Mean idle gap between consecutive reads per SU, from the trace."""
+    gaps = []
+    for su in range(num_sus):
+        events = trace.events(source=f"SU{su}")
+        last_finish: Optional[int] = None
+        for event in events:
+            if event.kind == "read_start" and last_finish is not None:
+                gaps.append(event.cycle - last_finish)
+            elif event.kind == "read_finish":
+                last_finish = event.cycle
+    if not gaps:
+        return {"mean_gap": 0.0, "max_gap": 0.0}
+    return {"mean_gap": sum(gaps) / len(gaps), "max_gap": max(gaps)}
+
+
+def run(reads: int = 300, seed: int = 8,
+        workload: Optional[Workload] = None) -> ExperimentResult:
+    """Regenerate the Fig 3 comparison from execution traces."""
+    workload = workload or synthetic_workload(get_dataset("H.s."), reads,
+                                              seed=seed)
+    rows = []
+    reports = {}
+    for label, config in (("with scheduling (Fig 3b)", baseline.nvwa()),
+                          ("without scheduling (Fig 3a)",
+                           baseline.sus_eus_baseline())):
+        config = replace(config, record_trace=True)
+        report = NvWaAccelerator(config).run(workload)
+        reports[label] = report
+        gaps = su_idle_gaps(report.trace, config.num_seeding_units)
+        optimal = report.assignment_quality.overall_fraction()
+        rows.append({
+            "configuration": label,
+            "cycles": report.cycles,
+            "mean_su_idle_gap": round(gaps["mean_gap"], 1),
+            "max_su_idle_gap": gaps["max_gap"],
+            "hits_on_optimal_unit": round(optimal, 3),
+            "buffer_switches": report.counters.get("buffer_switches")
+            or report.counters.get("buffer_switches", 0),
+        })
+    sched = reports["with scheduling (Fig 3b)"]
+    unsched = reports["without scheduling (Fig 3a)"]
+    result = ExperimentResult(
+        exhibit="Figure 3",
+        title="Execution breakdown with or without scheduling",
+        rows=rows,
+        paper={"observation": "batching leaves SUs idle between batches "
+                              "and blocks hits behind mismatched units; "
+                              "scheduling loads reads immediately and "
+                              "routes hits to optimal units"},
+        notes=f"scheduling shortens the run {unsched.cycles / sched.cycles:.2f}x "
+              f"and cuts the mean SU idle gap from "
+              f"{su_idle_gaps(unsched.trace, 128)['mean_gap']:.0f} to "
+              f"{su_idle_gaps(sched.trace, 128)['mean_gap']:.0f} cycles",
+    )
+    result.reports = reports
+    return result

@@ -1,0 +1,42 @@
+"""Table I: system configurations of the CPU, GPU, and NvWa platforms."""
+
+from __future__ import annotations
+
+from repro.baselines.platforms import CPU_BWA_MEM, GPU_GASAL2
+from repro.core.config import PAPER_CONFIG
+from repro.experiments.common import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Regenerate the configuration table from the models' own parameters."""
+    config = PAPER_CONFIG
+    eu_desc = ", ".join(f"{count}x{pe}PE" for pe, count in config.eu_config)
+    rows = [
+        {"platform": "BWA-MEM",
+         "compute": f"{CPU_BWA_MEM.threads} cores @ 2.10GHz",
+         "on_chip_memory": "20MB LLC",
+         "off_chip_memory": "136.5GB/s DDR4",
+         "power_w": CPU_BWA_MEM.power_watts},
+        {"platform": "GASAL2",
+         "compute": f"{GPU_GASAL2.threads} cores @ 1.41GHz",
+         "on_chip_memory": "40MB",
+         "off_chip_memory": "1555GB/s HBM v2.0",
+         "power_w": GPU_GASAL2.power_watts},
+        {"platform": "NvWa",
+         "compute": f"{config.num_seeding_units} SUs and "
+                    f"{config.num_extension_units} EUs ({eu_desc}) @ "
+                    f"{config.frequency_hz / 1e9:.0f} GHz",
+         "on_chip_memory": "512KB (SUs), 20MB (EUs), 150KB (Coordinator)",
+         "off_chip_memory": f"{config.memory_spec.bandwidth_bytes_per_cycle}"
+                            f"GB/s {config.memory_spec.name}",
+         "power_w": 7.685},
+    ]
+    return ExperimentResult(
+        exhibit="Table I",
+        title="System configurations of CPUs, GPUs, and NvWa",
+        rows=rows,
+        paper={"nvwa_units": "128 SUs and 70 EUs @ 1 GHz",
+               "nvwa_eu_mix": "28x16PE + 20x32PE + 16x64PE + 6x128PE "
+                              "= 2880 PEs",
+               "nvwa_memory": "256GB/s HBM 1.0"},
+    )

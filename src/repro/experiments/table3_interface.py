@@ -1,0 +1,55 @@
+"""Table III: the unified interface definitions of NvWa.
+
+Regenerated from the actual types in :mod:`repro.core.interface` — the
+table *is* the API contract, so this experiment asserts the code matches
+the paper's signal definitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.interface import (
+    EUControl,
+    ExtensionResult,
+    Hit,
+    ReadDescriptor,
+    SUControl,
+    UnitState,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Dump the interface as the paper's four-row table."""
+    hit_fields = [f.name for f in dataclasses.fields(Hit)]
+    rows = [
+        {"interface": "Data", "unit": "SUs", "direction": "Input",
+         "signals": ", ".join(f.name for f in
+                              dataclasses.fields(ReadDescriptor))},
+        {"interface": "Data", "unit": "SUs", "direction": "Output",
+         "signals": ", ".join(hit_fields)},
+        {"interface": "Data", "unit": "EUs", "direction": "Input",
+         "signals": ", ".join(hit_fields)},
+        {"interface": "Data", "unit": "EUs", "direction": "Output",
+         "signals": ", ".join(f.name for f in
+                              dataclasses.fields(ExtensionResult))},
+        {"interface": "Control", "unit": "SUs", "direction": "N/A",
+         "signals": ", ".join(s.value for s in UnitState)},
+        {"interface": "Control", "unit": "EUs", "direction": "N/A",
+         "signals": ", ".join(s.value for s in UnitState) + ", pe_number"},
+    ]
+    # sanity: the control dataclasses expose exactly what the table lists
+    assert {f.name for f in dataclasses.fields(SUControl)} == {"state"}
+    assert {f.name for f in dataclasses.fields(EUControl)} == \
+        {"state", "pe_number"}
+    return ExperimentResult(
+        exhibit="Table III",
+        title="The unified interface definitions of NvWa",
+        rows=rows,
+        paper={"sus_output": "[read_idx, hit_idx, direction, read_pos, "
+                             "ref_pos]",
+               "eu_output": "[sus_output, alignment_result]",
+               "su_control": "[idle, busy, stop]",
+               "eu_control": "[idle, busy, stop, pe_number]"},
+    )

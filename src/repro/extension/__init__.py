@@ -1,0 +1,47 @@
+"""Seed-extension substrate: DP aligners and the systolic cycle model."""
+
+from repro.extension.scoring import (
+    BWA_MEM_SCORING,
+    DARWIN_SCORING,
+    ScoringScheme,
+)
+from repro.extension.alignment import Alignment, Cigar, identity
+from repro.extension.smith_waterman import (
+    fill_matrices,
+    fill_matrices_scalar,
+    score_only,
+    smith_waterman,
+)
+from repro.extension.needleman_wunsch import needleman_wunsch
+from repro.extension.gact import GACTResult, gact_align
+from repro.extension.banded import BandedResult, banded_global
+from repro.extension.bitap import (
+    best_semi_global_distance,
+    bitap_exact_positions,
+    bitap_search,
+    edit_distance,
+    genasm_latency,
+    myers_distances,
+)
+from repro.extension.systolic import (
+    BlockSchedule,
+    SystolicArray,
+    block_schedule,
+    gact_tiled_latency,
+    matrix_fill_latency,
+    optimal_pe_count,
+    traceback_latency,
+)
+
+__all__ = [
+    "BWA_MEM_SCORING", "DARWIN_SCORING", "ScoringScheme",
+    "Alignment", "Cigar", "identity",
+    "fill_matrices", "fill_matrices_scalar", "score_only", "smith_waterman",
+    "needleman_wunsch",
+    "GACTResult", "gact_align",
+    "BandedResult", "banded_global",
+    "best_semi_global_distance", "bitap_exact_positions", "bitap_search",
+    "edit_distance", "genasm_latency", "myers_distances",
+    "BlockSchedule", "SystolicArray", "block_schedule", "gact_tiled_latency",
+    "matrix_fill_latency", "optimal_pe_count", "traceback_latency",
+]

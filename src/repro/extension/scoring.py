@@ -1,0 +1,74 @@
+"""Alignment scoring schemes.
+
+Sec. II-B: "A typical scoring scheme has three parts: substitution matrix,
+open gap penalty, and extension gap penalty." NvWa keeps its EUs faithful to
+BWA-MEM's scheme ("the scoring scheme, the affine gap penalty, and the
+trace-back support"), so the defaults here are BWA-MEM 0.7.17's.
+
+A gap of length ``g`` costs ``gap_open + g * gap_extend`` (both stored as
+negative numbers), the affine convention BWA-MEM uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genome import sequence as seq
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Affine-gap DNA scoring scheme.
+
+    Attributes:
+        match: score for identical bases (positive).
+        mismatch: score for differing bases (negative).
+        gap_open: one-time penalty for opening a gap (negative).
+        gap_extend: per-base gap penalty (negative).
+    """
+
+    match: int = 1
+    mismatch: int = -4
+    gap_open: int = -6
+    gap_extend: int = -1
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError(f"match score must be positive, got {self.match}")
+        if self.mismatch >= 0:
+            raise ValueError(
+                f"mismatch score must be negative, got {self.mismatch}")
+        if self.gap_open > 0 or self.gap_extend >= 0:
+            raise ValueError(
+                "gap penalties must be non-positive (open) / negative (extend), "
+                f"got open={self.gap_open}, extend={self.gap_extend}")
+
+    def substitution(self, a: int, b: int) -> int:
+        """Score of aligning base codes ``a`` and ``b``."""
+        return self.match if a == b else self.mismatch
+
+    def substitution_matrix(self) -> np.ndarray:
+        """4x4 substitution matrix over base codes."""
+        matrix = np.full((seq.ALPHABET_SIZE, seq.ALPHABET_SIZE),
+                         self.mismatch, dtype=np.int64)
+        np.fill_diagonal(matrix, self.match)
+        return matrix
+
+    def gap_cost(self, length: int) -> int:
+        """Total (negative) score contribution of a gap of ``length`` bases."""
+        if length < 0:
+            raise ValueError(f"gap length must be >= 0, got {length}")
+        if length == 0:
+            return 0
+        return self.gap_open + length * self.gap_extend
+
+
+#: BWA-MEM 0.7.17 defaults (-A 1 -B 4 -O 6 -E 1).
+BWA_MEM_SCORING = ScoringScheme(match=1, mismatch=-4, gap_open=-6,
+                                gap_extend=-1)
+
+#: The scheme Darwin's GACT evaluation uses.
+DARWIN_SCORING = ScoringScheme(match=2, mismatch=-3, gap_open=-5,
+                               gap_extend=-2)

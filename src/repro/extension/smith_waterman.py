@@ -1,0 +1,193 @@
+"""Affine-gap Smith-Waterman local alignment (Gotoh), with traceback.
+
+This is the paper's Step-❸ algorithm ("compute-intensive approximate
+matching") and the functional model behind the systolic-array EUs. Matrix
+fill is vectorised row-by-row with the lazy-F formulation (the horizontal
+gap chain is resolved with a prefix-max, which is exact for affine gaps
+because opening a second gap can never beat extending the first); a scalar
+reference implementation is kept alongside for property testing.
+
+Cell counts are exposed because the EU cycle model charges Formula 3 latency
+for exactly the cells this code fills — functional and timing layers share
+one definition of "work".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.genome import sequence as seq
+from repro.extension.alignment import Alignment, Cigar
+from repro.extension.scoring import BWA_MEM_SCORING, ScoringScheme
+
+#: Effectively minus infinity for int64 DP without overflow on adds.
+NEG = np.int64(-(10 ** 12))
+
+
+@dataclass
+class DPMatrices:
+    """Filled DP state: H (best), E (gap-in-ref / insertion), F (deletion)."""
+
+    h: np.ndarray
+    e: np.ndarray
+    f: np.ndarray
+
+    @property
+    def cells(self) -> int:
+        rows, cols = self.h.shape
+        return (rows - 1) * (cols - 1)
+
+
+def fill_matrices(read_codes: np.ndarray, ref_codes: np.ndarray,
+                  scoring: ScoringScheme) -> DPMatrices:
+    """Vectorised affine-gap local-alignment matrix fill.
+
+    Rows index the read (query), columns the reference. ``E`` tracks gaps
+    that consume read bases (CIGAR I), ``F`` gaps that consume reference
+    bases (CIGAR D).
+    """
+    m, n = read_codes.size, ref_codes.size
+    sub = scoring.substitution_matrix()
+    open_ext = scoring.gap_open + scoring.gap_extend
+    ext = scoring.gap_extend
+
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    e = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+    f = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+
+    cols = np.arange(1, n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        sub_row = sub[read_codes[i - 1], ref_codes]
+        e[i, 1:] = np.maximum(e[i - 1, 1:] + ext, h[i - 1, 1:] + open_ext)
+        h_no_f = np.maximum(h[i - 1, :-1] + sub_row, e[i, 1:])
+        np.maximum(h_no_f, 0, out=h_no_f)
+        # Lazy F: F[j] = max_{k<j} H[k] + open + (j-k)·ext, via prefix max of
+        # H[k] + open - k·ext evaluated over this row's H-without-F values.
+        shifted = np.empty(n, dtype=np.int64)
+        shifted[0] = NEG
+        if n > 1:
+            transformed = h_no_f[:-1] + scoring.gap_open - ext * cols[:-1]
+            shifted[1:] = np.maximum.accumulate(transformed)
+        f[i, 1:] = shifted + ext * cols
+        # Column 0 can also open a deletion chain (H[i,0] == 0 everywhere).
+        f[i, 1:] = np.maximum(f[i, 1:],
+                              scoring.gap_open + ext * cols)
+        h[i, 1:] = np.maximum(h_no_f, f[i, 1:])
+    return DPMatrices(h, e, f)
+
+
+def fill_matrices_scalar(read_codes: np.ndarray, ref_codes: np.ndarray,
+                         scoring: ScoringScheme) -> DPMatrices:
+    """Straightforward O(mn) scalar fill — the oracle for the fast path."""
+    m, n = read_codes.size, ref_codes.size
+    open_ext = scoring.gap_open + scoring.gap_extend
+    ext = scoring.gap_extend
+
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    e = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+    f = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            e[i, j] = max(e[i - 1, j] + ext, h[i - 1, j] + open_ext)
+            f[i, j] = max(f[i, j - 1] + ext, h[i, j - 1] + open_ext)
+            diag = h[i - 1, j - 1] + scoring.substitution(
+                int(read_codes[i - 1]), int(ref_codes[j - 1]))
+            h[i, j] = max(0, diag, e[i, j], f[i, j])
+    return DPMatrices(h, e, f)
+
+
+def traceback(matrices: DPMatrices, read_codes: np.ndarray,
+              ref_codes: np.ndarray, scoring: ScoringScheme,
+              end: Tuple[int, int]) -> Tuple[Cigar, int, int]:
+    """Walk back from ``end`` until H hits 0; returns (cigar, i0, j0).
+
+    ``i0``/``j0`` are the matrix coordinates where the local alignment
+    starts (read/ref start offsets).
+    """
+    h, e, f = matrices.h, matrices.e, matrices.f
+    ext = scoring.gap_extend
+    open_ext = scoring.gap_open + scoring.gap_extend
+    i, j = end
+    ops = []
+    state = "H"
+    while True:
+        if state == "H":
+            if h[i, j] == 0:
+                break
+            diag = h[i - 1, j - 1] + scoring.substitution(
+                int(read_codes[i - 1]), int(ref_codes[j - 1])) \
+                if i > 0 and j > 0 else NEG
+            if i > 0 and j > 0 and h[i, j] == diag:
+                ops.append("M")
+                i -= 1
+                j -= 1
+            elif h[i, j] == e[i, j]:
+                state = "E"
+            elif h[i, j] == f[i, j]:
+                state = "F"
+            else:  # pragma: no cover - matrices inconsistent
+                raise AssertionError("traceback found no predecessor")
+        elif state == "E":
+            ops.append("I")
+            came_from_h = h[i - 1, j] + open_ext == e[i, j]
+            i -= 1
+            if came_from_h:
+                state = "H"
+            # else stay in E (gap extension)
+        else:  # state == "F"
+            ops.append("D")
+            came_from_h = h[i, j - 1] + open_ext == f[i, j]
+            j -= 1
+            if came_from_h:
+                state = "H"
+    return Cigar.from_ops(reversed(ops)), i, j
+
+
+def smith_waterman(read, reference, scoring: ScoringScheme = BWA_MEM_SCORING,
+                   use_scalar: bool = False) -> Alignment:
+    """Best local alignment of ``read`` against ``reference``.
+
+    Args:
+        read / reference: DNA strings or uint8 code arrays.
+        scoring: affine-gap scheme (BWA-MEM defaults).
+        use_scalar: run the scalar oracle fill (for testing).
+    """
+    read_codes = _codes(read)
+    ref_codes = _codes(reference)
+    if read_codes.size == 0 or ref_codes.size == 0:
+        return Alignment(score=0, cigar=Cigar(()), read_start=0, read_end=0,
+                         ref_start=0, ref_end=0, cells=0)
+    fill = fill_matrices_scalar if use_scalar else fill_matrices
+    matrices = fill(read_codes, ref_codes, scoring)
+    flat = int(np.argmax(matrices.h))
+    end = np.unravel_index(flat, matrices.h.shape)
+    score = int(matrices.h[end])
+    if score <= 0:
+        return Alignment(score=0, cigar=Cigar(()), read_start=0, read_end=0,
+                         ref_start=0, ref_end=0, cells=matrices.cells)
+    cigar, i0, j0 = traceback(matrices, read_codes, ref_codes, scoring,
+                              (int(end[0]), int(end[1])))
+    return Alignment(score=score, cigar=cigar,
+                     read_start=i0, read_end=int(end[0]),
+                     ref_start=j0, ref_end=int(end[1]),
+                     cells=matrices.cells)
+
+
+def score_only(read, reference,
+               scoring: ScoringScheme = BWA_MEM_SCORING) -> int:
+    """Best local score without traceback (cheaper inner loop)."""
+    read_codes = _codes(read)
+    ref_codes = _codes(reference)
+    if read_codes.size == 0 or ref_codes.size == 0:
+        return 0
+    matrices = fill_matrices(read_codes, ref_codes, scoring)
+    return int(matrices.h.max())
+
+
+def _codes(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return np.asarray(value, dtype=np.uint8)
+    return seq.encode(value)

@@ -1,0 +1,169 @@
+"""Systolic-array cycle model for seed-extension units.
+
+Implements the latency model the whole Extension Scheduler design rests on
+— the paper's Formula 3:
+
+    L = (R + P - 1) * ceil(Q / P)
+
+where ``R`` is the reference length, ``Q`` the query length and ``P`` the
+number of processing elements. The query is split into ``ceil(Q/P)`` blocks
+of ``P`` rows; each block streams the reference through the PE chain in
+``R + P - 1`` cycles (R inputs plus P-1 pipeline drain). Fig 7's worked
+example (Q = R = 9, P = 3 → 33 cycles) falls out of the same block
+schedule reproduced by :func:`block_schedule`.
+
+Also provided: the GACT-style tiled latency used for long reads (Sec. V-F:
+"Our design can still be applied to the long reads datasets by using the
+iterative scheme of GACT"), and the traceback latency, constant in P
+(footnote 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def matrix_fill_latency(ref_length: int, query_length: int,
+                        pe_count: int) -> int:
+    """Formula 3: systolic matrix-fill latency in cycles."""
+    if ref_length < 0 or query_length < 0:
+        raise ValueError("sequence lengths must be non-negative")
+    if pe_count <= 0:
+        raise ValueError(f"pe_count must be positive, got {pe_count}")
+    if ref_length == 0 or query_length == 0:
+        return 0
+    blocks = math.ceil(query_length / pe_count)
+    return (ref_length + pe_count - 1) * blocks
+
+
+def traceback_latency(ref_length: int, query_length: int) -> int:
+    """Trace-back walk length; independent of the PE count (footnote 4)."""
+    if ref_length < 0 or query_length < 0:
+        raise ValueError("sequence lengths must be non-negative")
+    return ref_length + query_length
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """One query block's occupancy window on the array (for Fig 7)."""
+
+    block_index: int
+    start_cycle: int
+    end_cycle: int
+    rows: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+def block_schedule(ref_length: int, query_length: int,
+                   pe_count: int) -> List[BlockSchedule]:
+    """Per-block execution windows reproducing Fig 7(c).
+
+    Blocks run strictly one after another; block ``b`` occupies cycles
+    ``[b * (R + P - 1), (b + 1) * (R + P - 1))``. The last block may hold
+    fewer than ``P`` query rows.
+    """
+    if ref_length <= 0 or query_length <= 0:
+        return []
+    if pe_count <= 0:
+        raise ValueError(f"pe_count must be positive, got {pe_count}")
+    span = ref_length + pe_count - 1
+    blocks = math.ceil(query_length / pe_count)
+    out = []
+    for b in range(blocks):
+        rows = min(pe_count, query_length - b * pe_count)
+        out.append(BlockSchedule(block_index=b, start_cycle=b * span,
+                                 end_cycle=(b + 1) * span, rows=rows))
+    return out
+
+
+def optimal_pe_count(query_length: int,
+                     choices: Tuple[int, ...] = (16, 32, 64, 128)) -> int:
+    """The PE class with the lowest Formula 3 latency for this hit length.
+
+    Paper observation (1) under Fig 8: "When the hit length and the number
+    of PEs are close to each other, the computation has the shortest
+    latency." Reference length is taken ≈ query length, the typical
+    extension geometry. Ties resolve to the smaller (cheaper) class.
+    """
+    if query_length <= 0:
+        raise ValueError(f"query_length must be positive, got {query_length}")
+    if not choices:
+        raise ValueError("choices must be non-empty")
+    best = None
+    for pe in sorted(choices):
+        latency = matrix_fill_latency(query_length, query_length, pe)
+        if best is None or latency < best[0]:
+            best = (latency, pe)
+    return best[1]
+
+
+def gact_tiled_latency(ref_length: int, query_length: int, pe_count: int,
+                       tile_size: int = 256, overlap: int = 32) -> int:
+    """Latency of GACT-style tiled extension for long sequences.
+
+    Darwin's GACT aligns arbitrarily long sequences with constant hardware
+    by stepping a ``tile_size`` window along both sequences, re-aligning
+    each tile and advancing ``tile_size - overlap``. Total latency is the
+    sum of the per-tile Formula 3 fills.
+    """
+    if tile_size <= 0:
+        raise ValueError(f"tile_size must be positive, got {tile_size}")
+    if not 0 <= overlap < tile_size:
+        raise ValueError(
+            f"overlap must be in [0, tile_size), got {overlap}")
+    if ref_length <= 0 or query_length <= 0:
+        return 0
+    step = tile_size - overlap
+    total = 0
+    q_pos = r_pos = 0
+    while q_pos < query_length or r_pos < ref_length:
+        q_tile = min(tile_size, query_length - q_pos)
+        r_tile = min(tile_size, ref_length - r_pos)
+        if q_tile <= 0 and r_tile <= 0:  # pragma: no cover
+            break
+        total += matrix_fill_latency(max(r_tile, 0) or 0,
+                                     max(q_tile, 0) or 0, pe_count)
+        if q_tile <= 0 or r_tile <= 0:
+            break
+        q_pos += step
+        r_pos += step
+    return total
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """A fixed-size systolic seed-extension array (one EU's datapath).
+
+    Args:
+        pe_count: number of processing elements.
+    """
+
+    pe_count: int
+
+    def __post_init__(self) -> None:
+        if self.pe_count <= 0:
+            raise ValueError(f"pe_count must be positive, got {self.pe_count}")
+
+    def latency(self, ref_length: int, query_length: int,
+                include_traceback: bool = True) -> int:
+        """End-to-end cycles to align one hit on this array."""
+        fill = matrix_fill_latency(ref_length, query_length, self.pe_count)
+        if not include_traceback or fill == 0:
+            return fill
+        return fill + traceback_latency(ref_length, query_length)
+
+    def utilization(self, ref_length: int, query_length: int) -> float:
+        """Fraction of PE-cycles doing useful work during the fill.
+
+        Useful work = Q * R cells; capacity = P * L cycles. Short hits on a
+        large array waste PEs (observation (2) under Fig 8).
+        """
+        fill = matrix_fill_latency(ref_length, query_length, self.pe_count)
+        if fill == 0:
+            return 0.0
+        return (ref_length * query_length) / (self.pe_count * fill)

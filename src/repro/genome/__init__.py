@@ -1,0 +1,50 @@
+"""Genome substrate: sequences, references, reads, IO, dataset profiles."""
+
+from repro.genome.sequence import (
+    ALPHABET,
+    ALPHABET_SIZE,
+    SequenceError,
+    decode,
+    encode,
+    gc_fraction,
+    hamming_distance,
+    is_valid,
+    kmers,
+    mutate,
+    random_sequence,
+    reverse_complement,
+    reverse_complement_code,
+)
+from repro.genome.reference import (
+    Chromosome,
+    ReferenceGenome,
+    RepeatFamily,
+    SyntheticReference,
+)
+from repro.genome.reads import (
+    ILLUMINA,
+    LONG_READ,
+    ErrorModel,
+    Read,
+    ReadSimulator,
+)
+from repro.genome.pairs import PairedReadSimulator, ReadPair
+from repro.genome.datasets import (
+    DATASETS,
+    NA12878_INTERVAL_MASS,
+    DatasetProfile,
+    get_dataset,
+    long_read_datasets,
+    short_read_datasets,
+)
+
+__all__ = [
+    "ALPHABET", "ALPHABET_SIZE", "SequenceError", "decode", "encode",
+    "gc_fraction", "hamming_distance", "is_valid", "kmers", "mutate",
+    "random_sequence", "reverse_complement", "reverse_complement_code",
+    "Chromosome", "ReferenceGenome", "RepeatFamily", "SyntheticReference",
+    "ILLUMINA", "LONG_READ", "ErrorModel", "Read", "ReadSimulator",
+    "PairedReadSimulator", "ReadPair",
+    "DATASETS", "NA12878_INTERVAL_MASS", "DatasetProfile", "get_dataset",
+    "long_read_datasets", "short_read_datasets",
+]

@@ -1,0 +1,213 @@
+"""Named dataset profiles (NA12878 + the six DWGSIM genomes of Fig 14).
+
+The paper configures NvWa from the NA12878 hit-length distribution and then
+shows (Fig 14) that other second-generation datasets have similar interval
+mass, which is why a fixed configuration generalises. We encode each dataset
+as a :class:`DatasetProfile`: the statistics needed to (a) synthesise a
+reference + reads with the right character and (b) produce the dataset's
+hit-length distribution over the four EU intervals.
+
+Two related hit-length statistics appear. The **PE-demand mass** (hit count
+weighted by hit length) is the s of Equation (4)/(5): solving Equation (5)
+backwards from the published x = (28, 20, 16, 6) over p = (16, 32, 64, 128)
+with N = 2880 yields s ∝ (0.400, 0.286, 0.229, 0.086) — the unique demand
+distribution consistent with the design point, and the one that gives every
+EU class equal per-unit load under Formula 3 (hence the 85 % utilization of
+Fig 12(c)). The **count mass** — what a sampler draws hit lengths from — is
+s_i / p_i renormalised: ≈ (0.655, 0.234, 0.094, 0.018) for NA12878, the
+"short but most numerous hits" of Fig 12(e). Profiles carry the count mass;
+:meth:`DatasetProfile.demand_mass` derives the Equation-5 input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.genome.reads import ILLUMINA, LONG_READ, ErrorModel, Read, ReadSimulator
+from repro.genome.reference import ReferenceGenome, SyntheticReference
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Statistics describing a benchmark dataset.
+
+    Attributes:
+        name: short key ("H.s.", "C.h.", ...).
+        description: species / provenance note.
+        genome_length: synthetic-reference length used at simulation scale.
+        gc_content: genome GC fraction.
+        read_length: read length in bp.
+        error_model: sequencing error model.
+        long_read: True for 3rd-generation datasets (Fig 14 right half).
+        interval_mass: *count* mass of hit lengths in the four EU
+            intervals (≤16, 17–32, 33–64, 65–128). Sums to 1.
+        mean_hits_per_read: average number of seed hits surviving
+            filter+chain per read (drives Coordinator load).
+    """
+
+    name: str
+    description: str
+    genome_length: int
+    gc_content: float
+    read_length: int
+    error_model: ErrorModel
+    long_read: bool
+    interval_mass: Tuple[float, float, float, float]
+    mean_hits_per_read: float = 4.0
+
+    def __post_init__(self) -> None:
+        total = sum(self.interval_mass)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"interval_mass must sum to 1, got {total} for {self.name}")
+
+    def build_reference(self, seed: int = 0,
+                        length: Optional[int] = None) -> ReferenceGenome:
+        """Synthesise this dataset's reference genome."""
+        return SyntheticReference(
+            length=length or self.genome_length,
+            chromosomes=2,
+            gc_content=self.gc_content,
+            seed=seed,
+        ).build()
+
+    def simulate_reads(self, reference: ReferenceGenome, count: int,
+                       seed: int = 0) -> List[Read]:
+        """Simulate ``count`` reads from ``reference`` with this profile."""
+        simulator = ReadSimulator(
+            reference,
+            read_length=min(self.read_length, min(len(c) for c in
+                                                  reference.chromosomes)),
+            error_model=self.error_model,
+            seed=seed,
+        )
+        return simulator.simulate(count)
+
+    def demand_mass(self, intervals: Tuple[int, ...] = (16, 32, 64, 128),
+                    ) -> Tuple[float, ...]:
+        """PE-demand (length-weighted) mass — the s of Equation (4)/(5).
+
+        Each interval's count mass is weighted by its representative
+        length, taken as the interval's upper bound (the PE class serving
+        it), then renormalised.
+        """
+        weighted = [m * p for m, p in zip(self.interval_mass, intervals)]
+        total = sum(weighted)
+        return tuple(w / total for w in weighted)
+
+    def sample_hit_lengths(self, count: int, seed: int = 0,
+                           intervals: Tuple[int, ...] = (16, 32, 64, 128),
+                           ) -> List[int]:
+        """Draw hit lengths following this dataset's interval mass.
+
+        Within each interval, lengths are uniform — the coarse statistic
+        (interval mass) is what the hybrid-unit maths consumes.
+        """
+        rng = random.Random(seed)
+        bounds = [(1, intervals[0])]
+        for lo, hi in zip(intervals, intervals[1:]):
+            bounds.append((lo + 1, hi))
+        lengths = []
+        for _ in range(count):
+            idx = rng.choices(range(len(self.interval_mass)),
+                              weights=self.interval_mass, k=1)[0]
+            lo, hi = bounds[min(idx, len(bounds) - 1)]
+            lengths.append(rng.randint(lo, hi))
+        return lengths
+
+
+#: NA12878 PE-demand interval mass implied by the paper's EU mix (Eq. 5).
+NA12878_INTERVAL_MASS = (0.400, 0.2857, 0.2286, 0.0857)
+
+#: The corresponding hit-count mass (demand_i / p_i, renormalised).
+NA12878_COUNT_MASS = (0.6551, 0.2340, 0.0936, 0.0173)
+
+
+def _mass(a: float, b: float, c: float, d: float) -> Tuple[float, float, float, float]:
+    total = a + b + c + d
+    return (a / total, b / total, c / total, d / total)
+
+
+#: Registry of the paper's evaluation datasets (Fig 14 naming).
+#: ``interval_mass`` values are hit-count masses; the 2nd-generation
+#: profiles vary mildly around the NA12878 statistics (Fig 14(b): "the
+#: different datasets have a roughly similar distribution").
+DATASETS: Dict[str, DatasetProfile] = {
+    "H.s.": DatasetProfile(
+        name="H.s.", description="Homo sapiens (NA12878-like)",
+        genome_length=400_000, gc_content=0.41, read_length=101,
+        error_model=ILLUMINA, long_read=False,
+        interval_mass=_mass(*NA12878_COUNT_MASS),
+        mean_hits_per_read=7.0),
+    "C.h.": DatasetProfile(
+        name="C.h.", description="Clitarchus hookeri (stick insect)",
+        genome_length=300_000, gc_content=0.36, read_length=101,
+        error_model=ILLUMINA, long_read=False,
+        interval_mass=_mass(0.68, 0.22, 0.082, 0.018),
+        mean_hits_per_read=6.6),
+    "Z.h.": DatasetProfile(
+        name="Z.h.", description="Zapus hudsonius (jumping mouse)",
+        genome_length=300_000, gc_content=0.40, read_length=101,
+        error_model=ILLUMINA, long_read=False,
+        interval_mass=_mass(0.63, 0.25, 0.10, 0.020),
+        mean_hits_per_read=6.9),
+    "C.d.": DatasetProfile(
+        name="C.d.", description="Camelus dromedarius (dromedary)",
+        genome_length=300_000, gc_content=0.42, read_length=101,
+        error_model=ILLUMINA, long_read=False,
+        interval_mass=_mass(0.66, 0.23, 0.092, 0.018),
+        mean_hits_per_read=6.8),
+    "V.e.": DatasetProfile(
+        name="V.e.", description="Venustaconcha ellipsiformis (mussel)",
+        genome_length=250_000, gc_content=0.35, read_length=101,
+        error_model=ILLUMINA, long_read=False,
+        interval_mass=_mass(0.61, 0.26, 0.11, 0.020),
+        mean_hits_per_read=7.2),
+    "C.e.": DatasetProfile(
+        name="C.e.", description="Caenorhabditis elegans (nematode)",
+        genome_length=250_000, gc_content=0.35, read_length=101,
+        error_model=ILLUMINA, long_read=False,
+        interval_mass=_mass(0.67, 0.23, 0.085, 0.015),
+        mean_hits_per_read=6.4),
+    # Long-read variants (Fig 14a right): different hit-length statistics —
+    # GACT-style tiling produces longer extension tasks, shifting mass right.
+    "H.s.-long": DatasetProfile(
+        name="H.s.-long", description="Homo sapiens, 3rd-gen long reads",
+        genome_length=400_000, gc_content=0.41, read_length=1000,
+        error_model=LONG_READ, long_read=True,
+        interval_mass=_mass(0.34, 0.30, 0.24, 0.12),
+        mean_hits_per_read=8.4),
+    "Z.h.-long": DatasetProfile(
+        name="Z.h.-long", description="Zapus hudsonius, 3rd-gen long reads",
+        genome_length=300_000, gc_content=0.40, read_length=1000,
+        error_model=LONG_READ, long_read=True,
+        interval_mass=_mass(0.33, 0.31, 0.25, 0.11),
+        mean_hits_per_read=8.7),
+    "C.e.-long": DatasetProfile(
+        name="C.e.-long", description="C. elegans, 3rd-gen long reads",
+        genome_length=250_000, gc_content=0.35, read_length=1000,
+        error_model=LONG_READ, long_read=True,
+        interval_mass=_mass(0.36, 0.29, 0.23, 0.12),
+        mean_hits_per_read=8.2),
+}
+
+
+def get_dataset(name: str) -> DatasetProfile:
+    """Look up a dataset profile by its Fig 14 short name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def short_read_datasets() -> List[DatasetProfile]:
+    """The six 2nd-generation datasets of Fig 14(a) left / Fig 14(b)."""
+    return [p for p in DATASETS.values() if not p.long_read]
+
+
+def long_read_datasets() -> List[DatasetProfile]:
+    """The 3rd-generation datasets of Fig 14(a) right."""
+    return [p for p in DATASETS.values() if p.long_read]

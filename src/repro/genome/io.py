@@ -1,0 +1,140 @@
+"""FASTA / FASTQ parsing and writing.
+
+Minimal, strict implementations of the two formats the alignment stack
+consumes. Parsers accept file paths or open text handles and yield records
+lazily so multi-megabase references stream without copies.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator, List, TextIO, Tuple, Union
+
+from repro.genome.reads import Read
+from repro.genome.reference import Chromosome, ReferenceGenome
+
+PathOrHandle = Union[str, os.PathLike, TextIO]
+
+
+class FormatError(ValueError):
+    """Raised on malformed FASTA/FASTQ input."""
+
+
+def _open(source: PathOrHandle):
+    """Return ``(handle, should_close)`` for a path or open handle."""
+    if isinstance(source, (str, os.PathLike)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def parse_fasta(source: PathOrHandle) -> Iterator[Tuple[str, str]]:
+    """Yield ``(name, sequence)`` pairs from a FASTA file.
+
+    The name is the header up to the first whitespace. Sequence lines are
+    concatenated and upper-cased.
+    """
+    handle, should_close = _open(source)
+    try:
+        name = None
+        chunks: List[str] = []
+        for lineno, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield name, "".join(chunks).upper()
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                if not name:
+                    raise FormatError(f"empty FASTA header at line {lineno}")
+                chunks = []
+            else:
+                if name is None:
+                    raise FormatError(
+                        f"sequence data before any header at line {lineno}")
+                chunks.append(line)
+        if name is not None:
+            yield name, "".join(chunks).upper()
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_reference(source: PathOrHandle) -> ReferenceGenome:
+    """Load a FASTA file as a :class:`ReferenceGenome`."""
+    chroms = [Chromosome(name, body) for name, body in parse_fasta(source)]
+    if not chroms:
+        raise FormatError("FASTA file contains no sequences")
+    return ReferenceGenome(chroms)
+
+
+def write_fasta(reference: ReferenceGenome, target: PathOrHandle,
+                width: int = 70) -> None:
+    """Write a reference genome as FASTA with ``width``-column wrapping."""
+    handle, should_close = _open_for_write(target)
+    try:
+        for chrom in reference.chromosomes:
+            handle.write(f">{chrom.name}\n")
+            for i in range(0, len(chrom.sequence), width):
+                handle.write(chrom.sequence[i:i + width] + "\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def parse_fastq(source: PathOrHandle) -> Iterator[Read]:
+    """Yield :class:`Read` records from a FASTQ file."""
+    handle, should_close = _open(source)
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise FormatError(f"expected '@' header, got {header!r}")
+            sequence = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise FormatError(f"expected '+' separator, got {plus!r}")
+            if len(quality) != len(sequence):
+                raise FormatError(
+                    f"quality length {len(quality)} != sequence length "
+                    f"{len(sequence)} for {header!r}")
+            read_id = header[1:].split()[0] if len(header) > 1 else ""
+            if not read_id:
+                raise FormatError("empty FASTQ read id")
+            yield Read(read_id=read_id, sequence=sequence.upper(),
+                       quality=quality)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_fastq(reads: Iterable[Read], target: PathOrHandle) -> None:
+    """Write reads as FASTQ; missing qualities become constant 'I' (Q40)."""
+    handle, should_close = _open_for_write(target)
+    try:
+        for read in reads:
+            quality = read.quality or "I" * len(read.sequence)
+            handle.write(f"@{read.read_id}\n{read.sequence}\n+\n{quality}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def _open_for_write(target: PathOrHandle):
+    if isinstance(target, (str, os.PathLike)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False
+
+
+def fasta_string(reference: ReferenceGenome, width: int = 70) -> str:
+    """Render a reference genome to a FASTA string (convenience for tests)."""
+    buffer = io.StringIO()
+    write_fasta(reference, buffer, width=width)
+    return buffer.getvalue()

@@ -1,0 +1,14 @@
+"""Hardware unit cycle models: popcount tree, SUs, EUs, index layout."""
+
+from repro.hw.popcount import PopCountTree, unit_mark_table
+from repro.hw.seeding_unit import OCC_BLOCK_BYTES, SeedingUnit
+from repro.hw.extension_unit import GACT_TILE_SIZE, ExtensionUnit
+from repro.hw.lfmapbit import (
+    LFMapBitLayout,
+    cached_genome_span,
+    sram_area_mm2,
+)
+
+__all__ = ["PopCountTree", "unit_mark_table", "OCC_BLOCK_BYTES",
+           "SeedingUnit", "GACT_TILE_SIZE", "ExtensionUnit",
+           "LFMapBitLayout", "cached_genome_span", "sram_area_mm2"]

@@ -1,0 +1,36 @@
+"""Area, power, and energy models (Table II and Sec. V-C)."""
+
+from repro.power.area_power import (
+    PAPER_BUFFER_DEPTH,
+    PAPER_INTERVALS,
+    PAPER_POWER_NO_MEMORY_W,
+    PAPER_TOTAL_AREA_MM2,
+    PAPER_TOTAL_POWER_W,
+    PAPER_TOTAL_POWER_WITH_HBM_W,
+    SCHEDULER_MODULES,
+    TABLE_II,
+    Component,
+    component_totals,
+    coordinator_power,
+    module_breakdown,
+    scheduler_share,
+    total_power,
+)
+from repro.power.energy import (
+    EnergyPoint,
+    energy_comparison,
+    energy_per_read_reduction,
+    nvwa_power,
+    power_reduction,
+    throughput_per_watt_ratio,
+)
+
+__all__ = [
+    "PAPER_BUFFER_DEPTH", "PAPER_INTERVALS", "PAPER_POWER_NO_MEMORY_W",
+    "PAPER_TOTAL_AREA_MM2", "PAPER_TOTAL_POWER_W",
+    "PAPER_TOTAL_POWER_WITH_HBM_W", "SCHEDULER_MODULES", "TABLE_II",
+    "Component", "component_totals", "coordinator_power", "module_breakdown",
+    "scheduler_share", "total_power",
+    "EnergyPoint", "energy_comparison", "energy_per_read_reduction",
+    "nvwa_power", "power_reduction", "throughput_per_watt_ratio",
+]

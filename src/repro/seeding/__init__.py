@@ -1,0 +1,41 @@
+"""Seeding-phase substrate: BWT, FM-index, SMEMs, hash index, chaining."""
+
+from repro.seeding.bwt import (
+    SENTINEL,
+    bwt,
+    bwt_from_suffix_array,
+    extended_suffix_array,
+    inverse_bwt,
+    suffix_array,
+)
+from repro.seeding.fmindex import AccessStats, FMIndex, SAInterval
+from repro.seeding.bidirectional import BidirectionalFMIndex, BiInterval
+from repro.seeding.smem import SMEM, find_smems, smems_covering
+from repro.seeding.hashindex import HashAccessStats, KmerHashIndex
+from repro.seeding.minimizers import (
+    Minimizer,
+    MinimizerHit,
+    MinimizerIndex,
+    hash64,
+    minimizers,
+)
+from repro.seeding.chaining import (
+    Anchor,
+    Chain,
+    chain_anchors,
+    chain_anchors_dp,
+    filter_anchors,
+    top_chains,
+)
+
+__all__ = [
+    "SENTINEL", "bwt", "bwt_from_suffix_array", "extended_suffix_array",
+    "inverse_bwt", "suffix_array",
+    "AccessStats", "FMIndex", "SAInterval",
+    "BidirectionalFMIndex", "BiInterval",
+    "SMEM", "find_smems", "smems_covering",
+    "HashAccessStats", "KmerHashIndex",
+    "Minimizer", "MinimizerHit", "MinimizerIndex", "hash64", "minimizers",
+    "Anchor", "Chain", "chain_anchors", "chain_anchors_dp",
+    "filter_anchors", "top_chains",
+]

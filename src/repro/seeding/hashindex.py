@@ -1,0 +1,133 @@
+"""Darwin-style k-mer hash index (the alternative seeding algorithm).
+
+Sec. II-B: "The Hash-based search algorithm scans the reference genome ...
+and builds a hash table by counting the occurrence of each k-mer ... the
+benefit of this method is the relatively regular memory access, and the
+drawback is its O(4^k) memory consumption."
+
+Layout follows Darwin's pointer-table + position-table split, because the
+paper's footnote 3 models its cost as exactly ``2 + P`` DRAM accesses per
+query (two pointer-table reads bracketing the bucket, then ``P`` position
+reads). The index meters those accesses so the SU cycle model can charge
+them, mirroring how the FM-index meters Occ fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.genome import sequence as seq
+
+
+@dataclass
+class HashAccessStats:
+    """DRAM access counts for the 2 + P cost model."""
+
+    pointer_accesses: int = 0
+    position_accesses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.pointer_accesses + self.position_accesses
+
+    def reset(self) -> None:
+        self.pointer_accesses = 0
+        self.position_accesses = 0
+
+
+class KmerHashIndex:
+    """Exact k-mer index over a DNA text.
+
+    Args:
+        text: DNA string or uint8 code array.
+        k: k-mer length; the pointer table has ``4**k`` entries, so keep
+            ``k`` modest (Darwin uses 11-15 for seed tables).
+    """
+
+    #: The O(4^k) pointer table caps practical k (k=14 already costs a
+    #: gigabyte at 4 bytes/entry — the paper's point about this method).
+    MAX_K = 13
+
+    def __init__(self, text, k: int = 12):
+        if not 1 <= k <= self.MAX_K:
+            raise ValueError(f"k must be in 1..{self.MAX_K}, got {k}")
+        codes = text if isinstance(text, np.ndarray) else seq.encode(text)
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.size < k:
+            raise ValueError(
+                f"text of length {codes.size} shorter than k={k}")
+        self.k = k
+        self.length = int(codes.size)
+        self.stats = HashAccessStats()
+
+        keys = self._rolling_keys(codes, k)
+        order = np.argsort(keys, kind="stable")
+        # int32 suffices: genomes here are < 2^31 bp (as is Darwin's
+        # position-table entry width).
+        #: position table: k-mer start positions grouped by key.
+        self._positions = order.astype(np.int32)
+        #: pointer table: bucket start offsets, one per possible key + 1.
+        self._pointers = np.zeros(4 ** k + 1, dtype=np.int32)
+        counts = np.bincount(keys, minlength=4 ** k)
+        np.cumsum(counts, out=self._pointers[1:])
+
+    @staticmethod
+    def _rolling_keys(codes: np.ndarray, k: int) -> np.ndarray:
+        """2-bit packed keys of every k-mer, vectorised."""
+        n = codes.size - k + 1
+        keys = np.zeros(n, dtype=np.int64)
+        for offset in range(k):
+            keys = keys * 4 + codes[offset:offset + n].astype(np.int64)
+        return keys
+
+    def encode_kmer(self, kmer) -> int:
+        """2-bit packed integer key of a k-mer."""
+        codes = kmer if isinstance(kmer, np.ndarray) else seq.encode(kmer)
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.size != self.k:
+            raise ValueError(
+                f"expected a {self.k}-mer, got length {codes.size}")
+        key = 0
+        for code in codes:
+            key = key * 4 + int(code)
+        return key
+
+    def lookup(self, kmer, max_hits: Optional[int] = None) -> List[int]:
+        """Start positions of a k-mer; charges 2 + P metered accesses."""
+        key = self.encode_kmer(kmer)
+        self.stats.pointer_accesses += 2  # bucket start and end pointers
+        start = int(self._pointers[key])
+        end = int(self._pointers[key + 1])
+        if max_hits is not None:
+            end = min(end, start + max_hits)
+        hits = self._positions[start:end]
+        self.stats.position_accesses += int(hits.size)
+        return sorted(int(p) for p in hits)
+
+    def count(self, kmer) -> int:
+        """Occurrence count without fetching positions (pointer reads only)."""
+        key = self.encode_kmer(kmer)
+        self.stats.pointer_accesses += 2
+        return int(self._pointers[key + 1] - self._pointers[key])
+
+    def seeds_for_read(self, read, stride: int = 1,
+                       max_hits_per_kmer: Optional[int] = 64):
+        """Yield ``(read_pos, ref_pos)`` anchor pairs for a read.
+
+        This is the hash-based seeding loop Darwin's SUs run: every
+        ``stride``-th k-mer of the read is looked up and its positions
+        become anchors.
+        """
+        codes = read if isinstance(read, np.ndarray) else seq.encode(read)
+        codes = np.asarray(codes, dtype=np.uint8)
+        for read_pos in range(0, codes.size - self.k + 1, stride):
+            kmer = codes[read_pos:read_pos + self.k]
+            for ref_pos in self.lookup(kmer, max_hits=max_hits_per_kmer):
+                yield read_pos, ref_pos
+
+    def memory_footprint_bits(self) -> int:
+        """Pointer table + position table size in bits (the O(4^k) cost)."""
+        return self._pointers.size * 32 + self._positions.size * 32

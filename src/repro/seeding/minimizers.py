@@ -1,0 +1,162 @@
+"""(w,k)-minimizer seeding (the minimap2 family, paper Sec. VI).
+
+"a handful of existing long reads aligners [minimap, minimap2] take the
+seed-and-chain-then-fill paradigm" — their seeding phase samples
+*minimizers*: in every window of ``w`` consecutive k-mers, the k-mer with
+the smallest hash is kept. Matching minimizers between read and reference
+give sparse anchors at a fraction of the index size of full k-mer tables.
+
+Canonical k-mers (the smaller of a k-mer and its reverse complement) make
+the index strand-agnostic, exactly as minimap2 does; the anchor records
+which strand produced the match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.genome import sequence as seq
+
+#: 64-bit mask for the invertible hash.
+_MASK64 = (1 << 64) - 1
+
+
+def hash64(key: int) -> int:
+    """minimap2's invertible integer finaliser (Thomas Wang's hash).
+
+    Decorrelates k-mer rank from sequence content so poly-A runs do not
+    monopolise the minimizer sampling.
+    """
+    key = (~key + (key << 21)) & _MASK64
+    key = key ^ (key >> 24)
+    key = (key + (key << 3) + (key << 8)) & _MASK64
+    key = key ^ (key >> 14)
+    key = (key + (key << 2) + (key << 4)) & _MASK64
+    key = key ^ (key >> 28)
+    key = (key + (key << 31)) & _MASK64
+    return key
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """One sampled minimizer.
+
+    Attributes:
+        hash_value: hashed canonical k-mer (the index key).
+        position: start of the k-mer in the sequence.
+        reverse: True when the canonical form was the reverse complement.
+    """
+
+    hash_value: int
+    position: int
+    reverse: bool
+
+
+def _canonical_kmers(codes: np.ndarray, k: int) -> Iterator[Tuple[int, int, bool]]:
+    """Yield ``(hash, position, reverse)`` for every k-mer, canonicalised."""
+    n = codes.size
+    fwd = 0
+    rev = 0
+    shift = 2 * (k - 1)
+    mask = (1 << (2 * k)) - 1
+    for i in range(n):
+        fwd = ((fwd << 2) | int(codes[i])) & mask
+        rev = (rev >> 2) | ((3 - int(codes[i])) << shift)
+        if i >= k - 1:
+            pos = i - k + 1
+            if fwd <= rev:
+                yield hash64(fwd), pos, False
+            else:
+                yield hash64(rev), pos, True
+
+
+def minimizers(sequence, k: int = 15, w: int = 10) -> List[Minimizer]:
+    """The (w,k)-minimizers of a sequence, in position order, deduplicated.
+
+    Args:
+        k: k-mer length (minimap2 short preset: 15... 21).
+        w: window of consecutive k-mers each of which must be covered by a
+            sampled minimizer (minimap2 default 10).
+    """
+    if k <= 0 or k > 28:
+        raise ValueError(f"k must be in 1..28, got {k}")
+    if w <= 0:
+        raise ValueError(f"w must be positive, got {w}")
+    codes = sequence if isinstance(sequence, np.ndarray) \
+        else seq.encode(sequence)
+    codes = np.asarray(codes, dtype=np.uint8)
+    kmers = list(_canonical_kmers(codes, k))
+    if not kmers:
+        return []
+    out: List[Minimizer] = []
+    last: Optional[Tuple[int, int, bool]] = None
+    for start in range(max(1, len(kmers) - w + 1)):
+        window = kmers[start:start + w]
+        best = min(window, key=lambda t: (t[0], t[1]))
+        if best != last:
+            out.append(Minimizer(hash_value=best[0], position=best[1],
+                                 reverse=best[2]))
+            last = best
+    return out
+
+
+@dataclass(frozen=True)
+class MinimizerHit:
+    """A matching minimizer between a query and the indexed reference."""
+
+    query_pos: int
+    ref_pos: int
+    reverse: bool  # True when query and reference strands disagree
+
+
+class MinimizerIndex:
+    """Minimizer hash table over a reference text (minimap2's index)."""
+
+    def __init__(self, text, k: int = 15, w: int = 10,
+                 max_occurrences: int = 128):
+        if max_occurrences <= 0:
+            raise ValueError("max_occurrences must be positive")
+        self.k = k
+        self.w = w
+        self.max_occurrences = max_occurrences
+        codes = text if isinstance(text, np.ndarray) else seq.encode(text)
+        self.length = int(np.asarray(codes).size)
+        self._table: Dict[int, List[Tuple[int, bool]]] = {}
+        for mz in minimizers(codes, k=k, w=w):
+            self._table.setdefault(mz.hash_value, []).append(
+                (mz.position, mz.reverse))
+
+    def __len__(self) -> int:
+        """Number of distinct minimizer keys."""
+        return len(self._table)
+
+    def lookup(self, hash_value: int) -> List[Tuple[int, bool]]:
+        """Reference (position, strand) pairs for one minimizer key.
+
+        Keys more frequent than ``max_occurrences`` are masked (repeat
+        filtering, as minimap2 does with its top-frequency cutoff).
+        """
+        entries = self._table.get(hash_value, [])
+        if len(entries) > self.max_occurrences:
+            return []
+        return entries
+
+    def anchors(self, query) -> List[MinimizerHit]:
+        """All matching minimizer anchors for a query sequence."""
+        out: List[MinimizerHit] = []
+        for mz in minimizers(query, k=self.k, w=self.w):
+            for ref_pos, ref_rev in self.lookup(mz.hash_value):
+                out.append(MinimizerHit(
+                    query_pos=mz.position,
+                    ref_pos=ref_pos,
+                    reverse=mz.reverse != ref_rev))
+        out.sort(key=lambda h: (h.reverse, h.ref_pos, h.query_pos))
+        return out
+
+    def memory_footprint_bits(self) -> int:
+        """Rough index size: 64-bit key + 32-bit position per entry."""
+        entries = sum(len(v) for v in self._table.values())
+        return len(self._table) * 64 + entries * 32

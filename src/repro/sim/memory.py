@@ -1,0 +1,137 @@
+"""Off-chip memory models (Ramulator substitute).
+
+The paper integrates its Python simulator with Ramulator via SWIG to model
+memory behaviour, and attaches NvWa to 256 GB/s HBM 1.0 (Table I) with an
+energy cost of 7 pJ/bit (Sec. V-B). What the accelerator model actually
+needs from the memory system is (a) the latency of an access as a function
+of row-buffer locality, (b) a bandwidth ceiling, and (c) energy accounting
+— all of which this bank-aware model provides deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Timing/geometry parameters of an off-chip memory.
+
+    Latencies are in accelerator cycles (1 GHz ⇒ 1 cycle = 1 ns).
+    """
+
+    name: str
+    row_hit_latency: int
+    row_miss_latency: int
+    bandwidth_bytes_per_cycle: int
+    banks: int
+    row_bytes: int
+    energy_pj_per_bit: float
+
+    def __post_init__(self) -> None:
+        if self.row_hit_latency <= 0 or self.row_miss_latency <= 0:
+            raise ValueError("latencies must be positive")
+        if self.row_miss_latency < self.row_hit_latency:
+            raise ValueError("row miss cannot be faster than row hit")
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.banks <= 0 or self.row_bytes <= 0:
+            raise ValueError("banks and row_bytes must be positive")
+
+
+#: HBM 1.0 @ 256 GB/s (Table I), 7 pJ/bit (Sec. V-B).
+HBM_1_0 = MemorySpec(name="HBM-1.0", row_hit_latency=18, row_miss_latency=45,
+                     bandwidth_bytes_per_cycle=256, banks=32,
+                     row_bytes=2048, energy_pj_per_bit=7.0)
+
+#: DDR4-2133 @ 136.5 GB/s dual socket (the CPU baseline's memory, Table I).
+DDR4 = MemorySpec(name="DDR4", row_hit_latency=22, row_miss_latency=58,
+                  bandwidth_bytes_per_cycle=136, banks=16,
+                  row_bytes=8192, energy_pj_per_bit=20.0)
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate traffic/energy accounting."""
+
+    accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bytes_transferred: int = 0
+    energy_pj: float = 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.row_hits / self.accesses
+
+
+class MemoryModel:
+    """Bank-aware open-page memory with deterministic latencies.
+
+    ``access`` returns the latency of one request and updates traffic and
+    energy counters; it does not block — callers schedule completions on
+    the engine themselves, which keeps unit models event-driven.
+    """
+
+    def __init__(self, spec: MemorySpec = HBM_1_0):
+        self.spec = spec
+        self.stats = MemoryStats()
+        self._open_rows: Dict[int, int] = {}
+
+    def access(self, address: int, size_bytes: int = 64) -> int:
+        """Latency in cycles of a request at ``address``."""
+        if address < 0:
+            raise ValueError(f"address must be >= 0, got {address}")
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        row = address // self.spec.row_bytes
+        bank = row % self.spec.banks
+        hit = self._open_rows.get(bank) == row
+        self._open_rows[bank] = row
+
+        self.stats.accesses += 1
+        self.stats.bytes_transferred += size_bytes
+        self.stats.energy_pj += size_bytes * 8 * self.spec.energy_pj_per_bit
+        if hit:
+            self.stats.row_hits += 1
+            latency = self.spec.row_hit_latency
+        else:
+            self.stats.row_misses += 1
+            latency = self.spec.row_miss_latency
+        transfer = -(-size_bytes // self.spec.bandwidth_bytes_per_cycle)
+        return latency + max(0, transfer - 1)
+
+    def burst_latency(self, total_bytes: int, accesses: int,
+                      parallelism: int = 4, row_hit_fraction: float = 0.5) -> int:
+        """Aggregate latency of a batch of ``accesses`` requests.
+
+        Models memory-level parallelism: ``parallelism`` requests overlap,
+        so the batch takes ``ceil(accesses / parallelism)`` serialised
+        rounds of the blended access latency, floored by the bandwidth
+        ceiling for ``total_bytes``. This is the summary form the SU cycle
+        model charges for a read's worth of index traffic.
+        """
+        if accesses < 0 or total_bytes < 0:
+            raise ValueError("accesses and total_bytes must be >= 0")
+        if parallelism <= 0:
+            raise ValueError(f"parallelism must be positive, got {parallelism}")
+        if not 0.0 <= row_hit_fraction <= 1.0:
+            raise ValueError("row_hit_fraction must be in [0, 1]")
+        if accesses == 0:
+            return 0
+        blended = (row_hit_fraction * self.spec.row_hit_latency
+                   + (1 - row_hit_fraction) * self.spec.row_miss_latency)
+        rounds = -(-accesses // parallelism)
+        latency_bound = int(round(rounds * blended))
+        bandwidth_bound = -(-total_bytes // self.spec.bandwidth_bytes_per_cycle)
+        self.stats.accesses += accesses
+        self.stats.bytes_transferred += total_bytes
+        self.stats.energy_pj += total_bytes * 8 * self.spec.energy_pj_per_bit
+        return max(latency_bound, bandwidth_bound, 1)
+
+    def reset(self) -> None:
+        self.stats = MemoryStats()
+        self._open_rows.clear()

@@ -1,0 +1,160 @@
+"""Request-level DRAM scheduling (the detailed half of the Ramulator
+substitute).
+
+:mod:`repro.sim.memory` charges summary burst latencies — fast, and what
+the accelerator model consumes. This module provides the request-level
+view underneath it: per-bank queues, FR-FCFS arbitration (row hits first,
+then oldest), a shared data bus, and per-request completion times. Tests
+cross-validate the summary model's assumptions (row-hit fractions,
+bank-level parallelism) against this detailed one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.memory import HBM_1_0, MemorySpec
+
+
+@dataclass(frozen=True)
+class Request:
+    """One memory request."""
+
+    request_id: int
+    address: int
+    size_bytes: int
+    issue_time: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be >= 0")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.issue_time < 0:
+            raise ValueError("issue_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A serviced request."""
+
+    request: Request
+    start_time: int
+    finish_time: int
+    row_hit: bool
+
+    @property
+    def latency(self) -> int:
+        return self.finish_time - self.request.issue_time
+
+
+class DetailedMemory:
+    """FR-FCFS request scheduler over banked DRAM.
+
+    Semantics: each bank services one request at a time; among a bank's
+    queued requests, row hits are preferred (FR), ties broken by age
+    (FCFS). Completions additionally serialise on a shared data bus with
+    ``bytes / bandwidth`` occupancy.
+    """
+
+    def __init__(self, spec: MemorySpec = HBM_1_0):
+        self.spec = spec
+        self._counter = itertools.count()
+        self._pending: List[Request] = []
+
+    def submit(self, address: int, size_bytes: int = 64,
+               issue_time: int = 0) -> Request:
+        """Queue a request; call :meth:`drain` to service everything."""
+        request = Request(request_id=next(self._counter), address=address,
+                          size_bytes=size_bytes, issue_time=issue_time)
+        self._pending.append(request)
+        return request
+
+    def drain(self) -> List[Completion]:
+        """Service all submitted requests; returns completions in finish
+        order and clears the queue."""
+        requests = sorted(self._pending,
+                          key=lambda r: (r.issue_time, r.request_id))
+        self._pending = []
+
+        bank_queue: Dict[int, List[Request]] = {}
+        for request in requests:
+            bank_queue.setdefault(self._bank(request.address),
+                                  []).append(request)
+
+        open_rows: Dict[int, Optional[int]] = {}
+        bank_free: Dict[int, int] = {}
+        bus_free = 0
+        completions: List[Completion] = []
+        # event loop: repeatedly pick, per bank, the FR-FCFS winner among
+        # arrived requests; process banks in time order.
+        heap: List[Tuple[int, int]] = []  # (ready_time, bank)
+        for bank, queue in bank_queue.items():
+            heap.append((queue[0].issue_time, bank))
+        heapq.heapify(heap)
+
+        while heap:
+            ready, bank = heapq.heappop(heap)
+            queue = bank_queue[bank]
+            if not queue:
+                continue
+            now = max(ready, bank_free.get(bank, 0))
+            arrived = [r for r in queue if r.issue_time <= now] or [queue[0]]
+            open_row = open_rows.get(bank)
+            hits = [r for r in arrived
+                    if self._row(r.address) == open_row]
+            winner = min(hits or arrived,
+                         key=lambda r: (r.issue_time, r.request_id))
+            queue.remove(winner)
+            row = self._row(winner.address)
+            row_hit = row == open_row
+            start = max(now, winner.issue_time)
+            service = (self.spec.row_hit_latency if row_hit
+                       else self.spec.row_miss_latency)
+            transfer = -(-winner.size_bytes
+                         // self.spec.bandwidth_bytes_per_cycle)
+            data_ready = start + service
+            bus_start = max(data_ready, bus_free)
+            finish = bus_start + transfer
+            bus_free = finish
+            open_rows[bank] = row
+            bank_free[bank] = data_ready
+            completions.append(Completion(request=winner, start_time=start,
+                                          finish_time=finish,
+                                          row_hit=row_hit))
+            if queue:
+                heapq.heappush(heap, (max(queue[0].issue_time,
+                                          bank_free[bank]), bank))
+        completions.sort(key=lambda c: c.finish_time)
+        return completions
+
+    def _row(self, address: int) -> int:
+        return address // self.spec.row_bytes
+
+    def _bank(self, address: int) -> int:
+        return self._row(address) % self.spec.banks
+
+
+def observed_row_hit_fraction(completions: List[Completion]) -> float:
+    """Row-hit rate of a drained request stream."""
+    if not completions:
+        return 0.0
+    return sum(1 for c in completions if c.row_hit) / len(completions)
+
+
+def observed_parallelism(completions: List[Completion]) -> float:
+    """Effective memory-level parallelism: Σ service / makespan.
+
+    The quantity the summary model's ``parallelism`` knob approximates.
+    """
+    if not completions:
+        return 0.0
+    total_service = sum(c.finish_time - c.start_time for c in completions)
+    start = min(c.start_time for c in completions)
+    end = max(c.finish_time for c in completions)
+    if end == start:
+        return float(len(completions))
+    return total_service / (end - start)

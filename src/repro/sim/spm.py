@@ -1,0 +1,91 @@
+"""On-chip scratchpad memory with prefetch support (the Read SPM).
+
+Sec. IV-A: "the Read SPM is used to prefetch the reads that are to be
+processed, hiding the access latency of DRAM." The model tracks occupancy
+and hit/miss outcomes: a prefetched read costs one cycle to hand to an SU;
+a missed read costs a DRAM round trip. The Seeding Scheduler keeps the SPM
+topped up ahead of the allocator, which is what makes its loading time
+"only one cycle" in Fig 12(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+
+@dataclass
+class SPMStats:
+    hits: int = 0
+    misses: int = 0
+    prefetches: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Scratchpad:
+    """A capacity-limited staging buffer for read descriptors.
+
+    Args:
+        capacity: number of reads the SPM can hold (paper: 512 KB of SPM;
+            at ~128 B per encoded 101 bp read descriptor that is ~4096
+            entries — callers pass the entry count).
+        read_latency: cycles to hand a resident read to an SU.
+        miss_penalty: cycles when the read must come from DRAM instead.
+    """
+
+    def __init__(self, capacity: int = 4096, read_latency: int = 1,
+                 miss_penalty: int = 45):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if read_latency <= 0 or miss_penalty <= 0:
+            raise ValueError("latencies must be positive")
+        self.capacity = capacity
+        self.read_latency = read_latency
+        self.miss_penalty = miss_penalty
+        self.stats = SPMStats()
+        self._resident: Set[int] = set()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._resident)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._resident)
+
+    def prefetch(self, read_idx: int) -> bool:
+        """Stage a read; returns False when the SPM is full."""
+        if read_idx in self._resident:
+            return True
+        if len(self._resident) >= self.capacity:
+            return False
+        self._resident.add(read_idx)
+        self.stats.prefetches += 1
+        return True
+
+    def fetch(self, read_idx: int) -> int:
+        """Hand a read to an SU; returns the latency paid.
+
+        A resident read leaves the SPM (its slot frees for the prefetcher)
+        at ``read_latency``; a miss pays the DRAM ``miss_penalty``.
+        """
+        if read_idx in self._resident:
+            self._resident.discard(read_idx)
+            self.stats.hits += 1
+            return self.read_latency
+        self.stats.misses += 1
+        return self.miss_penalty
+
+    def evict(self, read_idx: int) -> None:
+        """Drop a staged read (e.g. on pipeline flush)."""
+        if read_idx in self._resident:
+            self._resident.discard(read_idx)
+            self.stats.evictions += 1
+
+    def contains(self, read_idx: int) -> bool:
+        return read_idx in self._resident

@@ -1,0 +1,132 @@
+"""Utilization traces and counters for the cycle simulator.
+
+Fig 12 plots per-cycle resource utilization of SUs and EUs; this module
+records busy intervals per unit and converts them into average utilization
+and binned time series without per-cycle simulation overhead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BusyInterval:
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} before start {self.start}")
+
+
+class UtilizationTrace:
+    """Busy-interval recorder for a pool of identical units."""
+
+    def __init__(self, unit_count: int, name: str = "units"):
+        if unit_count <= 0:
+            raise ValueError(f"unit_count must be positive, got {unit_count}")
+        self.unit_count = unit_count
+        self.name = name
+        self._intervals: List[Tuple[int, int]] = []
+        self._open: Dict[int, int] = {}
+
+    def begin(self, unit: int, cycle: int) -> None:
+        """Mark ``unit`` busy from ``cycle``."""
+        if not 0 <= unit < self.unit_count:
+            raise IndexError(f"unit {unit} outside pool of {self.unit_count}")
+        if unit in self._open:
+            raise ValueError(f"unit {unit} already busy")
+        self._open[unit] = cycle
+
+    def end(self, unit: int, cycle: int) -> None:
+        """Mark ``unit`` idle from ``cycle``."""
+        if unit not in self._open:
+            raise ValueError(f"unit {unit} was not busy")
+        start = self._open.pop(unit)
+        if cycle < start:
+            raise ValueError(f"end {cycle} before start {start}")
+        if cycle > start:
+            self._intervals.append((start, cycle))
+
+    def close_all(self, cycle: int) -> None:
+        """Close any still-open intervals at simulation end."""
+        for unit in list(self._open):
+            self.end(unit, cycle)
+
+    @property
+    def busy_cycles(self) -> int:
+        return sum(end - start for start, end in self._intervals)
+
+    def average_utilization(self, total_cycles: int,
+                            start: int = 0) -> float:
+        """Mean fraction of busy units over ``[start, total_cycles)``."""
+        if total_cycles <= start:
+            return 0.0
+        window = total_cycles - start
+        busy = sum(max(0, min(e, total_cycles) - max(s, start))
+                   for s, e in self._intervals)
+        return busy / (window * self.unit_count)
+
+    def series(self, total_cycles: int, bins: int = 100) -> np.ndarray:
+        """Binned utilization time series in [0, 1] (Fig 12's curves)."""
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        if total_cycles <= 0:
+            return np.zeros(bins)
+        edges = np.linspace(0, total_cycles, bins + 1)
+        busy = np.zeros(bins)
+        for s, e in self._intervals:
+            lo = np.searchsorted(edges, s, side="right") - 1
+            hi = np.searchsorted(edges, e, side="left")
+            for b in range(max(lo, 0), min(hi, bins)):
+                overlap = min(e, edges[b + 1]) - max(s, edges[b])
+                if overlap > 0:
+                    busy[b] += overlap
+            if e > total_cycles:
+                break
+        widths = np.diff(edges)
+        return busy / (widths * self.unit_count)
+
+
+@dataclass
+class CounterSet:
+    """Named integer counters (allocations, stalls, buffer switches, ...)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, name: str, value: int = 1) -> None:
+        self.counts[name] += value
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+@dataclass
+class ThroughputResult:
+    """Summary of one accelerator simulation run."""
+
+    reads: int
+    cycles: int
+    frequency_hz: float = 1e9
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.reads / self.seconds
+
+    @property
+    def kreads_per_second(self) -> float:
+        return self.reads_per_second / 1e3

@@ -1,0 +1,75 @@
+"""Execution trace recording for debugging and visualisation.
+
+Optional helper: record timestamped events during a simulation run and
+render them as a text timeline. Useful when studying why a configuration
+blocks or starves (the Fig 3 behaviours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: int
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class ExecutionTrace:
+    """Append-only event log with simple filtering and rendering."""
+
+    def __init__(self, capacity: Optional[int] = 100_000):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, cycle: int, source: str, kind: str, **detail) -> None:
+        """Append an event; beyond capacity events are counted, not kept."""
+        if cycle < 0:
+            raise ValueError("cycle must be >= 0")
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(cycle=cycle, source=source,
+                                       kind=kind, detail=dict(detail)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, source: Optional[str] = None,
+               kind: Optional[str] = None) -> List[TraceEvent]:
+        """Events filtered by source and/or kind, in record order."""
+        out = self._events
+        if source is not None:
+            out = [e for e in out if e.source == source]
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        return list(out)
+
+    def span(self) -> Optional[range]:
+        """Cycle range covered by the trace."""
+        if not self._events:
+            return None
+        cycles = [e.cycle for e in self._events]
+        return range(min(cycles), max(cycles) + 1)
+
+    def render(self, limit: int = 50) -> str:
+        """Text timeline of the first ``limit`` events."""
+        lines = []
+        for event in self._events[:limit]:
+            detail = " ".join(f"{k}={v}" for k, v in event.detail.items())
+            lines.append(f"[{event.cycle:>8}] {event.source:<12} "
+                         f"{event.kind:<16} {detail}")
+        if len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""The Darwin-style hash seeding mode of the short-read pipeline."""
+
+import pytest
+
+from repro.align.pipeline import SoftwareAligner
+from repro.genome.reads import ErrorModel, ReadSimulator
+from repro.genome.reference import SyntheticReference
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return SyntheticReference(length=30_000, chromosomes=2, seed=111).build()
+
+
+@pytest.fixture(scope="module")
+def hash_aligner(reference):
+    return SoftwareAligner(reference, seeding="hash", hash_k=11)
+
+
+@pytest.fixture(scope="module")
+def fm_aligner(reference):
+    return SoftwareAligner(reference, occ_interval=64)
+
+
+class TestHashSeedingMode:
+    def test_recovers_true_positions(self, reference, hash_aligner):
+        sim = ReadSimulator(reference, read_length=80,
+                            error_model=ErrorModel(0, 0, 0), seed=1)
+        reads = sim.simulate(20)
+        correct = 0
+        for idx, read in enumerate(reads):
+            result = hash_aligner.align(read, idx)
+            if not result.aligned:
+                continue
+            truth = reference.offsets[read.chrom] + read.position
+            if abs(result.best.ref_start - truth) < 150:
+                correct += 1
+        assert correct >= 18
+
+    def test_agrees_with_fm_seeding(self, reference, hash_aligner,
+                                    fm_aligner):
+        """Both seeding algorithms must find the same best locus."""
+        sim = ReadSimulator(reference, read_length=80,
+                            error_model=ErrorModel(0, 0, 0), seed=2)
+        agree = 0
+        reads = sim.simulate(15)
+        for idx, read in enumerate(reads):
+            h = hash_aligner.align(read, idx)
+            f = fm_aligner.align(read, idx)
+            if h.aligned and f.aligned and \
+                    abs(h.best.ref_start - f.best.ref_start) < 50:
+                agree += 1
+        assert agree >= 13
+
+    def test_accesses_follow_2_plus_p(self, reference, hash_aligner):
+        """Seeding accesses are metered through the hash 2+P model."""
+        sim = ReadSimulator(reference, read_length=80, seed=3)
+        result = hash_aligner.align(sim.simulate(1)[0])
+        # at least 2 pointer accesses per k-mer per strand
+        k = hash_aligner.hash_index.k
+        min_accesses = 2 * 2 * (80 - k + 1)
+        assert result.work.seeding_accesses >= min_accesses
+
+    def test_anchor_min_length_is_k(self, hash_aligner, fm_aligner):
+        assert hash_aligner.anchor_min_length == 11
+        assert fm_aligner.anchor_min_length == 19
+
+    def test_invalid_mode_rejected(self, reference):
+        with pytest.raises(ValueError):
+            SoftwareAligner(reference, seeding="magic")

@@ -1,0 +1,92 @@
+"""Long-read (seed-and-chain-then-fill) aligner tests."""
+
+import pytest
+
+from repro.align.long_read import LongReadAligner
+from repro.genome.reads import LONG_READ, ErrorModel, Read, ReadSimulator
+from repro.genome.reference import SyntheticReference
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return SyntheticReference(length=80_000, chromosomes=2, seed=51).build()
+
+
+@pytest.fixture(scope="module")
+def aligner(reference):
+    return LongReadAligner(reference)
+
+
+def true_start(reference, read):
+    return reference.offsets[read.chrom] + read.position
+
+
+class TestAccuracy:
+    def test_clean_long_reads_map_exactly(self, reference, aligner):
+        sim = ReadSimulator(reference, read_length=1000,
+                            error_model=ErrorModel(0, 0, 0), seed=1)
+        reads = sim.simulate(10)
+        for read in reads:
+            result = aligner.align(read)
+            assert result.aligned, read.read_id
+            assert result.best.reverse == read.reverse
+            assert abs(result.best.ref_start - true_start(reference, read)) \
+                <= aligner.band_slack + 5
+
+    def test_noisy_long_reads_map_near_truth(self, reference, aligner):
+        sim = ReadSimulator(reference, read_length=1000,
+                            error_model=LONG_READ, seed=2)
+        reads = sim.simulate(8)
+        mapped = 0
+        for read in reads:
+            result = aligner.align(read)
+            if not result.aligned:
+                continue
+            mapped += 1
+            assert abs(result.best.ref_start - true_start(reference, read)) \
+                < 300
+        assert mapped >= 6
+
+    def test_junk_read_unmapped(self, aligner):
+        import random
+        from repro.genome.sequence import random_sequence
+        junk = random_sequence(1000, random.Random(99))
+        result = aligner.align(Read("junk", junk))
+        # a random 1 kb sequence should not chain 3+ co-linear minimizers
+        assert not result.aligned or result.best.score < 500
+
+
+class TestWorkMeasurement:
+    def test_work_recorded(self, reference, aligner):
+        sim = ReadSimulator(reference, read_length=1000,
+                            error_model=LONG_READ, seed=3)
+        result = aligner.align(sim.simulate(1)[0])
+        assert result.work.anchors > 0
+        if result.aligned:
+            assert result.work.fill_cells > 0
+            assert result.work.chains >= 1
+
+    def test_noisier_reads_produce_fewer_anchors(self, reference, aligner):
+        clean_sim = ReadSimulator(reference, read_length=1000,
+                                  error_model=ErrorModel(0, 0, 0), seed=4)
+        noisy_sim = ReadSimulator(reference, read_length=1000,
+                                  error_model=LONG_READ, seed=4)
+        clean = sum(aligner.align(r).work.anchors
+                    for r in clean_sim.simulate(5))
+        noisy = sum(aligner.align(r).work.anchors
+                    for r in noisy_sim.simulate(5))
+        assert noisy < clean
+
+    def test_align_all(self, reference, aligner):
+        sim = ReadSimulator(reference, read_length=1000,
+                            error_model=ErrorModel(0, 0, 0), seed=5)
+        results = aligner.align_all(sim.simulate(3))
+        assert len(results) == 3
+
+
+class TestValidation:
+    def test_invalid_params(self, reference):
+        with pytest.raises(ValueError):
+            LongReadAligner(reference, min_chain_anchors=0)
+        with pytest.raises(ValueError):
+            LongReadAligner(reference, band_slack=0)

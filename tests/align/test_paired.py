@@ -1,0 +1,105 @@
+"""Paired alignment tests: proper pairs and mate rescue."""
+
+import pytest
+
+from repro.align.paired import PairedAligner
+from repro.genome.pairs import PairedReadSimulator, ReadPair
+from repro.genome.reads import ErrorModel, Read
+from repro.genome.reference import SyntheticReference
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return SyntheticReference(length=60_000, chromosomes=2, seed=92).build()
+
+
+@pytest.fixture(scope="module")
+def paired(reference):
+    return PairedAligner(reference, insert_mean=400, insert_sd=50)
+
+
+class TestProperPairs:
+    def test_clean_pairs_are_proper(self, reference, paired):
+        sim = PairedReadSimulator(reference, insert_mean=400, insert_sd=50,
+                                  error_model=ErrorModel(0, 0, 0), seed=1)
+        results = paired.align_pairs(sim.simulate(12))
+        proper = sum(1 for r in results if r.proper)
+        assert proper >= 10
+
+    def test_insert_sizes_recovered(self, reference, paired):
+        sim = PairedReadSimulator(reference, insert_mean=400, insert_sd=50,
+                                  error_model=ErrorModel(0, 0, 0), seed=2)
+        for result in paired.align_pairs(sim.simulate(8)):
+            if not result.proper:
+                continue
+            assert result.insert_size == pytest.approx(
+                result.pair.insert_size, abs=5)
+
+    def test_distant_mates_not_proper(self, reference, paired):
+        """Mates simulated from unrelated loci must not pair."""
+        chrom = reference.chromosomes[0]
+        mate1 = Read("x/1", chrom.sequence[1000:1101])
+        from repro.genome.sequence import reverse_complement
+        mate2 = Read("x/2",
+                     reverse_complement(chrom.sequence[20_000:20_101]))
+        pair = ReadPair("x", mate1, mate2)
+        result = paired.align_pair(pair)
+        assert result.both_mapped
+        assert not result.proper
+
+    def test_same_orientation_not_proper(self, reference, paired):
+        chrom = reference.chromosomes[0]
+        mate1 = Read("y/1", chrom.sequence[1000:1101])
+        mate2 = Read("y/2", chrom.sequence[1400:1501])  # both forward
+        result = paired.align_pair(ReadPair("y", mate1, mate2))
+        assert not result.proper
+
+
+class TestMateRescue:
+    def test_rescue_recovers_noisy_mate(self, reference):
+        """A mate too noisy to seed (no 19 bp exact match) is rescued by
+        the windowed SW around its anchor."""
+        paired = PairedAligner(reference, insert_mean=400, insert_sd=50,
+                               rescue_score_fraction=0.2)
+        chrom = reference.chromosomes[0]
+        start, end = 5000, 5400
+        mate1 = Read("r/1", chrom.sequence[start:start + 101])
+        from repro.genome.sequence import reverse_complement
+        import random
+        rng = random.Random(7)
+        clean2 = chrom.sequence[end - 101:end]
+        noisy2 = "".join(
+            base if rng.random() > 0.12
+            else rng.choice([b for b in "ACGT" if b != base])
+            for base in clean2)
+        mate2 = Read("r/2", reverse_complement(noisy2))
+        result = paired.align_pair(ReadPair("r", mate1, mate2))
+        if result.rescued_mate:
+            assert result.rescued_mate == 2
+            assert result.result2.aligned
+            assert abs(result.result2.best.ref_start
+                       - (reference.offsets[chrom.name] + end - 101)) < 60
+
+    def test_rescue_window_geometry(self, paired):
+        from repro.extension.alignment import Alignment, Cigar
+        anchor = Alignment(score=101, cigar=Cigar.parse("101M"),
+                           read_start=0, read_end=101,
+                           ref_start=10_000, ref_end=10_101, reverse=False)
+        lo, hi = paired.rescue_window(anchor, mate_length=101)
+        # window must contain the FR-expected locus: anchor + insert - len
+        expected = 10_000 + 400 - 101
+        assert lo <= expected <= hi
+
+    def test_no_rescue_when_both_mapped(self, reference, paired):
+        sim = PairedReadSimulator(reference,
+                                  error_model=ErrorModel(0, 0, 0), seed=3)
+        results = paired.align_pairs(sim.simulate(5))
+        assert all(r.rescued_mate == 0 for r in results if r.both_mapped)
+
+
+class TestValidation:
+    def test_invalid_params(self, reference):
+        with pytest.raises(ValueError):
+            PairedAligner(reference, insert_mean=0)
+        with pytest.raises(ValueError):
+            PairedAligner(reference, rescue_score_fraction=0.0)

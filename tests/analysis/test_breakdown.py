@@ -1,0 +1,59 @@
+"""Fig 2 breakdown analysis tests."""
+
+import pytest
+
+from repro.align.pipeline import SoftwareAligner
+from repro.analysis.breakdown import phase_breakdown, summarize_diversity
+from repro.genome.datasets import get_dataset
+from repro.genome.reads import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def results():
+    from repro.genome.reads import ErrorModel
+    profile = get_dataset("H.s.")
+    ref = profile.build_reference(seed=5, length=40_000)
+    aligner = SoftwareAligner(ref, occ_interval=64)
+    # A mix of clean and noisy reads: errors fragment the SMEM chains,
+    # which is what makes per-read work diverse in real data (Fig 2).
+    clean = ReadSimulator(ref, read_length=101, seed=6).simulate(20)
+    noisy = ReadSimulator(ref, read_length=101, seed=7,
+                          error_model=ErrorModel(0.03, 0.003, 0.003),
+                          ).simulate(20)
+    return aligner.align_all(clean + noisy)
+
+
+class TestPhaseBreakdown:
+    def test_one_bar_per_read(self, results):
+        bars = phase_breakdown(results)
+        assert len(bars) == len(results)
+        assert [b.read_id for b in bars] == \
+            [r.read.read_id for r in results]
+
+    def test_both_phases_nonzero(self, results):
+        bars = phase_breakdown(results)
+        assert all(b.seeding_us > 0 for b in bars)
+        assert sum(b.extension_us for b in bars) > 0
+
+    def test_seeding_fraction_bounds(self, results):
+        for bar in phase_breakdown(results):
+            assert 0.0 <= bar.seeding_fraction <= 1.0
+
+
+class TestDiversity:
+    def test_reads_are_diverse(self, results):
+        """The Fig 2 observation: totals and proportions vary per read."""
+        summary = summarize_diversity(phase_breakdown(results))
+        assert summary.total_spread > 1.2
+        assert summary.seeding_fraction_spread > 0.05
+
+    def test_summary_fields(self, results):
+        summary = summarize_diversity(phase_breakdown(results))
+        assert summary.reads == len(results)
+        assert summary.min_total_us <= summary.mean_total_us \
+            <= summary.max_total_us
+        assert 0.0 <= summary.mean_seeding_fraction <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_diversity([])

@@ -1,0 +1,91 @@
+"""Distribution analysis tests."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    IntervalStats,
+    dataset_interval_table,
+    distribution_similarity,
+    interval_stats,
+    workload_interval_stats,
+)
+from repro.core.workload import synthetic_workload
+from repro.genome.datasets import get_dataset, short_read_datasets
+
+
+class TestIntervalStats:
+    def test_bucketing(self):
+        stats = interval_stats([1, 16, 17, 32, 64, 128, 300])
+        assert stats.counts == (2, 2, 1, 2)
+
+    def test_count_mass_sums_to_one(self):
+        stats = interval_stats([5, 20, 50, 100])
+        assert sum(stats.count_mass) == pytest.approx(1.0)
+
+    def test_demand_mass_weights_long_hits(self):
+        stats = interval_stats([5, 100])
+        assert stats.demand_mass[3] > stats.count_mass[3]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interval_stats([])
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            interval_stats([0])
+
+    def test_mismatched_construction_raises(self):
+        with pytest.raises(ValueError):
+            IntervalStats(bounds=(16, 32), counts=(1,))
+
+
+class TestWorkloadStats:
+    def test_matches_profile_mass(self):
+        profile = get_dataset("H.s.")
+        wl = synthetic_workload(profile, 2000, seed=1)
+        stats = workload_interval_stats(wl)
+        for got, want in zip(stats.count_mass, profile.interval_mass):
+            assert abs(got - want) < 0.03
+
+    def test_demand_mass_near_eq5_input(self):
+        """Workload demand mass ≈ the NA12878 Equation-5 distribution."""
+        from repro.genome.datasets import NA12878_INTERVAL_MASS
+        wl = synthetic_workload(get_dataset("H.s."), 4000, seed=2)
+        demand = workload_interval_stats(wl).demand_mass
+        for got, want in zip(demand, NA12878_INTERVAL_MASS):
+            assert abs(got - want) < 0.06
+
+
+class TestDatasetTable:
+    def test_fig14b_table(self):
+        table = dataset_interval_table(short_read_datasets(),
+                                       samples_per_dataset=5000, seed=3)
+        assert len(table) == 6
+        for mass in table.values():
+            assert sum(mass) == pytest.approx(1.0)
+
+    def test_all_datasets_similar_to_hs(self):
+        """Fig 14(b): similar distributions across 2nd-gen datasets."""
+        table = dataset_interval_table(short_read_datasets(),
+                                       samples_per_dataset=5000, seed=4)
+        reference = table["H.s."]
+        for name, mass in table.items():
+            assert distribution_similarity(reference, mass) > 0.9, name
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            dataset_interval_table(short_read_datasets(),
+                                   samples_per_dataset=0)
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert distribution_similarity((0.5, 0.5), (0.5, 0.5)) == 1.0
+
+    def test_disjoint(self):
+        assert distribution_similarity((1.0, 0.0), (0.0, 1.0)) == \
+            pytest.approx(0.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            distribution_similarity((1.0,), (0.5, 0.5))

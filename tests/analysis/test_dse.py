@@ -1,0 +1,125 @@
+"""Design-space exploration tests (Fig 13)."""
+
+import pytest
+
+from repro.analysis.dse import (
+    best_tradeoff,
+    interval_classes,
+    sweep_buffer_depth,
+    sweep_interval_count,
+)
+from repro.core.workload import synthetic_workload
+from repro.genome.datasets import get_dataset
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(get_dataset("H.s."), 300, seed=21)
+
+
+class TestIntervalClasses:
+    def test_paper_point(self):
+        assert interval_classes(4) == (16, 32, 64, 128)
+
+    def test_single(self):
+        assert interval_classes(1) == (64,)
+
+    def test_two(self):
+        assert interval_classes(2) == (64, 128)
+
+    def test_large_capped(self):
+        classes = interval_classes(16)
+        assert classes[0] >= 2
+        assert classes[-1] == 128
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            interval_classes(0)
+
+
+class TestBufferDepthSweep:
+    def test_sweep_shape(self, workload):
+        points = sweep_buffer_depth(workload, depths=(64, 1024))
+        assert [p.depth for p in points] == [64, 1024]
+        for p in points:
+            assert p.kreads_per_second > 0
+            assert 0 <= p.su_utilization <= 1
+            assert 0 <= p.eu_utilization <= 1
+
+    def test_empty_depths_raise(self, workload):
+        with pytest.raises(ValueError):
+            sweep_buffer_depth(workload, depths=())
+
+
+class TestIntervalSweep:
+    def test_sweep_runs_each_count(self, workload):
+        points = sweep_interval_count(workload, interval_counts=(1, 4))
+        assert [p.intervals for p in points] == [1, 4]
+        for p in points:
+            assert p.kreads_per_second > 0
+            assert p.coordinator_power_w > 0
+
+    def test_power_grows_with_intervals(self, workload):
+        points = sweep_interval_count(workload, interval_counts=(1, 4, 8))
+        powers = [p.coordinator_power_w for p in points]
+        assert powers == sorted(powers)
+
+    def test_four_intervals_beat_one_on_throughput(self, workload):
+        points = sweep_interval_count(workload, interval_counts=(1, 4))
+        assert points[1].kreads_per_second > points[0].kreads_per_second
+
+    def test_best_tradeoff(self, workload):
+        points = sweep_interval_count(workload, interval_counts=(1, 4))
+        assert best_tradeoff(points) in points
+
+    def test_empty_raises(self, workload):
+        with pytest.raises(ValueError):
+            sweep_interval_count(workload, interval_counts=())
+        with pytest.raises(ValueError):
+            best_tradeoff([])
+
+    def test_saturated_counts_deduplicated(self, workload):
+        points = sweep_interval_count(workload, interval_counts=(8, 16))
+        assert len(points) == 1  # both cap at seven doubling classes
+
+
+class TestServiceDemand:
+    def test_matches_eq5_input_on_na12878(self, workload):
+        from repro.analysis.dse import service_demand_mass
+        from repro.genome.datasets import NA12878_INTERVAL_MASS
+        demand = service_demand_mass(workload.hit_lengths(),
+                                     (16, 32, 64, 128))
+        for got, want in zip(demand, NA12878_INTERVAL_MASS):
+            assert abs(got - want) < 0.06
+
+    def test_empty_raises(self):
+        from repro.analysis.dse import service_demand_mass
+        with pytest.raises(ValueError):
+            service_demand_mass([], (16, 32))
+
+
+class TestThresholdSweeps:
+    def test_switch_threshold_sweep(self, workload):
+        from repro.analysis.dse import sweep_switch_threshold
+        points = sweep_switch_threshold(workload, thresholds=(0.5, 0.75))
+        assert [p.value for p in points] == [0.5, 0.75]
+        assert all(p.kreads_per_second > 0 for p in points)
+
+    def test_idle_trigger_sweep(self, workload):
+        from repro.analysis.dse import sweep_idle_trigger
+        points = sweep_idle_trigger(workload, fractions=(0.0, 0.15, 0.5))
+        assert [p.value for p in points] == [0.0, 0.15, 0.5]
+        # very lazy triggering (50% idle needed) should not beat the
+        # paper's 15% setting
+        by_value = {p.value: p.kreads_per_second for p in points}
+        assert by_value[0.15] >= 0.9 * by_value[0.5]
+
+    def test_validation(self, workload):
+        from repro.analysis.dse import (sweep_idle_trigger,
+                                        sweep_switch_threshold)
+        with pytest.raises(ValueError):
+            sweep_switch_threshold(workload, thresholds=())
+        with pytest.raises(ValueError):
+            sweep_switch_threshold(workload, thresholds=(0.0,))
+        with pytest.raises(ValueError):
+            sweep_idle_trigger(workload, fractions=(1.5,))

@@ -1,0 +1,79 @@
+"""Unit-mix local search tests (small scale for speed)."""
+
+import pytest
+
+from repro.analysis.mix_search import (
+    _neighbours,
+    equation5_optimality_gap,
+    evaluate_mix,
+    local_search,
+)
+from repro.core.config import NvWaConfig
+from repro.core.workload import synthetic_workload
+from repro.genome.datasets import get_dataset
+
+#: A quarter-scale accelerator so each simulation is cheap.
+SMALL = NvWaConfig(num_seeding_units=32,
+                   eu_config=((16, 7), (32, 5), (64, 4), (128, 2)),
+                   hits_buffer_depth=256, allocation_batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(get_dataset("H.s."), 200, seed=12)
+
+
+class TestNeighbours:
+    def test_split_and_merge_moves(self):
+        mix = {16: 2, 32: 2, 64: 1, 128: 1}
+        moves = _neighbours(mix, [16, 32, 64, 128])
+        budgets = {sum(pe * n for pe, n in m.items()) for m in moves}
+        original = sum(pe * n for pe, n in mix.items())
+        assert budgets == {original}  # every move preserves the PE budget
+
+    def test_no_negative_counts(self):
+        for move in _neighbours({16: 1, 32: 0, 64: 0, 128: 1},
+                                [16, 32, 64, 128]):
+            assert all(v >= 0 for v in move.values())
+
+
+class TestEvaluateMix:
+    def test_runs_and_reports(self, workload):
+        point = evaluate_mix({16: 7, 32: 5, 64: 4, 128: 2}, workload, SMALL)
+        assert point.kreads_per_second > 0
+        assert point.total_pes == 7 * 16 + 5 * 32 + 4 * 64 + 2 * 128
+
+    def test_empty_mix_rejected(self, workload):
+        with pytest.raises(ValueError):
+            evaluate_mix({}, workload, SMALL)
+        with pytest.raises(ValueError):
+            evaluate_mix({16: 0}, workload, SMALL)
+
+
+class TestLocalSearch:
+    def test_trajectory_improves_monotonically(self, workload):
+        trajectory = local_search(dict(SMALL.eu_config), workload, SMALL,
+                                  max_steps=3)
+        rates = [p.kreads_per_second for p in trajectory]
+        assert rates == sorted(rates)
+
+    def test_budget_preserved_along_trajectory(self, workload):
+        trajectory = local_search(dict(SMALL.eu_config), workload, SMALL,
+                                  max_steps=2)
+        budgets = {p.total_pes for p in trajectory}
+        assert len(budgets) == 1
+
+    def test_invalid_steps(self, workload):
+        with pytest.raises(ValueError):
+            local_search(dict(SMALL.eu_config), workload, SMALL, max_steps=0)
+
+
+class TestEquation5Gap:
+    def test_formula_is_near_optimal(self, workload):
+        """Equation 5's mix must sit close to the searched optimum —
+        the quantitative defence of the paper's closed form."""
+        gap, eq5, best = equation5_optimality_gap(workload, SMALL,
+                                                  max_steps=3)
+        assert gap >= 0.0
+        assert gap < 0.30
+        assert best.kreads_per_second >= eq5.kreads_per_second

@@ -1,0 +1,72 @@
+"""Terminal plotting helper tests."""
+
+import pytest
+
+from repro.analysis.plotting import (
+    bar_chart,
+    series_table,
+    sparkline,
+    utilization_panel,
+)
+
+
+class TestSparkline:
+    def test_extremes(self):
+        assert sparkline([0.0, 1.0]) == " █"
+
+    def test_length(self):
+        assert len(sparkline([0.5] * 17)) == 17
+
+    def test_clamping(self):
+        assert sparkline([-5.0, 5.0]) == " █"
+
+    def test_custom_range(self):
+        line = sparkline([50], lo=0, hi=100)
+        assert line in "▃▄▅"
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1, hi=0)
+
+
+class TestPanels:
+    def test_utilization_panel(self):
+        text = utilization_panel({"NvWa SUs": [0.9, 0.95, 0.9],
+                                  "baseline SUs": [0.2, 0.3, 0.25]})
+        assert "NvWa SUs" in text
+        assert "avg 91.7%" in text or "avg 92" in text
+
+    def test_bar_chart_shapes(self):
+        text = bar_chart({"CPU": 100.0, "NvWa": 140_000.0})
+        lines = text.split("\n")
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart({"a": 1.0, "b": 10_000.0})
+        logd = bar_chart({"a": 1.0, "b": 10_000.0}, log_scale=True)
+        a_linear = linear.split("\n")[0].count("█")
+        a_log = logd.split("\n")[0].count("█")
+        assert a_log > a_linear
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_empty_chart(self):
+        assert bar_chart({}) == ""
+
+
+class TestSeriesTable:
+    def test_downsampling(self):
+        rows = series_table({"x": list(range(100))}, bins_shown=5)
+        assert len(rows) == 5
+        assert rows[0]["x"] == 0.0
+        assert rows[-1]["x"] == 80.0
+
+    def test_empty_series(self):
+        rows = series_table({"x": []}, bins_shown=3)
+        assert all(r["x"] == 0.0 for r in rows)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            series_table({"x": [1.0]}, bins_shown=0)

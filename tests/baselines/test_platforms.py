@@ -1,0 +1,110 @@
+"""Baseline platform model tests: calibration and ordering."""
+
+import pytest
+
+from repro.baselines.platforms import (
+    CPU_BWA_MEM,
+    FPGA_ERT_SEEDEX,
+    GENAX,
+    GENCACHE,
+    GPU_GASAL2,
+    PLATFORMS,
+    SoftwarePlatform,
+    WorkloadStats,
+    paper_reported_nvwa_kreads,
+    speedups_against,
+)
+from repro.core.workload import synthetic_workload
+from repro.genome.datasets import get_dataset
+
+
+@pytest.fixture(scope="module")
+def stats():
+    wl = synthetic_workload(get_dataset("H.s."), 1000, seed=1)
+    return WorkloadStats.from_workload(wl)
+
+
+class TestWorkloadStats:
+    def test_from_workload(self, stats):
+        assert stats.reads == 1000
+        assert stats.mean_seeding_accesses > 0
+        assert stats.mean_hits_per_read > 1
+        assert stats.mean_cells_per_hit > 0
+
+    def test_empty_workload_raises(self):
+        from repro.core.workload import Workload
+        with pytest.raises(ValueError):
+            WorkloadStats.from_workload(Workload([]))
+
+
+class TestCalibration:
+    def test_cpu_near_paper_point(self, stats):
+        """Paper: 49150/493 ≈ 99.7 Kreads/s for 16-thread BWA-MEM."""
+        assert CPU_BWA_MEM.kreads_per_second(stats) == \
+            pytest.approx(99.7, rel=0.5)
+
+    def test_gpu_near_paper_point(self, stats):
+        """Paper: 49150/200 ≈ 245.8 Kreads/s for GASAL2."""
+        assert GPU_GASAL2.kreads_per_second(stats) == \
+            pytest.approx(245.8, rel=0.5)
+
+    def test_reported_platforms_exact(self, stats):
+        assert FPGA_ERT_SEEDEX.kreads_per_second(stats) == 325.5
+        assert GENAX.kreads_per_second(stats) == 4058.6
+        assert GENCACHE.kreads_per_second(stats) == 21369.6
+
+    def test_genax_power_consistent_with_throughput_per_watt(self):
+        """12.11 x (P_GenAx / 5.693) must equal the published 52.62."""
+        assert 12.11 * GENAX.power_watts / 5.693 == pytest.approx(52.62,
+                                                                  rel=0.01)
+
+    def test_gencache_power_consistent(self):
+        assert 2.30 * GENCACHE.power_watts / 5.693 == pytest.approx(13.50,
+                                                                    rel=0.01)
+
+
+class TestOrdering:
+    def test_platform_hierarchy(self, stats):
+        """CPU < GPU < FPGA < GenAx < GenCache, as in Fig 11."""
+        rates = [CPU_BWA_MEM, GPU_GASAL2, FPGA_ERT_SEEDEX, GENAX, GENCACHE]
+        values = [p.kreads_per_second(stats) for p in rates]
+        assert values == sorted(values)
+
+    def test_speedups_against(self, stats):
+        speedups = speedups_against(paper_reported_nvwa_kreads(), stats)
+        assert speedups["ASIC-GenAx"] == pytest.approx(12.11, rel=0.01)
+        assert speedups["PIM-GenCache"] == pytest.approx(2.30, rel=0.01)
+        assert speedups["CPU-BWA-MEM"] > speedups["GPU-GASAL2"]
+
+    def test_speedups_invalid(self, stats):
+        with pytest.raises(ValueError):
+            speedups_against(0, stats)
+
+
+class TestSoftwareModelBehaviour:
+    def test_more_work_lower_throughput(self, stats):
+        heavier = WorkloadStats(reads=stats.reads,
+                                mean_seeding_accesses=stats.mean_seeding_accesses * 3,
+                                mean_hits_per_read=stats.mean_hits_per_read * 2,
+                                mean_cells_per_hit=stats.mean_cells_per_hit)
+        assert CPU_BWA_MEM.reads_per_second(heavier) < \
+            CPU_BWA_MEM.reads_per_second(stats)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftwarePlatform("x", "CPU", threads=0, ns_per_access=1,
+                             ns_per_cell=1, overhead_ns=1,
+                             parallel_efficiency=0.5, power_watts=10)
+        with pytest.raises(ValueError):
+            SoftwarePlatform("x", "CPU", threads=4, ns_per_access=1,
+                             ns_per_cell=1, overhead_ns=1,
+                             parallel_efficiency=1.5, power_watts=10)
+        with pytest.raises(ValueError):
+            SoftwarePlatform("x", "CPU", threads=4, ns_per_access=-1,
+                             ns_per_cell=1, overhead_ns=1,
+                             parallel_efficiency=0.5, power_watts=10)
+
+    def test_registry_complete(self):
+        assert set(PLATFORMS) == {"CPU-BWA-MEM", "GPU-GASAL2",
+                                  "FPGA-ERT+SeedEx", "ASIC-GenAx",
+                                  "PIM-GenCache"}

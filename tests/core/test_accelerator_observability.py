@@ -1,0 +1,100 @@
+"""Tests for trace recording, bandwidth accounting, and EU datapaths."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import NvWaAccelerator, baseline, synthetic_workload
+from repro.core.config import NvWaConfig
+from repro.core.workload import ReadTask, Workload
+from repro.genome.datasets import get_dataset
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(get_dataset("H.s."), 100, seed=17)
+
+
+class TestExecutionTrace:
+    def test_disabled_by_default(self, workload):
+        report = NvWaAccelerator(baseline.nvwa()).run(workload)
+        assert report.trace is None
+
+    def test_recorded_when_enabled(self, workload):
+        config = replace(baseline.nvwa(), record_trace=True)
+        report = NvWaAccelerator(config).run(workload)
+        trace = report.trace
+        assert trace is not None
+        assert len(trace.events(kind="read_start")) == len(workload)
+        assert len(trace.events(kind="read_finish")) == len(workload)
+        assert len(trace.events(kind="hit_start")) == workload.total_hits
+        assert len(trace.events(kind="hit_finish")) == workload.total_hits
+        assert trace.events(kind="buffer_switch")
+
+    def test_trace_timeline_ordered_per_unit(self, workload):
+        config = replace(baseline.nvwa(), record_trace=True)
+        report = NvWaAccelerator(config).run(workload)
+        su0 = report.trace.events(source="SU0")
+        cycles = [e.cycle for e in su0]
+        assert cycles == sorted(cycles)
+
+    def test_fig3_style_narrative(self, workload):
+        """The trace renders a readable Fig 3-style timeline."""
+        config = replace(baseline.nvwa(), record_trace=True)
+        report = NvWaAccelerator(config).run(workload)
+        text = report.trace.render(limit=20)
+        assert "read_start" in text
+
+
+class TestBandwidthAccounting:
+    def test_within_hbm_budget(self, workload):
+        """The paper's HBM 1.0 must not be oversubscribed by the model."""
+        report = NvWaAccelerator(baseline.nvwa()).run(workload)
+        assert 0.0 <= report.memory_bandwidth_utilization < 1.0
+
+    def test_zero_for_empty_run(self):
+        empty = Workload([])
+        report = NvWaAccelerator(baseline.nvwa()).run(empty)
+        assert report.memory_bandwidth_utilization == 0.0
+
+
+class TestEUDatapaths:
+    def test_genasm_pool_runs(self, workload):
+        config = replace(baseline.nvwa(), eu_datapath="genasm")
+        report = NvWaAccelerator(config).run(workload)
+        assert report.hits_processed == workload.total_hits
+
+    def test_scheduling_speedup_on_both_datapaths(self):
+        # needs a stream much longer than the SU pool for batch stalls to
+        # matter (100 reads on 128 SUs is a single trivial batch)
+        big = synthetic_workload(get_dataset("H.s."), 600, seed=18)
+        for datapath in ("systolic", "genasm"):
+            nvwa = NvWaAccelerator(replace(baseline.nvwa(),
+                                           eu_datapath=datapath)).run(big)
+            base = NvWaAccelerator(replace(baseline.sus_eus_baseline(),
+                                           eu_datapath=datapath)).run(big)
+            assert nvwa.cycles < base.cycles, datapath
+
+    def test_invalid_datapath_rejected(self):
+        with pytest.raises(ValueError):
+            NvWaConfig(eu_datapath="quantum")
+
+    def test_genasm_word_insensitive(self):
+        from repro.hw.extension_unit import ExtensionUnit
+        from repro.core.workload import HitTask
+        eu = ExtensionUnit(unit_id=0, pe_count=16, datapath="genasm",
+                           load_overhead=0)
+        short = HitTask(0, 0, query_len=8, ref_len=100)
+        mid = HitTask(0, 1, query_len=60, ref_len=100)
+        assert eu.duration(short) == eu.duration(mid)
+
+
+class TestZeroHitReads:
+    def test_reads_without_hits_flow_through(self):
+        """Pipeline junk reads produce ReadTasks with no hits."""
+        tasks = [ReadTask(read_idx=i, seeding_accesses=100, hits=())
+                 for i in range(10)]
+        report = NvWaAccelerator(baseline.nvwa()).run(Workload(tasks))
+        assert report.reads == 10
+        assert report.hits_processed == 0
+        assert report.cycles > 0

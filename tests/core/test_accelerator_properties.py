@@ -1,0 +1,119 @@
+"""Property-based tests: accelerator invariants over random workloads."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NvWaAccelerator, baseline
+from repro.core.config import NvWaConfig
+from repro.core.workload import HitTask, ReadTask, Workload
+
+#: A small accelerator so property runs stay fast.
+SMALL = NvWaConfig(num_seeding_units=8,
+                   eu_config=((16, 3), (32, 2), (64, 2), (128, 1)),
+                   hits_buffer_depth=32, allocation_batch_size=8,
+                   spm_capacity_reads=64)
+
+
+@st.composite
+def workloads(draw):
+    n_reads = draw(st.integers(1, 25))
+    tasks = []
+    for idx in range(n_reads):
+        accesses = draw(st.integers(0, 800))
+        n_hits = draw(st.integers(0, 5))
+        hits = tuple(
+            HitTask(read_idx=idx, hit_idx=h,
+                    query_len=draw(st.integers(1, 150)),
+                    ref_len=draw(st.integers(1, 150)))
+            for h in range(n_hits))
+        tasks.append(ReadTask(read_idx=idx, seeding_accesses=accesses,
+                              hits=hits))
+    return Workload(tasks)
+
+
+class TestInvariants:
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_termination(self, workload):
+        """Every run terminates, processes every hit exactly once, and
+        issues every read exactly once — for every scheduling policy."""
+        for policy in ("grouped", "pooled", "strict", "fifo"):
+            config = replace(baseline.nvwa(SMALL), allocator_policy=policy)
+            report = NvWaAccelerator(config).run(workload)
+            assert report.hits_processed == workload.total_hits, policy
+            assert report.counters.get("reads_issued") == len(workload)
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, workload):
+        config = baseline.nvwa(SMALL)
+        a = NvWaAccelerator(config).run(workload)
+        b = NvWaAccelerator(config).run(workload)
+        assert a.cycles == b.cycles
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_utilizations_bounded(self, workload):
+        report = NvWaAccelerator(baseline.nvwa(SMALL)).run(workload)
+        assert 0.0 <= report.su_utilization <= 1.0
+        assert 0.0 <= report.eu_utilization <= 1.0
+        assert 0.0 <= report.eu_pe_efficiency <= 1.0
+        assert report.memory_bandwidth_utilization >= 0.0
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_baseline_never_faster(self, workload):
+        """On any workload the full scheduler is at least as fast as the
+        unscheduled baseline up to a small constant (switch and trigger
+        overheads on trivially small runs)."""
+        nvwa = NvWaAccelerator(baseline.nvwa(SMALL)).run(workload)
+        base = NvWaAccelerator(baseline.sus_eus_baseline(SMALL)).run(workload)
+        slack = 1.25 + 200 / max(base.cycles, 1)
+        assert nvwa.cycles <= base.cycles * slack
+
+    @given(workloads(), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_fragmentation_flag_conserves(self, workload, frag):
+        config = replace(baseline.nvwa(SMALL), fragmentation_handling=frag)
+        report = NvWaAccelerator(config).run(workload)
+        assert report.hits_processed == workload.total_hits
+
+    @given(workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_trace_event_counts_match(self, workload):
+        config = replace(baseline.nvwa(SMALL), record_trace=True)
+        report = NvWaAccelerator(config).run(workload)
+        trace = report.trace
+        assert len(trace.events(kind="read_start")) == len(workload)
+        assert len(trace.events(kind="hit_finish")) == workload.total_hits
+
+
+class TestScalingShape:
+    def test_more_sus_never_slower_on_seeding_bound(self):
+        """Unit-count monotonicity on a seeding-heavy workload."""
+        tasks = [ReadTask(read_idx=i, seeding_accesses=2000,
+                          hits=(HitTask(i, 0, 10, 18),))
+                 for i in range(64)]
+        workload = Workload(tasks)
+        small = replace(SMALL, num_seeding_units=4)
+        big = replace(SMALL, num_seeding_units=16)
+        cycles_small = NvWaAccelerator(baseline.nvwa(small)).run(workload).cycles
+        cycles_big = NvWaAccelerator(baseline.nvwa(big)).run(workload).cycles
+        assert cycles_big <= cycles_small
+
+    def test_double_workload_roughly_double_time(self):
+        tasks = [ReadTask(read_idx=i, seeding_accesses=500,
+                          hits=(HitTask(i, 0, 20, 28),))
+                 for i in range(200)]
+        single = NvWaAccelerator(baseline.nvwa(SMALL)).run(
+            Workload(tasks)).cycles
+        doubled_tasks = [ReadTask(read_idx=i, seeding_accesses=500,
+                                  hits=(HitTask(i, 0, 20, 28),))
+                         for i in range(400)]
+        double = NvWaAccelerator(baseline.nvwa(SMALL)).run(
+            Workload(doubled_tasks)).cycles
+        assert 1.6 * single < double < 2.6 * single

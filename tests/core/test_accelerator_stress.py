@@ -1,0 +1,78 @@
+"""Pathological-workload stress tests for the accelerator."""
+
+import pytest
+
+from repro.core import NvWaAccelerator, baseline
+from repro.core.config import NvWaConfig
+from repro.core.workload import HitTask, ReadTask, Workload
+
+SMALL = NvWaConfig(num_seeding_units=8,
+                   eu_config=((16, 3), (32, 2), (64, 2), (128, 1)),
+                   hits_buffer_depth=32, allocation_batch_size=8)
+
+
+def run(workload, config=None):
+    return NvWaAccelerator(baseline.nvwa(config or SMALL)).run(workload)
+
+
+class TestPathologicalShapes:
+    def test_all_hits_minimum_length(self):
+        tasks = [ReadTask(i, 50, tuple(HitTask(i, h, 1, 2)
+                                       for h in range(4)))
+                 for i in range(100)]
+        report = run(Workload(tasks))
+        assert report.hits_processed == 400
+
+    def test_all_hits_maximum_class_length(self):
+        tasks = [ReadTask(i, 50, (HitTask(i, 0, 128, 136),))
+                 for i in range(100)]
+        report = run(Workload(tasks))
+        assert report.hits_processed == 100
+
+    def test_hits_far_beyond_largest_class(self):
+        """Hits longer than every class still place (largest class wins)."""
+        tasks = [ReadTask(i, 50, (HitTask(i, 0, 5000, 5008),))
+                 for i in range(10)]
+        report = run(Workload(tasks))
+        assert report.hits_processed == 10
+
+    def test_single_monster_read(self):
+        monster = ReadTask(0, 1_000_000,
+                           tuple(HitTask(0, h, 64, 72) for h in range(200)))
+        report = run(Workload([monster]))
+        assert report.hits_processed == 200
+        assert report.cycles > 1_000_000  # seeding alone takes that long
+
+    def test_many_zero_work_reads(self):
+        tasks = [ReadTask(i, 0, ()) for i in range(500)]
+        report = run(Workload(tasks))
+        assert report.reads == 500
+        assert report.hits_processed == 0
+
+    def test_extreme_skew_one_class(self):
+        """Every hit optimal for the single 128-PE unit: queueing works."""
+        tasks = [ReadTask(i, 10, (HitTask(i, 0, 100, 108),))
+                 for i in range(60)]
+        report = run(Workload(tasks))
+        assert report.hits_processed == 60
+
+    def test_buffer_smaller_than_one_read_output(self):
+        """A read producing more hits than the whole buffer must still
+        drain via suspension and retries."""
+        config = NvWaConfig(num_seeding_units=2,
+                            eu_config=((16, 2),), reference_classes=(16,),
+                            hits_buffer_depth=4, allocation_batch_size=4)
+        tasks = [ReadTask(0, 10, tuple(HitTask(0, h, 8, 16)
+                                       for h in range(20)))]
+        report = run(Workload(tasks), config)
+        assert report.hits_processed == 20
+        assert report.counters.get("su_suspensions") >= 1
+
+    def test_alternating_extremes(self):
+        tasks = []
+        for i in range(50):
+            length = 1 if i % 2 == 0 else 128
+            tasks.append(ReadTask(i, 5 if i % 2 else 2000,
+                                  (HitTask(i, 0, length, length + 8),)))
+        report = run(Workload(tasks))
+        assert report.hits_processed == 50

@@ -1,0 +1,106 @@
+"""Unit tests for the three Sec. IV-D allocation methods + ablation flags."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinator import (
+    HitsAllocator,
+    PooledAllocator,
+    StrictClassAllocator,
+)
+from repro.core.workload import HitTask
+
+
+def hit(idx, length):
+    return HitTask(read_idx=0, hit_idx=idx, query_len=length,
+                   ref_len=length + 8)
+
+
+class TestStrictClassAllocator:
+    def test_optimal_only(self):
+        allocator = StrictClassAllocator((16, 32, 64, 128))
+        placements, deferred = allocator.allocate(
+            [hit(0, 8), hit(1, 100)], {0: 16, 1: 128})
+        assert all(p.optimal for p in placements)
+        assert not deferred
+
+    def test_defers_when_optimal_class_busy(self):
+        """Method (1)'s weakness: idle units of other classes go unused."""
+        allocator = StrictClassAllocator((16, 32, 64, 128))
+        placements, deferred = allocator.allocate(
+            [hit(0, 8)], {5: 32, 6: 64, 7: 128})
+        assert not placements
+        assert len(deferred) == 1
+
+    def test_shortest_first(self):
+        allocator = StrictClassAllocator((16, 32, 64, 128))
+        placements, _ = allocator.allocate([hit(0, 15), hit(1, 2)], {0: 16})
+        assert placements[0].hit.hit_idx == 1
+
+    def test_counters(self):
+        allocator = StrictClassAllocator((16,))
+        allocator.allocate([hit(0, 5), hit(1, 6)], {0: 16})
+        assert allocator.counters.get("allocated") == 1
+        assert allocator.counters.get("deferred") == 1
+        assert allocator.counters.get("optimal") == 1
+
+    def test_empty_classes_raise(self):
+        with pytest.raises(ValueError):
+            StrictClassAllocator(())
+
+
+class TestPolicyOrdering:
+    """The structural relation between the three methods on one batch."""
+
+    @given(st.lists(st.integers(1, 128), min_size=1, max_size=30),
+           st.dictionaries(st.integers(0, 50),
+                           st.sampled_from([16, 32, 64, 128]), max_size=16))
+    @settings(max_examples=50)
+    def test_property_allocation_counts_ordered(self, lengths, idle):
+        """pooled places >= grouped places >= strict places, always —
+        each method is strictly more permissive than the next."""
+        batch = [hit(i, length) for i, length in enumerate(lengths)]
+        classes = (16, 32, 64, 128)
+        strict_n = len(StrictClassAllocator(classes).allocate(
+            batch, dict(idle))[0])
+        grouped_n = len(HitsAllocator(classes).allocate(
+            batch, dict(idle))[0])
+        pooled_n = len(PooledAllocator(classes).allocate(
+            batch, dict(idle))[0])
+        assert strict_n <= grouped_n <= pooled_n
+
+    @given(st.lists(st.integers(1, 128), min_size=1, max_size=30),
+           st.dictionaries(st.integers(0, 50),
+                           st.sampled_from([16, 32, 64, 128]), max_size=16))
+    @settings(max_examples=50)
+    def test_property_strict_quality_is_total(self, lengths, idle):
+        batch = [hit(i, length) for i, length in enumerate(lengths)]
+        placements, _ = StrictClassAllocator((16, 32, 64, 128)).allocate(
+            batch, dict(idle))
+        assert all(p.optimal for p in placements)
+
+
+class TestAblationFlags:
+    def test_fragmentation_flag_conserves_hits(self):
+        from dataclasses import replace
+        from repro.core import NvWaAccelerator, baseline, synthetic_workload
+        from repro.genome.datasets import get_dataset
+        wl = synthetic_workload(get_dataset("H.s."), 120, seed=9)
+        config = replace(baseline.nvwa(), fragmentation_handling=False)
+        report = NvWaAccelerator(config).run(wl)
+        assert report.hits_processed == wl.total_hits
+
+    def test_prefetch_flag_slows_loads(self):
+        from repro.core.seeding_scheduler import SeedingScheduler
+        from repro.sim.spm import Scratchpad
+        cold = SeedingScheduler(num_units=4, total_reads=20,
+                                spm=Scratchpad(capacity=64, miss_penalty=45),
+                                prefetch=False)
+        loads = cold.schedule([0, 0, 0, 0])
+        assert all(l.load_latency == 45 for l in loads)
+
+    def test_invalid_policy_rejected(self):
+        from repro.core.config import NvWaConfig
+        with pytest.raises(ValueError):
+            NvWaConfig(allocator_policy="greedy")

@@ -1,0 +1,62 @@
+"""Workload serialization and experiment CSV export tests."""
+
+import pytest
+
+from repro.core import NvWaAccelerator, baseline, synthetic_workload
+from repro.core.workload import HitTask, ReadTask, Workload
+from repro.genome.datasets import get_dataset
+
+
+class TestWorkloadSerialization:
+    def test_roundtrip(self, tmp_path):
+        wl = synthetic_workload(get_dataset("H.s."), 40, seed=3)
+        path = tmp_path / "wl.json"
+        wl.save(path)
+        loaded = Workload.load(path)
+        assert len(loaded) == len(wl)
+        assert loaded.hit_lengths() == wl.hit_lengths()
+        assert [t.seeding_accesses for t in loaded.tasks] == \
+            [t.seeding_accesses for t in wl.tasks]
+
+    def test_roundtrip_preserves_simulation(self, tmp_path):
+        wl = synthetic_workload(get_dataset("C.e."), 60, seed=4)
+        path = tmp_path / "wl.json"
+        wl.save(path)
+        loaded = Workload.load(path)
+        a = NvWaAccelerator(baseline.nvwa()).run(wl)
+        b = NvWaAccelerator(baseline.nvwa()).run(loaded)
+        assert a.cycles == b.cycles
+
+    def test_sequences_survive(self, tmp_path):
+        task = ReadTask(read_idx=0, seeding_accesses=10, hits=(
+            HitTask(0, 0, 4, 6, query_seq="ACGT", ref_seq="ACGTAC"),))
+        path = tmp_path / "wl.json"
+        Workload([task]).save(path)
+        loaded = Workload.load(path)
+        hit = loaded.tasks[0].hits[0]
+        assert hit.query_seq == "ACGT" and hit.ref_seq == "ACGTAC"
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "tasks": []}')
+        with pytest.raises(ValueError):
+            Workload.load(path)
+
+
+class TestExperimentCSV:
+    def test_to_csv_file(self, tmp_path):
+        from repro.experiments import table2_area_power
+        result = table2_area_power.run()
+        path = tmp_path / "table2.csv"
+        count = result.to_csv(path)
+        content = path.read_text()
+        assert count == len(result.rows)
+        assert content.startswith("# Table II")
+        assert "module,category,area_mm2,power_w" in content
+        assert "Coordinator" in content
+
+    def test_runner_csv_dir(self, tmp_path):
+        from repro.experiments.runner import run_experiments
+        out = tmp_path / "csv"
+        run_experiments(["fig07"], quick=True, csv_dir=str(out))
+        assert (out / "fig07.csv").exists()

@@ -1,0 +1,28 @@
+"""Report-card tests (exact criteria only — shape criteria run in the
+benchmark suite at full scale)."""
+
+from repro.experiments.report_card import Criterion, _exact_criteria, \
+    format_card
+
+
+class TestExactCriteria:
+    def test_all_exact_criteria_pass(self):
+        criteria = _exact_criteria()
+        failing = [c for c in criteria if not c.passed]
+        assert not failing, [f"{c.exhibit}: {c.name} ({c.detail})"
+                             for c in failing]
+
+    def test_covers_the_deterministic_exhibits(self):
+        exhibits = {c.exhibit for c in _exact_criteria()}
+        assert {"Fig 7", "Fig 9", "Eq 5", "Table II", "Energy",
+                "Fig 5"} <= exhibits
+
+
+class TestFormatting:
+    def test_format_card(self):
+        criteria = [Criterion("X", "works", True),
+                    Criterion("Y", "broken", False, "detail")]
+        text = format_card(criteria)
+        assert "[PASS] X: works" in text
+        assert "[FAIL] Y: broken" in text
+        assert "1/2 criteria pass" in text

@@ -1,0 +1,163 @@
+"""Tests for the simulation-backed experiments (small workloads)."""
+
+import pytest
+
+from repro.experiments import (
+    energy_comparison,
+    fig02_breakdown,
+    fig11_throughput,
+    fig12_utilization,
+    fig13_dse,
+    fig14_datasets,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+class TestFig02:
+    def test_breakdown_shape(self):
+        result = fig02_breakdown.run(reads=60, genome_length=30_000,
+                                     zoom=slice(20, 40))
+        assert len(result.rows) == 60
+        assert all(r["seeding_us"] > 0 for r in result.rows)
+
+    def test_diversity_documented(self):
+        result = fig02_breakdown.run(reads=60, genome_length=30_000,
+                                     zoom=slice(20, 40))
+        assert "spread" in result.notes
+
+
+class TestFig03:
+    def test_scheduling_removes_su_idle_gaps(self):
+        from repro.experiments import fig03_scheduling_effect
+        result = fig03_scheduling_effect.run(reads=150, seed=8)
+        scheduled, unscheduled = result.rows
+        assert scheduled["cycles"] < unscheduled["cycles"]
+        assert scheduled["mean_su_idle_gap"] < \
+            unscheduled["mean_su_idle_gap"]
+        assert scheduled["hits_on_optimal_unit"] > \
+            unscheduled["hits_on_optimal_unit"]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_throughput.run(reads=400, seed=7)
+
+    def test_ladder_monotone(self, result):
+        ladder = [r for r in result.rows if "step_speedup" in r
+                  and r.get("step_speedup") is not None]
+        speeds = [r["kreads_per_s"] for r in ladder]
+        assert speeds == sorted(speeds)
+
+    def test_platform_ordering(self, result):
+        platforms = [r for r in result.rows if "nvwa_speedup" in r
+                     and r.get("nvwa_speedup") is not None]
+        rates = [r["kreads_per_s"] for r in platforms]
+        assert rates == sorted(rates)  # CPU slowest ... GenCache fastest
+
+    def test_nvwa_beats_every_platform(self, result):
+        platforms = [r for r in result.rows
+                     if r.get("nvwa_speedup") is not None]
+        assert all(r["nvwa_speedup"] > 1 for r in platforms)
+
+    def test_paper_references_attached(self, result):
+        assert result.paper["speedups"]["CPU-BWA-MEM"] == 493.0
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_utilization.run(reads=400, seed=9)
+
+    def test_nvwa_su_beats_baseline(self, result):
+        nvwa = result.reports["nvwa"]
+        base = result.reports["baseline"]
+        assert nvwa.su_utilization > base.su_utilization
+
+    def test_nvwa_eu_effective_beats_baseline(self, result):
+        nvwa = result.reports["nvwa"]
+        base = result.reports["baseline"]
+        assert nvwa.eu_effective_utilization > base.eu_effective_utilization
+
+    def test_series_attached(self, result):
+        for key in ("nvwa_su", "baseline_su", "nvwa_eu", "baseline_eu"):
+            assert len(result.series[key]) == 50
+
+    def test_quality_gap(self, result):
+        nvwa_q = result.reports["nvwa"].assignment_quality.overall_fraction()
+        base_q = result.reports[
+            "baseline"].assignment_quality.overall_fraction()
+        assert nvwa_q > 2 * base_q
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_dse.run(reads=250, depths=(64, 512, 4096),
+                             interval_counts=(1, 4))
+
+    def test_all_sweeps_present(self, result):
+        sweeps = {r["sweep"] for r in result.rows}
+        assert sweeps == {"buffer_depth", "intervals", "switch_threshold",
+                          "idle_trigger"}
+
+    def test_four_intervals_beat_one(self, result):
+        by_x = {p.intervals: p for p in result.interval_points}
+        assert by_x[4].kreads_per_second > by_x[1].kreads_per_second
+
+    def test_interval_power_monotone(self, result):
+        powers = [p.coordinator_power_w for p in result.interval_points]
+        assert powers == sorted(powers)
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_datasets.run(reads_per_dataset=120, seed=13)
+
+    def test_all_datasets_covered(self, result):
+        speedup_rows = [r for r in result.rows
+                        if r["kind"] in ("short", "long")]
+        assert len(speedup_rows) == 9
+
+    def test_every_speedup_large(self, result):
+        assert all(s > 10 for s in result.speedups.values())
+
+    def test_long_reads_slower_than_short(self, result):
+        """Fig 14(a): long-read speedups sit below short-read ones."""
+        shorts = [s for n, s in result.speedups.items()
+                  if not n.endswith("-long")]
+        longs = [s for n, s in result.speedups.items()
+                 if n.endswith("-long")]
+        assert max(longs) < min(shorts)
+
+    def test_interval_table_attached(self, result):
+        assert len(result.interval_table) == 6
+
+
+class TestEnergy:
+    def test_paper_factors_reproduced(self):
+        result = energy_comparison.run(reads=150)
+        by_name = {r["baseline"]: r for r in result.rows}
+        assert by_name["ASIC-GenAx"]["power_reduction"] == \
+            pytest.approx(4.34, abs=0.05)
+        assert by_name["PIM-GenCache"]["power_reduction"] == \
+            pytest.approx(5.85, abs=0.05)
+        assert by_name["CPU-BWA-MEM"]["power_reduction"] == \
+            pytest.approx(14.21, abs=0.3)
+
+
+class TestRunner:
+    def test_registry_covers_all_exhibits(self):
+        assert set(EXPERIMENTS) == {
+            "fig02", "fig03", "fig05", "fig07", "fig08", "fig09", "fig11",
+            "fig12", "fig13", "fig14", "table1", "table2", "table3",
+            "energy"}
+
+    def test_run_selected(self):
+        results = run_experiments(["fig07", "table2"], quick=True)
+        assert [r.exhibit for r in results] == ["Figure 7", "Table II"]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"])

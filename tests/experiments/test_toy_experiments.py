@@ -1,0 +1,104 @@
+"""Tests for the deterministic (toy/analytic) experiments."""
+
+import pytest
+
+from repro.experiments import (
+    fig05_scheduling,
+    fig07_systolic_example,
+    fig08_latency_curves,
+    fig09_hybrid_toy,
+    table1_configs,
+    table2_area_power,
+    table3_interface,
+)
+
+
+class TestFig05:
+    def test_one_cycle_beats_batch(self):
+        result = fig05_scheduling.run()
+        batch, one_cycle = result.rows
+        assert one_cycle["cycles"] < batch["cycles"]
+        assert one_cycle["su_utilization"] > batch["su_utilization"]
+
+    def test_identical_durations_tie(self):
+        """With uniform reads there is nothing for OCRA to win."""
+        batch = fig05_scheduling.simulate_strategy([5] * 8, 4, False)
+        one = fig05_scheduling.simulate_strategy([5] * 8, 4, True)
+        assert one["cycles"] == batch["cycles"]
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            fig05_scheduling.simulate_strategy([1], 0, True)
+
+
+class TestFig07:
+    def test_paper_33_cycles(self):
+        result = fig07_systolic_example.run()
+        total = result.rows[-1]
+        assert total["cycles"] == 33
+        assert all(r["cycles"] == 11 for r in result.rows[:-1])
+
+    def test_three_blocks(self):
+        result = fig07_systolic_example.run()
+        assert len(result.rows) == 4  # 3 blocks + total
+
+
+class TestFig08:
+    def test_best_pe_tracks_length(self):
+        result = fig08_latency_curves.run()
+        bests = {r["hit_length"]: r["latency_cycles"] for r in result.rows
+                 if str(r["pe_count"]).startswith("best")}
+        assert bests[9] == 24    # best at P=16
+        assert bests[64] == 127  # best at P=64
+
+    def test_mismatch_penalties_visible(self):
+        result = fig08_latency_curves.run()
+        by_key = {(r["hit_length"], r["pe_count"]): r["latency_cycles"]
+                  for r in result.rows if isinstance(r["pe_count"], int)}
+        assert by_key[(9, 128)] > 3 * by_key[(9, 16)]
+        assert by_key[(64, 2)] > 10 * by_key[(64, 64)]
+
+
+class TestFig09:
+    def test_paper_exact_makespans(self):
+        result = fig09_hybrid_toy.run()
+        totals = result.rows[-1]
+        assert totals["uniform_latency"] == 455
+        assert totals["hybrid_latency"] == 257
+
+    def test_per_hit_rows(self):
+        result = fig09_hybrid_toy.run()
+        assert [r["hit_length"] for r in result.rows[:-1]] == \
+            list(fig09_hybrid_toy.TOY_HITS)
+
+
+class TestTables:
+    def test_table1_lists_three_platforms(self):
+        result = table1_configs.run()
+        assert [r["platform"] for r in result.rows] == \
+            ["BWA-MEM", "GASAL2", "NvWa"]
+        assert "128 SUs" in result.rows[2]["compute"]
+
+    def test_table2_totals(self):
+        result = table2_area_power.run()
+        total = result.rows[-1]
+        assert total["area_mm2"] == pytest.approx(27.009, abs=0.01)
+        assert total["power_w"] == pytest.approx(5.754, abs=0.01)
+
+    def test_table3_rows(self):
+        result = table3_interface.run()
+        assert len(result.rows) == 6
+        control_eu = result.rows[-1]
+        assert "pe_number" in control_eu["signals"]
+
+
+class TestFormatting:
+    def test_format_renders(self):
+        text = table2_area_power.run().format()
+        assert "Table II" in text
+        assert "Coordinator" in text
+
+    def test_format_row_cap(self):
+        result = fig08_latency_curves.run()
+        text = result.format(max_rows=3)
+        assert "more rows" in text

@@ -1,0 +1,85 @@
+"""Tests for CIGAR and alignment records."""
+
+import pytest
+
+from repro.extension.alignment import Alignment, Cigar, identity
+
+
+class TestCigar:
+    def test_from_ops_merges_runs(self):
+        cigar = Cigar.from_ops("MMMIIMM")
+        assert str(cigar) == "3M2I2M"
+
+    def test_parse_roundtrip(self):
+        text = "10M2D5M1I4M"
+        assert str(Cigar.parse(text)) == text
+
+    def test_parse_empty(self):
+        assert Cigar.parse("").ops == ()
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Cigar.parse("10M2X")
+        with pytest.raises(ValueError):
+            Cigar.parse("M10")
+
+    def test_rejects_zero_run(self):
+        with pytest.raises(ValueError):
+            Cigar(((0, "M"),))
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Cigar(((3, "Z"),))
+
+    def test_lengths(self):
+        cigar = Cigar.parse("5M2I3M1D4M")
+        assert cigar.query_length == 5 + 2 + 3 + 4
+        assert cigar.reference_length == 5 + 3 + 1 + 4
+        assert cigar.aligned_length == 12
+        assert cigar.edit_ops == 3
+
+    def test_soft_clip_counts_as_query(self):
+        cigar = Cigar.parse("3S10M")
+        assert cigar.query_length == 13
+        assert cigar.reference_length == 10
+
+
+class TestAlignment:
+    def _mk(self, cigar="10M", **kw):
+        defaults = dict(score=10, cigar=Cigar.parse(cigar), read_start=0,
+                        read_end=10, ref_start=100, ref_end=110)
+        defaults.update(kw)
+        return Alignment(**defaults)
+
+    def test_spans(self):
+        a = self._mk()
+        assert a.read_span == 10 and a.ref_span == 10
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            self._mk(read_end=0, read_start=5)
+
+    def test_validate_against_ok(self):
+        self._mk().validate_against(read_len=20)
+
+    def test_validate_against_cigar_mismatch(self):
+        with pytest.raises(ValueError):
+            self._mk(cigar="9M").validate_against(read_len=20)
+
+    def test_validate_against_ref_mismatch(self):
+        bad = self._mk(cigar="10M1D", ref_end=110)
+        with pytest.raises(ValueError):
+            bad.validate_against(read_len=20)
+
+    def test_validate_against_read_overflow(self):
+        with pytest.raises(ValueError):
+            self._mk().validate_against(read_len=5)
+
+    def test_identity(self):
+        a = self._mk(cigar="8M2I", read_end=10, ref_end=108)
+        assert identity(a) == pytest.approx(0.8)
+
+    def test_identity_empty(self):
+        empty = Alignment(score=0, cigar=Cigar(()), read_start=0, read_end=0,
+                          ref_start=0, ref_end=0)
+        assert identity(empty) == 0.0

@@ -1,0 +1,172 @@
+"""Bit-parallel matching tests against DP oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.sequence import random_sequence
+from repro.extension.bitap import (
+    best_semi_global_distance,
+    bitap_exact_positions,
+    bitap_search,
+    edit_distance,
+    genasm_latency,
+    myers_distances,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+def oracle_edit_distance(a, b):
+    """Textbook DP, written independently of the module under test."""
+    m, n = len(a), len(b)
+    d = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(m + 1):
+        d[i][0] = i
+    for j in range(n + 1):
+        d[0][j] = j
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            d[i][j] = min(d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + (a[i - 1] != b[j - 1]))
+    return d[m][n]
+
+
+def oracle_semi_global(pattern, text):
+    """Best edit distance of pattern vs any substring of text."""
+    m, n = len(pattern), len(text)
+    prev = [0] * (n + 1)  # first row zero: free start anywhere
+    for i in range(1, m + 1):
+        curr = [i] + [0] * n
+        for j in range(1, n + 1):
+            curr[j] = min(prev[j] + 1, curr[j - 1] + 1,
+                          prev[j - 1] + (pattern[i - 1] != text[j - 1]))
+        prev = curr
+    return min(prev)
+
+
+class TestEditDistance:
+    def test_known_values(self):
+        assert edit_distance("ACGT", "ACGT") == 0
+        assert edit_distance("ACGT", "AGGT") == 1
+        assert edit_distance("ACGT", "") == 4
+        assert edit_distance("", "ACG") == 3
+        assert edit_distance("AAAA", "TTTT") == 4
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle(self, a, b):
+        assert edit_distance(a, b) == oracle_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+
+class TestMyers:
+    def test_exact_occurrence_scores_zero(self):
+        text = random_sequence(200, random.Random(1))
+        pattern = text[50:80]
+        distances = myers_distances(pattern, text)
+        assert min(distances) == 0
+        assert distances[79] == 0  # inclusive end position of the match
+
+    def test_distances_match_oracle_columns(self):
+        rng = random.Random(2)
+        text = random_sequence(60, rng)
+        pattern = random_sequence(12, rng)
+        got = myers_distances(pattern, text)
+        # oracle per-column: best distance of pattern vs substring ending at j
+        m, n = len(pattern), len(text)
+        last_rows = []
+        # column DP over text, first row free
+        dp_prev = [i for i in range(m + 1)]
+        for j in range(1, n + 1):
+            dp_curr = [0] * (m + 1)
+            for i in range(1, m + 1):
+                dp_curr[i] = min(dp_prev[i] + 1, dp_curr[i - 1] + 1,
+                                 dp_prev[i - 1]
+                                 + (pattern[i - 1] != text[j - 1]))
+            last_rows.append(dp_curr[m])
+            dp_prev = dp_curr
+        assert got == last_rows
+
+    def test_long_pattern_beyond_word_width(self):
+        """Python bigints: patterns > 64 symbols work unchanged."""
+        rng = random.Random(3)
+        text = random_sequence(400, rng)
+        pattern = text[100:200]  # 100-symbol pattern
+        assert best_semi_global_distance(pattern, text) == 0
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        text = random_sequence(rng.randint(1, 80), rng)
+        pattern = random_sequence(rng.randint(1, 30), rng)
+        assert best_semi_global_distance(pattern, text) == \
+            oracle_semi_global(pattern, text)
+
+    def test_empty_pattern(self):
+        assert myers_distances("", "ACGT") == [0, 0, 0, 0]
+
+
+class TestBitap:
+    def test_exact_positions(self):
+        text = "ACGTACGTAC"
+        assert bitap_exact_positions("ACGT", text) == [0, 4]
+
+    def test_no_match(self):
+        assert bitap_exact_positions("TTTT", "ACGCACGC") == []
+
+    def test_one_error_finds_substitution(self):
+        text = "AAAACGTAAA"
+        hits = bitap_search("ACTT", text, max_errors=1)
+        # ACGT at 3..6 differs from ACTT by one substitution
+        assert any(err == 1 for _, err in hits)
+
+    def test_error_levels_minimal(self):
+        text = random_sequence(100, random.Random(4))
+        pattern = text[20:30]
+        hits = dict(bitap_search(pattern, text, max_errors=2))
+        assert hits[29] == 0  # exact match reported at its minimal level
+
+    def test_agrees_with_myers_at_k(self):
+        rng = random.Random(5)
+        text = random_sequence(120, rng)
+        pattern = random_sequence(10, rng)
+        for k in (0, 1, 2):
+            bitap_ends = {end for end, _ in
+                          bitap_search(pattern, text, max_errors=k)}
+            myers = myers_distances(pattern, text)
+            myers_ends = {j for j, d in enumerate(myers) if d <= k}
+            assert bitap_ends == myers_ends, f"k={k}"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bitap_search("", "ACGT")
+        with pytest.raises(ValueError):
+            bitap_search("A", "ACGT", max_errors=-1)
+
+
+class TestGenASMLatency:
+    def test_word_insensitive_below_width(self):
+        """Short patterns cost the same until a word boundary is crossed."""
+        assert genasm_latency(8, 100) == genasm_latency(60, 100)
+        assert genasm_latency(65, 100) == 2 * genasm_latency(60, 100)
+
+    def test_linear_in_text(self):
+        assert genasm_latency(30, 200) == 2 * genasm_latency(30, 100)
+
+    def test_unroll(self):
+        assert genasm_latency(128, 100, unroll=2) == \
+            genasm_latency(64, 100, unroll=1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            genasm_latency(0, 10)
+        with pytest.raises(ValueError):
+            genasm_latency(10, 10, word_bits=0)

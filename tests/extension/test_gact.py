@@ -1,0 +1,110 @@
+"""GACT tiled alignment tests against full Needleman-Wunsch."""
+
+import random
+
+import pytest
+
+from repro.genome.reads import LONG_READ, ErrorModel
+from repro.genome.sequence import random_sequence
+from repro.extension.gact import gact_align
+from repro.extension.needleman_wunsch import needleman_wunsch
+from repro.extension.scoring import DARWIN_SCORING
+
+
+def mutate_with_indels(text, rng, sub=0.05, indel=0.01):
+    model = ErrorModel(substitution_rate=sub, insertion_rate=indel,
+                       deletion_rate=indel)
+    return model.apply(text, rng)
+
+
+class TestCorrectness:
+    def test_identical_sequences(self):
+        text = random_sequence(600, random.Random(1))
+        result = gact_align(text, text, tile_size=128, overlap=32)
+        assert result.alignment.score == 600
+        assert str(result.alignment.cigar) == "600M"
+        assert result.tiles >= 5
+
+    def test_path_consumes_both_sequences(self):
+        rng = random.Random(2)
+        ref = random_sequence(500, rng)
+        query = mutate_with_indels(ref, rng)
+        result = gact_align(query, ref, tile_size=96, overlap=24)
+        result.alignment.validate_against(len(query))
+        assert result.alignment.cigar.query_length == len(query)
+        assert result.alignment.cigar.reference_length == len(ref)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_near_optimal_on_related_sequences(self, seed):
+        """GACT with reasonable overlap stays close to full-NW optimum."""
+        rng = random.Random(100 + seed)
+        ref = random_sequence(400, rng)
+        query = mutate_with_indels(ref, rng)
+        optimal = needleman_wunsch(query, ref).score
+        tiled = gact_align(query, ref, tile_size=128, overlap=48)
+        assert tiled.alignment.score <= optimal  # optimal is an upper bound
+        # within a small margin of optimal (Darwin reports ~no loss at
+        # sufficient overlap)
+        margin = max(8, abs(optimal) // 10)
+        assert tiled.alignment.score >= optimal - margin
+
+    def test_single_tile_equals_nw_exactly(self):
+        rng = random.Random(3)
+        ref = random_sequence(100, rng)
+        query = mutate_with_indels(ref, rng)
+        tiled = gact_align(query, ref, tile_size=256, overlap=32)
+        assert tiled.tiles == 1
+        assert tiled.alignment.score == needleman_wunsch(query, ref).score
+
+    def test_length_mismatch(self):
+        rng = random.Random(4)
+        ref = random_sequence(500, rng)
+        query = ref[:200] + ref[300:]  # 100 bp deletion in the query
+        scheme = DARWIN_SCORING
+        result = gact_align(query, ref, tile_size=128, overlap=48,
+                            scoring=scheme)
+        assert result.alignment.cigar.reference_length == len(ref)
+        assert "D" in str(result.alignment.cigar)
+
+    def test_empty_inputs(self):
+        result = gact_align("", "ACGT")
+        assert str(result.alignment.cigar) == "4D"
+        result = gact_align("ACGT", "")
+        assert str(result.alignment.cigar) == "4I"
+
+
+class TestConstantMemory:
+    def test_tile_cells_bounded(self):
+        """The whole point: memory per tile is O(tile²), not O(nm)."""
+        rng = random.Random(5)
+        ref = random_sequence(1500, rng)
+        query = mutate_with_indels(ref, rng, sub=0.02)
+        result = gact_align(query, ref, tile_size=128, overlap=32)
+        assert result.max_tile_cells <= 128 * 128
+        assert result.tiles >= 10
+
+    def test_more_overlap_no_worse(self):
+        rng = random.Random(6)
+        ref = random_sequence(600, rng)
+        query = mutate_with_indels(ref, rng)
+        small = gact_align(query, ref, tile_size=128, overlap=8)
+        large = gact_align(query, ref, tile_size=128, overlap=64)
+        assert large.alignment.score >= small.alignment.score - 2
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gact_align("ACGT", "ACGT", tile_size=1)
+        with pytest.raises(ValueError):
+            gact_align("ACGT", "ACGT", tile_size=16, overlap=16)
+
+    def test_noisy_long_read_case(self):
+        """The Sec. V-F scenario: a 3rd-gen read against its locus."""
+        rng = random.Random(7)
+        ref = random_sequence(1200, rng)
+        query = LONG_READ.apply(ref, rng)
+        result = gact_align(query, ref, tile_size=128, overlap=48,
+                            scoring=DARWIN_SCORING)
+        result.alignment.validate_against(len(query))
+        assert result.alignment.score > 0

@@ -1,0 +1,54 @@
+"""Tests for scoring schemes."""
+
+import numpy as np
+import pytest
+
+from repro.extension.scoring import BWA_MEM_SCORING, DARWIN_SCORING, ScoringScheme
+
+
+class TestValidation:
+    def test_defaults_are_bwa_mem(self):
+        assert (BWA_MEM_SCORING.match, BWA_MEM_SCORING.mismatch,
+                BWA_MEM_SCORING.gap_open, BWA_MEM_SCORING.gap_extend) == \
+            (1, -4, -6, -1)
+
+    def test_rejects_nonpositive_match(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+
+    def test_rejects_nonnegative_mismatch(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=1)
+
+    def test_rejects_positive_gap_open(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_open=2)
+
+    def test_rejects_nonnegative_gap_extend(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_extend=0)
+
+    def test_zero_gap_open_allowed(self):
+        ScoringScheme(gap_open=0)  # linear gap special case
+
+
+class TestScoring:
+    def test_substitution(self):
+        assert BWA_MEM_SCORING.substitution(0, 0) == 1
+        assert BWA_MEM_SCORING.substitution(0, 3) == -4
+
+    def test_substitution_matrix(self):
+        matrix = DARWIN_SCORING.substitution_matrix()
+        assert matrix.shape == (4, 4)
+        assert np.all(np.diag(matrix) == 2)
+        off = matrix[~np.eye(4, dtype=bool)]
+        assert np.all(off == -3)
+
+    def test_gap_cost(self):
+        assert BWA_MEM_SCORING.gap_cost(0) == 0
+        assert BWA_MEM_SCORING.gap_cost(1) == -7
+        assert BWA_MEM_SCORING.gap_cost(5) == -11
+
+    def test_gap_cost_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            BWA_MEM_SCORING.gap_cost(-1)

@@ -1,0 +1,184 @@
+"""Systolic-array cycle model tests, anchored to the paper's examples."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extension.systolic import (
+    SystolicArray,
+    block_schedule,
+    gact_tiled_latency,
+    matrix_fill_latency,
+    optimal_pe_count,
+    traceback_latency,
+)
+
+
+class TestFormula3:
+    def test_fig7_example(self):
+        """Fig 7: Q = R = 9, P = 3 → 33 cycles."""
+        assert matrix_fill_latency(9, 9, 3) == 33
+
+    def test_single_block(self):
+        # Q <= P: one block, R + P - 1 cycles.
+        assert matrix_fill_latency(10, 4, 8) == 10 + 8 - 1
+
+    def test_exact_formula(self):
+        for r, q, p in [(9, 9, 3), (64, 64, 16), (101, 101, 128), (7, 20, 4)]:
+            assert matrix_fill_latency(r, q, p) == \
+                (r + p - 1) * math.ceil(q / p)
+
+    def test_zero_lengths(self):
+        assert matrix_fill_latency(0, 5, 4) == 0
+        assert matrix_fill_latency(5, 0, 4) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            matrix_fill_latency(-1, 5, 4)
+        with pytest.raises(ValueError):
+            matrix_fill_latency(5, 5, 0)
+
+    def test_fig8_shape_length9(self):
+        """Fig 8 observation: latency is minimised when P ≈ hit length.
+
+        For length 9 the best power of two is 16: one block of 24 cycles
+        beats two blocks on 8 PEs (32 cycles) — exactly why the paper maps
+        hits ≤ 16 to the 16-PE unit class.
+        """
+        latencies = {p: matrix_fill_latency(9, 9, p)
+                     for p in (2, 4, 8, 16, 32, 64, 128)}
+        best_p = min(latencies, key=latencies.get)
+        assert best_p == 16
+
+    def test_fig8_shape_length64(self):
+        latencies = {p: matrix_fill_latency(64, 64, p)
+                     for p in (2, 4, 8, 16, 32, 64, 128)}
+        assert min(latencies, key=latencies.get) == 64
+
+    def test_oversized_pe_hurts_short_hits(self):
+        """Observation (2): short hit on a big array is slow."""
+        assert matrix_fill_latency(9, 9, 128) > matrix_fill_latency(9, 9, 8)
+
+    def test_undersized_pe_hurts_long_hits(self):
+        assert matrix_fill_latency(64, 64, 2) > matrix_fill_latency(64, 64, 64)
+
+
+class TestBlockSchedule:
+    def test_fig7_blocks(self):
+        """Fig 7(c): three blocks of 3 rows, 11 cycles each."""
+        blocks = block_schedule(9, 9, 3)
+        assert len(blocks) == 3
+        assert all(b.cycles == 11 for b in blocks)
+        assert blocks[0].start_cycle == 0
+        assert blocks[-1].end_cycle == 33
+        assert all(b.rows == 3 for b in blocks)
+
+    def test_partial_last_block(self):
+        blocks = block_schedule(10, 10, 4)
+        assert [b.rows for b in blocks] == [4, 4, 2]
+
+    def test_contiguous_windows(self):
+        blocks = block_schedule(20, 50, 8)
+        for prev, nxt in zip(blocks, blocks[1:]):
+            assert nxt.start_cycle == prev.end_cycle
+
+    def test_empty_inputs(self):
+        assert block_schedule(0, 5, 4) == []
+
+    def test_total_matches_formula(self):
+        blocks = block_schedule(31, 77, 16)
+        assert blocks[-1].end_cycle == matrix_fill_latency(31, 77, 16)
+
+
+class TestTraceback:
+    def test_independent_of_pe(self):
+        assert traceback_latency(30, 40) == 70
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            traceback_latency(-1, 0)
+
+
+class TestOptimalPE:
+    def test_short_hits_prefer_small_units(self):
+        assert optimal_pe_count(10) == 16
+        assert optimal_pe_count(16) == 16
+
+    def test_mid_hits(self):
+        assert optimal_pe_count(30) == 32
+        assert optimal_pe_count(60) == 64
+
+    def test_long_hits(self):
+        assert optimal_pe_count(128) == 128
+        assert optimal_pe_count(100) == 128
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_pe_count(0)
+        with pytest.raises(ValueError):
+            optimal_pe_count(10, choices=())
+
+
+class TestSystolicArray:
+    def test_latency_with_traceback(self):
+        array = SystolicArray(pe_count=3)
+        assert array.latency(9, 9) == 33 + 18
+        assert array.latency(9, 9, include_traceback=False) == 33
+
+    def test_utilization_bounds(self):
+        array = SystolicArray(pe_count=64)
+        util = array.utilization(64, 64)
+        assert 0 < util <= 1
+
+    def test_matched_size_utilization_beats_oversized(self):
+        matched = SystolicArray(16).utilization(16, 16)
+        oversized = SystolicArray(128).utilization(16, 16)
+        assert matched > oversized
+
+    def test_invalid_pe(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0)
+
+
+class TestGACTTiling:
+    def test_short_pair_is_single_tile(self):
+        assert gact_tiled_latency(100, 100, 64, tile_size=256) == \
+            matrix_fill_latency(100, 100, 64)
+
+    def test_long_pair_is_sum_of_tiles(self):
+        total = gact_tiled_latency(1000, 1000, 64, tile_size=256, overlap=32)
+        single = matrix_fill_latency(256, 256, 64)
+        assert total > single
+        assert total % 1 == 0
+
+    def test_scales_with_length(self):
+        short = gact_tiled_latency(1000, 1000, 64)
+        long = gact_tiled_latency(4000, 4000, 64)
+        assert long > 3 * short
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gact_tiled_latency(10, 10, 4, tile_size=0)
+        with pytest.raises(ValueError):
+            gact_tiled_latency(10, 10, 4, tile_size=16, overlap=16)
+
+    def test_zero_lengths(self):
+        assert gact_tiled_latency(0, 10, 4) == 0
+
+
+@given(st.integers(1, 500), st.integers(1, 500), st.integers(1, 256))
+@settings(max_examples=80)
+def test_property_latency_positive_and_formula(r, q, p):
+    latency = matrix_fill_latency(r, q, p)
+    assert latency == (r + p - 1) * math.ceil(q / p)
+    assert latency >= max(r, q)  # cannot beat streaming either sequence
+
+
+@given(st.integers(1, 200))
+@settings(max_examples=40)
+def test_property_optimal_pe_is_weakly_monotone(length):
+    """Longer hits never prefer a smaller optimal unit class."""
+    if length > 1:
+        assert optimal_pe_count(length) >= optimal_pe_count(length - 1)

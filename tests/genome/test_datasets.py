@@ -1,0 +1,102 @@
+"""Tests for the dataset profile registry."""
+
+import pytest
+
+from repro.genome.datasets import (
+    DATASETS,
+    NA12878_INTERVAL_MASS,
+    DatasetProfile,
+    get_dataset,
+    long_read_datasets,
+    short_read_datasets,
+)
+from repro.genome.reads import ILLUMINA
+
+
+class TestRegistry:
+    def test_six_short_read_datasets(self):
+        assert len(short_read_datasets()) == 6
+
+    def test_three_long_read_datasets(self):
+        assert len(long_read_datasets()) == 3
+
+    def test_lookup_known(self):
+        assert get_dataset("H.s.").description.startswith("Homo sapiens")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("X.y.")
+
+    def test_all_masses_sum_to_one(self):
+        for profile in DATASETS.values():
+            assert abs(sum(profile.interval_mass) - 1.0) < 1e-9
+
+    def test_na12878_demand_mass_consistent_with_paper_config(self):
+        """s back-solved from x=(28,20,16,6), p=(16,32,64,128), N=2880."""
+        p = (16, 32, 64, 128)
+        x = (28, 20, 16, 6)
+        s = NA12878_INTERVAL_MASS
+        denom = sum(pj * sj for pj, sj in zip(p, s))
+        for xi, si in zip(x, s):
+            assert xi == pytest.approx(si * 2880 / denom, rel=0.01)
+
+    def test_count_mass_matches_demand_mass(self):
+        """The H.s. profile's length-weighted mass is the Eq-5 input."""
+        derived = get_dataset("H.s.").demand_mass()
+        for got, want in zip(derived, NA12878_INTERVAL_MASS):
+            assert got == pytest.approx(want, abs=0.005)
+
+    def test_short_reads_share_similar_distributions(self):
+        """Fig 14(b): 2nd-gen datasets have roughly NA12878-like mass."""
+        reference = get_dataset("H.s.").interval_mass
+        for profile in short_read_datasets():
+            for mass, ref in zip(profile.interval_mass, reference):
+                assert abs(mass - ref) < 0.08
+
+    def test_long_reads_shift_mass_right(self):
+        reference = get_dataset("H.s.").interval_mass
+        for profile in long_read_datasets():
+            assert profile.interval_mass[3] > reference[3]
+
+
+class TestDatasetProfile:
+    def test_invalid_mass_raises(self):
+        with pytest.raises(ValueError):
+            DatasetProfile(name="bad", description="", genome_length=1000,
+                           gc_content=0.4, read_length=100,
+                           error_model=ILLUMINA, long_read=False,
+                           interval_mass=(0.5, 0.5, 0.5, 0.5))
+
+    def test_build_reference_respects_length_override(self):
+        ref = get_dataset("C.e.").build_reference(seed=1, length=20_000)
+        assert len(ref) == 20_000
+
+    def test_simulate_reads(self):
+        profile = get_dataset("H.s.")
+        ref = profile.build_reference(seed=2, length=30_000)
+        reads = profile.simulate_reads(ref, 15, seed=3)
+        assert len(reads) == 15
+        assert all(abs(len(r) - profile.read_length) < 10 for r in reads)
+
+    def test_sample_hit_lengths_within_intervals(self):
+        profile = get_dataset("H.s.")
+        lengths = profile.sample_hit_lengths(500, seed=4)
+        assert all(1 <= length <= 128 for length in lengths)
+
+    def test_sample_hit_lengths_mass_matches(self):
+        profile = get_dataset("H.s.")
+        lengths = profile.sample_hit_lengths(20_000, seed=5)
+        bounds = (16, 32, 64, 128)
+        counts = [0, 0, 0, 0]
+        for length in lengths:
+            for idx, hi in enumerate(bounds):
+                if length <= hi:
+                    counts[idx] += 1
+                    break
+        for count, mass in zip(counts, profile.interval_mass):
+            assert abs(count / len(lengths) - mass) < 0.02
+
+    def test_sample_deterministic(self):
+        profile = get_dataset("Z.h.")
+        assert profile.sample_hit_lengths(50, seed=6) == \
+            profile.sample_hit_lengths(50, seed=6)

@@ -1,0 +1,90 @@
+"""Tests for FASTA/FASTQ IO."""
+
+import io
+
+import pytest
+
+from repro.genome.io import (
+    FormatError,
+    fasta_string,
+    parse_fasta,
+    parse_fastq,
+    read_reference,
+    write_fasta,
+    write_fastq,
+)
+from repro.genome.reads import Read
+from repro.genome.reference import Chromosome, ReferenceGenome, SyntheticReference
+
+
+class TestFasta:
+    def test_parse_simple(self):
+        text = ">chr1 description\nACGT\nacgt\n>chr2\nTTTT\n"
+        records = list(parse_fasta(io.StringIO(text)))
+        assert records == [("chr1", "ACGTACGT"), ("chr2", "TTTT")]
+
+    def test_parse_skips_blank_lines(self):
+        text = ">a\nAC\n\nGT\n"
+        assert list(parse_fasta(io.StringIO(text))) == [("a", "ACGT")]
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(FormatError):
+            list(parse_fasta(io.StringIO("ACGT\n>a\nAC\n")))
+
+    def test_empty_header_raises(self):
+        with pytest.raises(FormatError):
+            list(parse_fasta(io.StringIO(">\nACGT\n")))
+
+    def test_roundtrip_via_file(self, tmp_path):
+        ref = SyntheticReference(length=5_000, chromosomes=2, seed=1).build()
+        path = tmp_path / "ref.fa"
+        write_fasta(ref, path)
+        loaded = read_reference(path)
+        assert loaded.names == ref.names
+        assert loaded.concatenated() == ref.concatenated()
+
+    def test_read_reference_empty_raises(self):
+        with pytest.raises(FormatError):
+            read_reference(io.StringIO(""))
+
+    def test_fasta_string_wraps(self):
+        ref = ReferenceGenome([Chromosome("c", "A" * 100)])
+        out = fasta_string(ref, width=40)
+        lines = out.strip().split("\n")
+        assert lines[0] == ">c"
+        assert [len(l) for l in lines[1:]] == [40, 40, 20]
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        reads = [Read("r1", "ACGT", "IIII"), Read("r2", "GGCC", "!!!!")]
+        path = tmp_path / "reads.fq"
+        write_fastq(reads, path)
+        loaded = list(parse_fastq(path))
+        assert [(r.read_id, r.sequence, r.quality) for r in loaded] == \
+            [("r1", "ACGT", "IIII"), ("r2", "GGCC", "!!!!")]
+
+    def test_missing_quality_filled_on_write(self):
+        buffer = io.StringIO()
+        write_fastq([Read("r", "ACG")], buffer)
+        assert "III" in buffer.getvalue()
+
+    def test_bad_header_raises(self):
+        with pytest.raises(FormatError):
+            list(parse_fastq(io.StringIO("rX\nACGT\n+\nIIII\n")))
+
+    def test_bad_separator_raises(self):
+        with pytest.raises(FormatError):
+            list(parse_fastq(io.StringIO("@r\nACGT\nXXXX\nIIII\n")))
+
+    def test_quality_length_mismatch_raises(self):
+        with pytest.raises(FormatError):
+            list(parse_fastq(io.StringIO("@r\nACGT\n+\nII\n")))
+
+    def test_empty_id_raises(self):
+        with pytest.raises(FormatError):
+            list(parse_fastq(io.StringIO("@\nACGT\n+\nIIII\n")))
+
+    def test_lowercase_sequence_uppercased(self):
+        reads = list(parse_fastq(io.StringIO("@r\nacgt\n+\nIIII\n")))
+        assert reads[0].sequence == "ACGT"

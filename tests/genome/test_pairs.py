@@ -1,0 +1,68 @@
+"""Paired-end simulation tests."""
+
+import statistics
+
+import pytest
+
+from repro.genome.pairs import PairedReadSimulator, ReadPair
+from repro.genome.reads import ErrorModel, Read
+from repro.genome.reference import SyntheticReference
+from repro.genome.sequence import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return SyntheticReference(length=60_000, chromosomes=2, seed=91).build()
+
+
+class TestReadPair:
+    def test_insert_size(self):
+        pair = ReadPair("p", Read("p/1", "ACGT"), Read("p/2", "ACGT"),
+                        chrom="chr1", fragment_start=100, fragment_end=500)
+        assert pair.insert_size == 400
+
+    def test_insert_unknown_for_real_data(self):
+        pair = ReadPair("p", Read("p/1", "ACGT"), Read("p/2", "ACGT"))
+        assert pair.insert_size is None
+
+
+class TestPairedSimulator:
+    def test_count_and_ids(self, reference):
+        pairs = PairedReadSimulator(reference, seed=1).simulate(20)
+        assert len(pairs) == 20
+        assert pairs[0].mate1.read_id.endswith("/1")
+        assert pairs[0].mate2.read_id.endswith("/2")
+
+    def test_fr_orientation_ground_truth(self, reference):
+        sim = PairedReadSimulator(reference,
+                                  error_model=ErrorModel(0, 0, 0), seed=2)
+        for pair in sim.simulate(15):
+            chrom = reference.chromosome(pair.chrom)
+            frag = chrom.sequence[pair.fragment_start:pair.fragment_end]
+            assert pair.mate1.sequence == frag[:101]
+            assert pair.mate2.sequence == reverse_complement(frag[-101:])
+            assert not pair.mate1.reverse
+            assert pair.mate2.reverse
+
+    def test_insert_distribution(self, reference):
+        sim = PairedReadSimulator(reference, insert_mean=400, insert_sd=40,
+                                  seed=3)
+        inserts = [p.insert_size for p in sim.simulate(200)]
+        assert 380 < statistics.mean(inserts) < 420
+        assert 20 < statistics.stdev(inserts) < 70
+
+    def test_deterministic(self, reference):
+        a = PairedReadSimulator(reference, seed=4).simulate(5)
+        b = PairedReadSimulator(reference, seed=4).simulate(5)
+        assert [p.mate1.sequence for p in a] == \
+            [p.mate1.sequence for p in b]
+
+    def test_validation(self, reference):
+        with pytest.raises(ValueError):
+            PairedReadSimulator(reference, read_length=0)
+        with pytest.raises(ValueError):
+            PairedReadSimulator(reference, insert_mean=150)  # < 2 reads
+        with pytest.raises(ValueError):
+            PairedReadSimulator(reference, insert_mean=400, insert_sd=-1)
+        with pytest.raises(ValueError):
+            PairedReadSimulator(reference, insert_mean=50_000)

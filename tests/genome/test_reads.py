@@ -1,0 +1,114 @@
+"""Tests for the read simulator and error models."""
+
+import random
+
+import pytest
+
+from repro.genome.reads import (
+    ILLUMINA,
+    LONG_READ,
+    ErrorModel,
+    Read,
+    ReadSimulator,
+)
+from repro.genome.reference import SyntheticReference
+from repro.genome.sequence import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return SyntheticReference(length=40_000, chromosomes=2, seed=21).build()
+
+
+class TestRead:
+    def test_len(self):
+        assert len(Read("r", "ACGT")) == 4
+
+    def test_quality_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Read("r", "ACGT", quality="II")
+
+    def test_empty_quality_allowed(self):
+        assert Read("r", "ACGT").quality == ""
+
+
+class TestErrorModel:
+    def test_zero_rates_identity(self):
+        model = ErrorModel(0.0, 0.0, 0.0)
+        s = "ACGTACGTAC"
+        assert model.apply(s, random.Random(1)) == s
+
+    def test_substitutions_preserve_length(self):
+        model = ErrorModel(substitution_rate=0.5, insertion_rate=0.0,
+                           deletion_rate=0.0)
+        s = "A" * 200
+        out = model.apply(s, random.Random(2))
+        assert len(out) == len(s)
+        assert out != s
+
+    def test_deletions_shrink(self):
+        model = ErrorModel(substitution_rate=0.0, insertion_rate=0.0,
+                           deletion_rate=0.3)
+        s = "ACGT" * 100
+        assert len(model.apply(s, random.Random(3))) < len(s)
+
+    def test_insertions_grow(self):
+        model = ErrorModel(substitution_rate=0.0, insertion_rate=0.3,
+                           deletion_rate=0.0)
+        s = "ACGT" * 100
+        assert len(model.apply(s, random.Random(4))) > len(s)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            ErrorModel(substitution_rate=1.5)
+
+    def test_presets_ordering(self):
+        assert LONG_READ.substitution_rate > ILLUMINA.substitution_rate
+
+
+class TestReadSimulator:
+    def test_count_and_ids(self, reference):
+        reads = ReadSimulator(reference, read_length=101, seed=1).simulate(25)
+        assert len(reads) == 25
+        assert len({r.read_id for r in reads}) == 25
+
+    def test_deterministic(self, reference):
+        a = ReadSimulator(reference, read_length=101, seed=9).simulate(10)
+        b = ReadSimulator(reference, read_length=101, seed=9).simulate(10)
+        assert [r.sequence for r in a] == [r.sequence for r in b]
+
+    def test_quality_matches_length(self, reference):
+        for read in ReadSimulator(reference, seed=2).simulate(10):
+            assert len(read.quality) == len(read.sequence)
+
+    def test_ground_truth_without_errors(self, reference):
+        sim = ReadSimulator(reference, read_length=60,
+                            error_model=ErrorModel(0, 0, 0), seed=3)
+        for read in sim.simulate(20):
+            truth = reference.fetch(read.chrom, read.position,
+                                    read.position + 60)
+            expected = reverse_complement(truth) if read.reverse else truth
+            assert read.sequence == expected
+
+    def test_both_strands_sampled(self, reference):
+        reads = ReadSimulator(reference, seed=4).simulate(100)
+        strands = {r.reverse for r in reads}
+        assert strands == {True, False}
+
+    def test_forward_only(self, reference):
+        sim = ReadSimulator(reference, seed=5, both_strands=False)
+        assert all(not r.reverse for r in sim.simulate(30))
+
+    def test_read_length_too_long_raises(self, reference):
+        with pytest.raises(ValueError):
+            ReadSimulator(reference, read_length=10**7)
+
+    def test_invalid_read_length_raises(self, reference):
+        with pytest.raises(ValueError):
+            ReadSimulator(reference, read_length=0)
+
+    def test_iter_reads_lazy(self, reference):
+        iterator = ReadSimulator(reference, seed=6).iter_reads(5)
+        first = next(iterator)
+        assert first.read_id == "read_0"
+        assert sum(1 for _ in iterator) == 4

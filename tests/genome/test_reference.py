@@ -1,0 +1,97 @@
+"""Tests for the synthetic reference generator."""
+
+import pytest
+
+from repro.genome import gc_fraction
+from repro.genome.reference import (
+    Chromosome,
+    ReferenceGenome,
+    RepeatFamily,
+    SyntheticReference,
+)
+
+
+@pytest.fixture(scope="module")
+def small_reference():
+    return SyntheticReference(length=60_000, chromosomes=3, seed=11).build()
+
+
+class TestSyntheticReference:
+    def test_deterministic(self):
+        a = SyntheticReference(length=10_000, seed=5).build()
+        b = SyntheticReference(length=10_000, seed=5).build()
+        assert a.concatenated() == b.concatenated()
+
+    def test_seed_changes_genome(self):
+        a = SyntheticReference(length=10_000, seed=5).build()
+        b = SyntheticReference(length=10_000, seed=6).build()
+        assert a.concatenated() != b.concatenated()
+
+    def test_chromosome_count_and_names(self, small_reference):
+        assert small_reference.names == ["chr1", "chr2", "chr3"]
+
+    def test_total_length(self, small_reference):
+        assert len(small_reference) == 3 * (60_000 // 3)
+
+    def test_gc_content_near_target(self):
+        ref = SyntheticReference(length=100_000, gc_content=0.6, seed=2).build()
+        assert 0.55 < gc_fraction(ref.concatenated()) < 0.65
+
+    def test_repeats_are_annotated(self, small_reference):
+        assert small_reference.repeat_annotations
+        for name, start, end in small_reference.repeat_annotations:
+            assert name in small_reference.names
+            assert 0 <= start < end <= len(small_reference.chromosome(name))
+
+    def test_planted_repeat_sequences_recur(self):
+        family = RepeatFamily(consensus="ACGT" * 20, copies=10, divergence=0.0)
+        ref = SyntheticReference(length=50_000, chromosomes=1, seed=3,
+                                 repeat_families=[family]).build()
+        assert ref.concatenated().count("ACGT" * 20) >= 5
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticReference(length=0)
+
+    def test_invalid_chromosomes_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticReference(length=100, chromosomes=0)
+
+
+class TestReferenceGenome:
+    def test_fetch(self, small_reference):
+        chrom = small_reference.chromosomes[0]
+        assert small_reference.fetch(chrom.name, 10, 20) == chrom.sequence[10:20]
+
+    def test_fetch_out_of_range_raises(self, small_reference):
+        with pytest.raises(IndexError):
+            small_reference.fetch("chr1", -1, 5)
+        with pytest.raises(IndexError):
+            small_reference.fetch("chr1", 0, 10**9)
+
+    def test_fetch_linear_crosses_chromosomes(self):
+        ref = ReferenceGenome([Chromosome("a", "AAAA"), Chromosome("b", "CCCC")])
+        assert ref.fetch_linear(2, 6) == "AACC"
+
+    def test_fetch_linear_bounds(self, small_reference):
+        with pytest.raises(IndexError):
+            small_reference.fetch_linear(0, len(small_reference) + 1)
+
+    def test_locate_roundtrip(self, small_reference):
+        for linear in (0, 100, len(small_reference) - 1):
+            name, local = small_reference.locate(linear)
+            assert small_reference.offsets[name] + local == linear
+
+    def test_locate_out_of_range(self, small_reference):
+        with pytest.raises(IndexError):
+            small_reference.locate(len(small_reference))
+
+    def test_unknown_chromosome_raises(self, small_reference):
+        with pytest.raises(KeyError):
+            small_reference.chromosome("chrZ")
+
+    def test_concatenated_matches_offsets(self, small_reference):
+        cat = small_reference.concatenated()
+        for chrom in small_reference.chromosomes:
+            off = small_reference.offsets[chrom.name]
+            assert cat[off:off + len(chrom)] == chrom.sequence

@@ -1,0 +1,131 @@
+"""Unit and property tests for repro.genome.sequence."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genome import sequence as seq
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_encode_known_values(self):
+        assert seq.encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_encode_lowercase(self):
+        assert seq.encode("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_encode_empty(self):
+        assert seq.encode("").size == 0
+
+    def test_encode_invalid_raises(self):
+        with pytest.raises(seq.SequenceError):
+            seq.encode("ACGN")
+
+    def test_decode_known_values(self):
+        assert seq.decode(np.array([3, 2, 1, 0], dtype=np.uint8)) == "TGCA"
+
+    def test_decode_invalid_code_raises(self):
+        with pytest.raises(seq.SequenceError):
+            seq.decode(np.array([4], dtype=np.uint8))
+
+    @given(dna)
+    def test_roundtrip(self, s):
+        assert seq.decode(seq.encode(s)) == s
+
+
+class TestReverseComplement:
+    def test_known_value(self):
+        assert seq.reverse_complement("AACGTT") == "AACGTT"
+        assert seq.reverse_complement("ACCT") == "AGGT"
+
+    def test_invalid_raises(self):
+        with pytest.raises(seq.SequenceError):
+            seq.reverse_complement("AXC")
+
+    @given(dna)
+    def test_involution(self, s):
+        assert seq.reverse_complement(seq.reverse_complement(s)) == s
+
+    @given(dna)
+    def test_code_and_string_paths_agree(self, s):
+        via_code = seq.decode(seq.reverse_complement_code(seq.encode(s)))
+        assert via_code == seq.reverse_complement(s)
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        s = seq.random_sequence(500, random.Random(1))
+        assert len(s) == 500
+        assert set(s) <= set("ACGT")
+
+    def test_deterministic_with_seed(self):
+        a = seq.random_sequence(100, random.Random(7))
+        b = seq.random_sequence(100, random.Random(7))
+        assert a == b
+
+    def test_gc_content_respected(self):
+        s = seq.random_sequence(20_000, random.Random(3), gc_content=0.8)
+        assert 0.75 < seq.gc_fraction(s) < 0.85
+
+    def test_gc_zero_means_no_gc(self):
+        s = seq.random_sequence(200, random.Random(5), gc_content=0.0)
+        assert set(s) <= {"A", "T"}
+
+    def test_invalid_gc_raises(self):
+        with pytest.raises(ValueError):
+            seq.random_sequence(10, gc_content=1.5)
+
+
+class TestMutate:
+    def test_zero_rate_is_identity(self):
+        s = "ACGTACGTAC"
+        assert seq.mutate(s, 0.0, random.Random(1)) == s
+
+    def test_full_rate_changes_every_base(self):
+        s = "A" * 50
+        mutated = seq.mutate(s, 1.0, random.Random(2))
+        assert all(b != "A" for b in mutated)
+
+    def test_preserves_length(self):
+        s = seq.random_sequence(300, random.Random(9))
+        assert len(seq.mutate(s, 0.3, random.Random(4))) == len(s)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            seq.mutate("ACGT", -0.1)
+
+
+class TestHelpers:
+    def test_hamming_distance(self):
+        assert seq.hamming_distance("ACGT", "ACCT") == 1
+        assert seq.hamming_distance("AAAA", "TTTT") == 4
+
+    def test_hamming_unequal_lengths_raises(self):
+        with pytest.raises(ValueError):
+            seq.hamming_distance("AC", "A")
+
+    def test_kmers(self):
+        assert list(seq.kmers("ACGTA", 3)) == ["ACG", "CGT", "GTA"]
+
+    def test_kmers_k_too_large(self):
+        assert list(seq.kmers("ACG", 5)) == []
+
+    def test_kmers_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(seq.kmers("ACGT", 0))
+
+    def test_is_valid(self):
+        assert seq.is_valid("acgtACGT")
+        assert not seq.is_valid("ACGN")
+
+    def test_gc_fraction_empty(self):
+        assert seq.gc_fraction("") == 0.0
+
+    @given(dna)
+    def test_gc_fraction_bounds(self, s):
+        assert 0.0 <= seq.gc_fraction(s) <= 1.0

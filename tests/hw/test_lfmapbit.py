@@ -1,0 +1,69 @@
+"""LFMapBit layout and SRAM sizing tests."""
+
+import pytest
+
+from repro.hw.lfmapbit import (
+    PAPER_SU_TABLE_SRAM_MM2,
+    LFMapBitLayout,
+    cached_genome_span,
+    sram_area_mm2,
+)
+
+
+class TestLayout:
+    def test_paper_block_geometry(self):
+        """interval 128: 256 payload bits + 128 counter bits = 48 bytes."""
+        layout = LFMapBitLayout()
+        assert layout.payload_bits == 256
+        assert layout.counter_bits == 128
+        assert layout.block_bits == 384
+        assert layout.block_bytes == 48
+
+    def test_overhead_fraction(self):
+        assert LFMapBitLayout().overhead_fraction() == pytest.approx(1 / 3)
+        # doubling the interval halves the checkpoint tax
+        assert LFMapBitLayout(interval=256).overhead_fraction() == \
+            pytest.approx(0.2)
+
+    def test_blocks_for_genome(self):
+        layout = LFMapBitLayout()
+        assert layout.blocks_for(127) == 1
+        assert layout.blocks_for(128) == 2  # +1 sentinel spills over
+        assert layout.blocks_for(1_000_000) == -(-1_000_001 // 128)
+
+    def test_index_bits_scale_linearly(self):
+        layout = LFMapBitLayout()
+        assert layout.index_bits(2_000_000) == \
+            pytest.approx(2 * layout.index_bits(1_000_000), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LFMapBitLayout(interval=0)
+        with pytest.raises(ValueError):
+            LFMapBitLayout(count_bits=0)
+        with pytest.raises(ValueError):
+            LFMapBitLayout().blocks_for(0)
+
+
+class TestSRAMSizing:
+    def test_area_for_bits(self):
+        # 10 Mbit at 0.1 um^2/bit = 1 mm^2
+        assert sram_area_mm2(10_000_000, um2_per_bit=0.1) == \
+            pytest.approx(1.0)
+
+    def test_paper_budget_caches_megabases(self):
+        """Table II's 2.16 mm² SU SRAM covers a multi-megabase hot set —
+        consistent with a small but non-zero SRAM miss rate."""
+        span = cached_genome_span(PAPER_SU_TABLE_SRAM_MM2)
+        assert 2_000_000 < span < 20_000_000
+
+    def test_span_scales_with_budget(self):
+        assert cached_genome_span(4.0) > cached_genome_span(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sram_area_mm2(-1)
+        with pytest.raises(ValueError):
+            sram_area_mm2(10, um2_per_bit=0)
+        with pytest.raises(ValueError):
+            cached_genome_span(0)

@@ -1,0 +1,87 @@
+"""PopCount tree tests (Fig 6's critical-path component)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.popcount import PopCountTree, unit_mark_table
+
+
+class TestDepth:
+    def test_paper_depth_range(self):
+        """Sec IV-B: 64-512 units -> depth 6-9."""
+        assert PopCountTree(64).depth == 6
+        assert PopCountTree(128).depth == 7
+        assert PopCountTree(256).depth == 8
+        assert PopCountTree(512).depth == 9
+
+    def test_trivial_widths(self):
+        assert PopCountTree(1).depth == 0
+        assert PopCountTree(2).depth == 1
+        assert PopCountTree(3).depth == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PopCountTree(0)
+
+
+class TestTiming:
+    def test_meets_1ghz_up_to_512(self):
+        for width in (64, 128, 256, 512):
+            assert PopCountTree(width).meets_frequency(1e9)
+
+    def test_fails_at_high_frequency(self):
+        assert not PopCountTree(512).meets_frequency(5e9)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            PopCountTree(8).meets_frequency(0)
+
+
+class TestCounting:
+    def test_count(self):
+        tree = PopCountTree(8)
+        assert tree.count(np.array([1, 0, 1, 1, 0, 0, 0, 1])) == 4
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ValueError):
+            PopCountTree(4).count(np.array([1, 0]))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            PopCountTree(2).count(np.array([2, 0]))
+
+    def test_masked_count_fig6(self):
+        """unit_status=0110 inverted=1001; mask for unit 3 = 1110 ->
+        idle units before unit 3 = popcount(1001 & 1110) = 1."""
+        tree = PopCountTree(4)
+        inverted = np.array([1, 0, 0, 1])
+        table = unit_mark_table(4)
+        assert tree.masked_count(inverted, table[3]) == 1
+        assert tree.masked_count(inverted, table[0]) == 0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_property_count_equals_sum(self, bits):
+        arr = np.array(bits)
+        assert PopCountTree(arr.size).count(arr) == sum(bits)
+
+
+class TestMarkTable:
+    def test_paper_masks(self):
+        """'unit 0 corresponds to a mask of 0000, and unit 3 to 1110' —
+        the figure writes masks MSB-first over units 3..0; row i marks
+        all units with index < i."""
+        table = unit_mark_table(4)
+        assert table[0].tolist() == [0, 0, 0, 0]
+        assert table[3].tolist() == [1, 1, 1, 0]
+
+    def test_row_sums(self):
+        table = unit_mark_table(8)
+        for i in range(8):
+            assert table[i].sum() == i
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            unit_mark_table(0)

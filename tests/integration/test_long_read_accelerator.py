@@ -1,0 +1,58 @@
+"""Long-read pipeline → accelerator integration (the Sec. VI path)."""
+
+import pytest
+
+from repro.align.long_read import LongReadAligner
+from repro.core import NvWaAccelerator, baseline, workload_from_long_reads
+from repro.genome.reads import LONG_READ, ErrorModel, ReadSimulator
+from repro.genome.reference import SyntheticReference
+from repro.hw.extension_unit import GACT_TILE_SIZE
+
+
+@pytest.fixture(scope="module")
+def results():
+    reference = SyntheticReference(length=60_000, chromosomes=2,
+                                   seed=121).build()
+    aligner = LongReadAligner(reference)
+    reads = ReadSimulator(reference, read_length=1000,
+                          error_model=ErrorModel(0.01, 0.001, 0.001),
+                          seed=1).simulate(12)
+    return aligner.align_all(reads)
+
+
+class TestLongReadWorkload:
+    def test_conversion(self, results):
+        workload = workload_from_long_reads(results)
+        assert len(workload) == len(results)
+        mapped = sum(1 for r in results if r.aligned)
+        assert workload.total_hits == mapped
+
+    def test_windows_trigger_gact(self, results):
+        workload = workload_from_long_reads(results)
+        assert all(h.ref_len > GACT_TILE_SIZE
+                   for t in workload.tasks for h in t.hits)
+
+    def test_accelerator_processes_long_reads(self, results):
+        workload = workload_from_long_reads(results)
+        report = NvWaAccelerator(baseline.nvwa()).run(workload)
+        assert report.hits_processed == workload.total_hits
+        assert report.cycles > 0
+
+    def test_long_tasks_slower_than_short(self, results):
+        """GACT-tiled 1 kb windows cost far more than 101 bp extensions."""
+        from repro.core.workload import HitTask, ReadTask, Workload
+        long_wl = workload_from_long_reads(results)
+        short_tasks = [ReadTask(read_idx=t.read_idx,
+                                seeding_accesses=t.seeding_accesses,
+                                hits=tuple(
+                                    HitTask(t.read_idx, h.hit_idx, 20, 28)
+                                    for h in t.hits))
+                       for t in long_wl.tasks]
+        short_wl = Workload(short_tasks)
+        long_report = NvWaAccelerator(baseline.nvwa()).run(long_wl)
+        short_report = NvWaAccelerator(baseline.nvwa()).run(short_wl)
+        assert long_report.cycles > short_report.cycles
+
+    def test_invalid_params(self, results):
+        with pytest.raises(ValueError):
+            workload_from_long_reads(results, accesses_per_anchor=0)

@@ -1,0 +1,91 @@
+"""Table II model tests."""
+
+import pytest
+
+from repro.power.area_power import (
+    PAPER_BUFFER_DEPTH,
+    PAPER_INTERVALS,
+    PAPER_TOTAL_AREA_MM2,
+    PAPER_TOTAL_POWER_W,
+    TABLE_II,
+    component_totals,
+    coordinator_power,
+    module_breakdown,
+    scheduler_share,
+    total_power,
+)
+
+
+class TestTableII:
+    def test_itemised_power_matches_total(self):
+        """The itemised power rows sum to the published 5.754 W."""
+        _, power = component_totals()
+        assert power == pytest.approx(PAPER_TOTAL_POWER_W, abs=0.01)
+
+    def test_itemised_area_matches_total(self):
+        """Rows sum to the published 27.009 mm² up to rounding."""
+        area, _ = component_totals()
+        assert area == pytest.approx(PAPER_TOTAL_AREA_MM2, abs=0.01)
+
+    def test_compute_units_dominate(self):
+        """Paper: SUs+EUs account for 94.15% of area, 86.61% of power."""
+        breakdown = module_breakdown()
+        compute_area = breakdown["SUs"][0] + breakdown["EUs"][0]
+        compute_power = breakdown["SUs"][1] + breakdown["EUs"][1]
+        assert compute_area / PAPER_TOTAL_AREA_MM2 == \
+            pytest.approx(0.9415, abs=0.01)
+        assert compute_power / PAPER_TOTAL_POWER_W == \
+            pytest.approx(0.8661, abs=0.01)
+
+    def test_scheduler_share_matches_paper(self):
+        """Paper: schedulers are 1.58 mm² (5.84%) and 0.77 W (13.38%)."""
+        area_frac, power_frac = scheduler_share()
+        assert area_frac == pytest.approx(0.0584, abs=0.002)
+        assert power_frac == pytest.approx(0.1338, abs=0.002)
+
+    def test_all_rows_present(self):
+        modules = {c.module for c in TABLE_II}
+        assert modules == {"SUs", "EUs", "Seeding Scheduler",
+                           "Extension Scheduler", "Coordinator"}
+
+
+class TestCoordinatorPower:
+    def test_calibration_point(self):
+        assert coordinator_power(PAPER_INTERVALS, PAPER_BUFFER_DEPTH) == \
+            pytest.approx(0.257 + 0.215, abs=1e-6)
+
+    def test_buffer_dominates_at_small_intervals(self):
+        """Fig 13(b): buffer dominates when the interval count is small."""
+        p = coordinator_power(intervals=1, buffer_depth=1024)
+        sram_part = 0.257
+        assert sram_part / p > 0.5
+
+    def test_logic_dominates_at_large_intervals(self):
+        p = coordinator_power(intervals=16, buffer_depth=1024)
+        logic_part = p - 0.257
+        assert logic_part / p > 0.5
+
+    def test_monotone_in_depth(self):
+        assert coordinator_power(4, 2048) > coordinator_power(4, 512)
+
+    def test_monotone_in_intervals(self):
+        values = [coordinator_power(i, 1024) for i in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            coordinator_power(0, 1024)
+        with pytest.raises(ValueError):
+            coordinator_power(4, 0)
+
+
+class TestTotalPower:
+    def test_paper_point(self):
+        assert total_power() == pytest.approx(PAPER_TOTAL_POWER_W, abs=0.01)
+
+    def test_with_memory(self):
+        assert total_power(include_memory=True) == \
+            pytest.approx(7.685, abs=0.01)
+
+    def test_responds_to_coordinator(self):
+        assert total_power(intervals=16) > total_power(intervals=4)

@@ -1,0 +1,89 @@
+"""Energy comparison tests (Sec. V-C factors)."""
+
+import pytest
+
+from repro.baselines.platforms import CPU_BWA_MEM, GENAX, GENCACHE, GPU_GASAL2
+from repro.power.energy import (
+    EnergyPoint,
+    energy_comparison,
+    energy_per_read_reduction,
+    nvwa_power,
+    power_reduction,
+    throughput_per_watt_ratio,
+)
+
+
+class TestEnergyPoint:
+    def test_joules_per_kread(self):
+        point = EnergyPoint("x", power_watts=10.0, kreads_per_second=100.0)
+        assert point.joules_per_kread == pytest.approx(0.1)
+        assert point.kreads_per_joule == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyPoint("x", power_watts=0, kreads_per_second=1)
+        with pytest.raises(ValueError):
+            EnergyPoint("x", power_watts=1, kreads_per_second=0)
+
+
+class TestPaperFactors:
+    """Reproduce the paper's published energy-reduction factors."""
+
+    def test_cpu_factor(self):
+        cpu = EnergyPoint("CPU", CPU_BWA_MEM.power_watts, 99.7)
+        assert power_reduction(cpu, nvwa_power(True)) == \
+            pytest.approx(14.21, rel=0.02)
+
+    def test_gpu_factor(self):
+        gpu = EnergyPoint("GPU", GPU_GASAL2.power_watts, 245.8)
+        assert power_reduction(gpu, nvwa_power(True)) == \
+            pytest.approx(5.60, rel=0.02)
+
+    def test_genax_factor(self):
+        genax = EnergyPoint("GenAx", GENAX.power_watts, 4058.6)
+        assert power_reduction(genax, nvwa_power(False)) == \
+            pytest.approx(4.34, rel=0.02)
+
+    def test_gencache_factor(self):
+        gencache = EnergyPoint("GenCache", GENCACHE.power_watts, 21369.6)
+        assert power_reduction(gencache, nvwa_power(False)) == \
+            pytest.approx(5.85, rel=0.02)
+
+    def test_throughput_per_watt_genax(self):
+        """Paper: NvWa's throughput/Watt is 52.62x GenAx's."""
+        nvwa = EnergyPoint("NvWa", nvwa_power(False), 49150.0)
+        genax = EnergyPoint("GenAx", GENAX.power_watts, 4058.6)
+        assert throughput_per_watt_ratio(nvwa, genax) == \
+            pytest.approx(52.62, rel=0.02)
+
+    def test_throughput_per_watt_gencache(self):
+        nvwa = EnergyPoint("NvWa", nvwa_power(False), 49150.0)
+        gencache = EnergyPoint("GenCache", GENCACHE.power_watts, 21369.6)
+        assert throughput_per_watt_ratio(nvwa, gencache) == \
+            pytest.approx(13.50, rel=0.02)
+
+
+class TestEnergyComparison:
+    def test_full_table(self):
+        baselines = {
+            "CPU-BWA-MEM": EnergyPoint("CPU", 109.0, 99.7),
+            "ASIC-GenAx": EnergyPoint("GenAx", 24.73, 4058.6),
+        }
+        table = energy_comparison(49150.0, baselines)
+        assert table["CPU-BWA-MEM"]["power_reduction"] == \
+            pytest.approx(14.18, rel=0.02)
+        assert table["ASIC-GenAx"]["throughput_per_watt_ratio"] == \
+            pytest.approx(52.6, rel=0.02)
+        # energy-per-read reduction folds in the speedup too
+        assert table["CPU-BWA-MEM"]["energy_per_read_reduction"] > 1000
+
+    def test_energy_per_read_reduction(self):
+        slow_hungry = EnergyPoint("x", 100.0, 10.0)
+        fast_lean = EnergyPoint("y", 10.0, 1000.0)
+        assert energy_per_read_reduction(slow_hungry, fast_lean) == \
+            pytest.approx(1000.0)
+
+    def test_invalid_nvwa_power(self):
+        point = EnergyPoint("x", 10.0, 10.0)
+        with pytest.raises(ValueError):
+            power_reduction(point, 0)

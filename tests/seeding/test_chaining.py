@@ -1,0 +1,130 @@
+"""Tests for seed filtering and chaining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seeding.chaining import (
+    Anchor,
+    Chain,
+    chain_anchors,
+    filter_anchors,
+    top_chains,
+)
+
+
+def anchor(rs, re, ref, reverse=False):
+    return Anchor(read_start=rs, read_end=re, ref_start=ref, reverse=reverse)
+
+
+class TestAnchor:
+    def test_length_and_diagonal(self):
+        a = anchor(10, 30, 110)
+        assert a.length == 20
+        assert a.ref_end == 130
+        assert a.diagonal == 100
+
+    def test_empty_span_raises(self):
+        with pytest.raises(ValueError):
+            anchor(5, 5, 0)
+
+
+class TestFilter:
+    def test_drops_short(self):
+        anchors = [anchor(0, 5, 0), anchor(0, 25, 0)]
+        assert filter_anchors(anchors, 19) == [anchors[1]]
+
+    def test_zero_threshold_keeps_all(self):
+        anchors = [anchor(0, 1, 0)]
+        assert filter_anchors(anchors, 0) == anchors
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            filter_anchors([], -1)
+
+
+class TestChaining:
+    def test_colinear_anchors_chain(self):
+        """Fig 1: Seed 2 and Seed 3 with close coordinates chain."""
+        a = anchor(0, 20, 1000)
+        b = anchor(25, 45, 1026)  # diagonal 1001 vs 1000, gap 6
+        chains = chain_anchors([a, b])
+        assert len(chains) == 1
+        assert chains[0].read_start == 0 and chains[0].read_end == 45
+        assert chains[0].ref_start == 1000 and chains[0].ref_end == 1046
+
+    def test_distant_anchors_stay_apart(self):
+        a = anchor(0, 20, 1000)
+        b = anchor(25, 45, 9000)
+        assert len(chain_anchors([a, b])) == 2
+
+    def test_different_diagonals_stay_apart(self):
+        a = anchor(0, 20, 1000)
+        b = anchor(0, 20, 1060)  # same read span, diagonal differs by 60
+        assert len(chain_anchors([a, b], max_gap=100,
+                                 max_diagonal_diff=25)) == 2
+
+    def test_opposite_strands_never_chain(self):
+        a = anchor(0, 20, 1000)
+        b = anchor(25, 45, 1026, reverse=True)
+        assert len(chain_anchors([a, b])) == 2
+
+    def test_read_order_respected(self):
+        # Anchor earlier in the read but later in the reference: inversion,
+        # must not chain.
+        a = anchor(30, 50, 1000)
+        b = anchor(0, 20, 1030)
+        chains = chain_anchors([a, b], max_diagonal_diff=50)
+        assert len(chains) == 2
+
+    def test_three_way_chain(self):
+        anchors = [anchor(0, 15, 500), anchor(20, 35, 521),
+                   anchor(40, 60, 541)]
+        chains = chain_anchors(anchors)
+        assert len(chains) == 1
+        assert len(chains[0].anchors) == 3
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            chain_anchors([], max_gap=-1)
+        with pytest.raises(ValueError):
+            chain_anchors([], max_diagonal_diff=-1)
+
+    def test_empty_input(self):
+        assert chain_anchors([]) == []
+
+
+class TestChainStats:
+    def test_length_is_read_span(self):
+        chain = Chain((anchor(5, 20, 100), anchor(30, 50, 126)), False)
+        assert chain.length == 45
+        assert chain.anchor_bases == 35
+
+    def test_top_chains_ranked_by_weight(self):
+        light = Chain((anchor(0, 10, 0),), False)
+        heavy = Chain((anchor(0, 40, 0),), False)
+        assert top_chains([light, heavy], 1) == [heavy]
+
+    def test_top_chains_invalid_limit(self):
+        with pytest.raises(ValueError):
+            top_chains([], 0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 80), st.integers(1, 20),
+                          st.integers(0, 5000), st.booleans()),
+                min_size=0, max_size=25))
+@settings(max_examples=50)
+def test_property_chaining_partitions_anchors(specs):
+    anchors = [anchor(rs, rs + ln, ref, rev)
+               for rs, ln, ref, rev in specs]
+    chains = chain_anchors(anchors)
+    chained = [a for c in chains for a in c.anchors]
+    assert sorted(chained, key=id) == sorted(anchors, key=id) or \
+        len(chained) == len(anchors)
+    # every chain is strand-pure and ordered in both coordinates
+    for chain in chains:
+        strands = {a.reverse for a in chain.anchors}
+        assert len(strands) == 1
+        for prev, nxt in zip(chain.anchors, chain.anchors[1:]):
+            assert nxt.ref_start >= prev.ref_start
+            assert nxt.read_start >= prev.read_start

@@ -1,0 +1,102 @@
+"""DP chaining tests: against greedy chaining and on adversarial inputs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seeding.chaining import Anchor, chain_anchors, chain_anchors_dp
+
+
+def anchor(rs, length, ref, reverse=False):
+    return Anchor(read_start=rs, read_end=rs + length, ref_start=ref,
+                  reverse=reverse)
+
+
+def colinear_chain(start_read, start_ref, count, step=30, length=15):
+    return [anchor(start_read + i * step, length, start_ref + i * step)
+            for i in range(count)]
+
+
+class TestBasicBehaviour:
+    def test_simple_colinear_chain(self):
+        anchors = colinear_chain(0, 1000, 5)
+        chains = chain_anchors_dp(anchors)
+        assert len(chains[0].anchors) == 5
+
+    def test_strands_never_mix(self):
+        anchors = colinear_chain(0, 1000, 3) + [
+            anchor(90, 15, 1090, reverse=True)]
+        for chain in chain_anchors_dp(anchors):
+            assert len({a.reverse for a in chain.anchors}) == 1
+
+    def test_min_score_filters_noise(self):
+        lone = [anchor(0, 2, 5000)]
+        assert chain_anchors_dp(lone, min_score=5.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_anchors_dp([], max_gap=-1)
+        with pytest.raises(ValueError):
+            chain_anchors_dp([], lookback=0)
+
+    def test_empty(self):
+        assert chain_anchors_dp([]) == []
+
+
+class TestBeatsGreedyOnNoise:
+    def test_spurious_anchor_does_not_fracture_the_chain(self):
+        """A repeat-induced off-diagonal anchor interleaved in ref order
+        fractures the greedy chain but not the DP chain."""
+        true_chain = colinear_chain(0, 1000, 6, step=40)
+        decoy = anchor(80, 15, 1_000_000)  # read middle, far locus
+        anchors = true_chain[:3] + [decoy] + true_chain[3:]
+        dp_best = max(chain_anchors_dp(anchors),
+                      key=lambda c: c.anchor_bases)
+        assert len(dp_best.anchors) == 6
+
+    def test_interleaved_decoys_near_diagonal(self):
+        """Decoys on a nearby diagonal within the gap horizon can trap the
+        greedy scan; the DP picks the straight path."""
+        rng = random.Random(1)
+        true_chain = colinear_chain(0, 5000, 8, step=35)
+        decoys = [anchor(rng.randrange(0, 250), 15,
+                         5000 + rng.randrange(0, 300) + 400)
+                  for _ in range(5)]
+        anchors = true_chain + decoys
+        dp_best = max(chain_anchors_dp(anchors),
+                      key=lambda c: c.anchor_bases)
+        starts = {a.ref_start for a in dp_best.anchors}
+        assert starts >= {a.ref_start for a in true_chain[:6]}
+
+    def test_dp_never_worse_than_greedy_on_clean_input(self):
+        anchors = colinear_chain(0, 2000, 10)
+        greedy_best = max(chain_anchors(anchors),
+                          key=lambda c: c.anchor_bases)
+        dp_best = max(chain_anchors_dp(anchors),
+                      key=lambda c: c.anchor_bases)
+        assert dp_best.anchor_bases >= greedy_best.anchor_bases
+
+
+class TestChainGeometry:
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(5, 20),
+                              st.integers(0, 20_000), st.booleans()),
+                    min_size=0, max_size=30))
+    @settings(max_examples=40)
+    def test_property_chains_are_colinear(self, specs):
+        anchors = [anchor(rs, ln, ref, rev) for rs, ln, ref, rev in specs]
+        for chain in chain_anchors_dp(anchors, min_score=0.0):
+            for prev, nxt in zip(chain.anchors, chain.anchors[1:]):
+                assert nxt.read_start >= prev.read_end
+                assert nxt.ref_start >= prev.ref_end
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(5, 20),
+                              st.integers(0, 20_000)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=40)
+    def test_property_anchors_used_at_most_once(self, specs):
+        anchors = [anchor(rs, ln, ref) for rs, ln, ref in specs]
+        chains = chain_anchors_dp(anchors, min_score=0.0)
+        seen = [id(a) for c in chains for a in c.anchors]
+        assert len(seen) == len(set(seen))

@@ -1,0 +1,105 @@
+"""Tests for the Darwin-style k-mer hash index."""
+
+import random
+
+import pytest
+
+from repro.genome.sequence import random_sequence
+from repro.seeding.hashindex import KmerHashIndex
+
+
+def naive_positions(text, pattern):
+    out, start = [], 0
+    while True:
+        idx = text.find(pattern, start)
+        if idx < 0:
+            return out
+        out.append(idx)
+        start = idx + 1
+
+
+@pytest.fixture(scope="module")
+def text():
+    return random_sequence(3000, random.Random(13))
+
+
+@pytest.fixture(scope="module")
+def index(text):
+    return KmerHashIndex(text, k=8)
+
+
+class TestConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KmerHashIndex("ACGT", k=0)
+        with pytest.raises(ValueError):
+            KmerHashIndex("ACGT", k=14)
+
+    def test_rejects_short_text(self):
+        with pytest.raises(ValueError):
+            KmerHashIndex("ACG", k=8)
+
+    def test_footprint_includes_pointer_table(self, index):
+        assert index.memory_footprint_bits() >= (4 ** 8 + 1) * 32
+
+
+class TestLookup:
+    def test_matches_naive(self, index, text):
+        rng = random.Random(14)
+        for _ in range(30):
+            start = rng.randrange(0, len(text) - 8)
+            kmer = text[start:start + 8]
+            assert index.lookup(kmer) == naive_positions(text, kmer)
+
+    def test_absent_kmer(self, index, text):
+        # Find a k-mer absent from the text (try random candidates).
+        rng = random.Random(15)
+        for _ in range(50):
+            kmer = random_sequence(8, rng)
+            if kmer not in text:
+                assert index.lookup(kmer) == []
+                return
+        pytest.skip("all candidates present (astronomically unlikely)")
+
+    def test_count_matches_lookup(self, index, text):
+        kmer = text[100:108]
+        assert index.count(kmer) == len(index.lookup(kmer))
+
+    def test_max_hits(self):
+        index = KmerHashIndex("AT" * 100, k=2)
+        assert len(index.lookup("AT", max_hits=5)) == 5
+
+    def test_wrong_length_kmer_raises(self, index):
+        with pytest.raises(ValueError):
+            index.lookup("ACG")
+
+
+class TestAccessModel:
+    def test_two_plus_p_accesses(self, index, text):
+        """The paper's footnote: 2 pointer accesses + P position accesses."""
+        kmer = text[500:508]
+        p = len(naive_positions(text, kmer))
+        index.stats.reset()
+        index.lookup(kmer)
+        assert index.stats.pointer_accesses == 2
+        assert index.stats.position_accesses == p
+        assert index.stats.total == 2 + p
+
+    def test_count_charges_pointers_only(self, index, text):
+        index.stats.reset()
+        index.count(text[0:8])
+        assert index.stats.total == 2
+
+
+class TestSeedsForRead:
+    def test_anchors_are_true_matches(self, index, text):
+        read = text[700:760]
+        for read_pos, ref_pos in index.seeds_for_read(read):
+            assert text[ref_pos:ref_pos + 8] == read[read_pos:read_pos + 8]
+
+    def test_stride(self, index, text):
+        read = text[700:760]
+        all_pos = {rp for rp, _ in index.seeds_for_read(read, stride=1)}
+        strided = {rp for rp, _ in index.seeds_for_read(read, stride=4)}
+        assert strided <= all_pos
+        assert all(rp % 4 == 0 for rp in strided)

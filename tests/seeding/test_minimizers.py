@@ -1,0 +1,136 @@
+"""Minimizer sampling and index tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.sequence import random_sequence, reverse_complement
+from repro.seeding.minimizers import (
+    MinimizerIndex,
+    hash64,
+    minimizers,
+)
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64(12345) == hash64(12345)
+
+    def test_distinct_keys_distinct_hashes(self):
+        values = {hash64(k) for k in range(1000)}
+        assert len(values) == 1000  # invertible => injective
+
+    def test_stays_in_64_bits(self):
+        assert hash64((1 << 64) - 1) < (1 << 64)
+
+
+class TestMinimizers:
+    def test_every_window_is_covered(self):
+        """Core minimizer property: each w-window of k-mers contains a
+        sampled minimizer."""
+        text = random_sequence(500, random.Random(1))
+        k, w = 11, 8
+        sampled = {m.position for m in minimizers(text, k=k, w=w)}
+        n_kmers = len(text) - k + 1
+        for start in range(n_kmers - w + 1):
+            window = set(range(start, start + w))
+            assert window & sampled, f"window at {start} uncovered"
+
+    def test_positions_sorted_and_deduped(self):
+        text = random_sequence(300, random.Random(2))
+        ms = minimizers(text, k=9, w=5)
+        keys = [(m.position, m.hash_value) for m in ms]
+        assert keys == sorted(set(keys), key=lambda t: keys.index(t))
+
+    def test_density_near_two_over_w_plus_one(self):
+        """Expected minimizer density is ~2/(w+1) on random sequence."""
+        text = random_sequence(20_000, random.Random(3))
+        w = 10
+        ms = minimizers(text, k=15, w=w)
+        density = len(ms) / (len(text) - 15 + 1)
+        assert 0.5 * 2 / (w + 1) < density < 2.0 * 2 / (w + 1)
+
+    def test_strand_symmetry(self):
+        """Canonical k-mers: a sequence and its reverse complement sample
+        the same multiset of minimizer hashes."""
+        text = random_sequence(400, random.Random(4))
+        fwd = sorted(m.hash_value for m in minimizers(text, k=11, w=6))
+        rev = sorted(m.hash_value
+                     for m in minimizers(reverse_complement(text), k=11, w=6))
+        assert fwd == rev
+
+    def test_short_sequence(self):
+        assert minimizers("ACGT", k=15, w=10) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            minimizers("ACGT", k=0)
+        with pytest.raises(ValueError):
+            minimizers("ACGT", k=3, w=0)
+
+
+class TestMinimizerIndex:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return random_sequence(5000, random.Random(5))
+
+    @pytest.fixture(scope="class")
+    def index(self, text):
+        return MinimizerIndex(text, k=13, w=8)
+
+    def test_anchors_are_true_matches(self, index, text):
+        read = text[1000:1400]
+        anchors = index.anchors(read)
+        assert anchors
+        k = index.k
+        for hit in anchors:
+            if not hit.reverse:
+                assert text[hit.ref_pos:hit.ref_pos + k] == \
+                    read[hit.query_pos:hit.query_pos + k]
+
+    def test_reverse_strand_read_found(self, index, text):
+        read = reverse_complement(text[2000:2400])
+        anchors = index.anchors(read)
+        reverse_hits = [h for h in anchors if h.reverse]
+        assert len(reverse_hits) > 5
+
+    def test_anchor_density(self, index, text):
+        """A 400 bp exact read should anchor roughly every w/2 bases."""
+        read = text[3000:3400]
+        anchors = [h for h in index.anchors(read) if not h.reverse]
+        assert len(anchors) > 400 / (index.w + 1)
+
+    def test_repeat_masking(self, text):
+        index = MinimizerIndex(text, k=13, w=8, max_occurrences=1)
+        # any key occurring more than once is masked
+        for entries in index._table.values():
+            if len(entries) > 1:
+                key = next(k for k, v in index._table.items()
+                           if v is entries)
+                assert index.lookup(key) == []
+                break
+
+    def test_footprint_positive(self, index):
+        assert index.memory_footprint_bits() > 0
+        assert len(index) > 0
+
+    def test_invalid_max_occurrences(self, text):
+        with pytest.raises(ValueError):
+            MinimizerIndex(text, max_occurrences=0)
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=25, deadline=None)
+def test_property_window_coverage(seed):
+    rng = random.Random(seed)
+    text = random_sequence(rng.randint(30, 200), rng)
+    k = rng.randint(5, 12)
+    w = rng.randint(1, 8)
+    if len(text) < k:
+        return
+    sampled = {m.position for m in minimizers(text, k=k, w=w)}
+    n_kmers = len(text) - k + 1
+    for start in range(max(0, n_kmers - w + 1)):
+        assert set(range(start, start + w)) & sampled

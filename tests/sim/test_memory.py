@@ -1,0 +1,99 @@
+"""Tests for the DRAM/HBM memory model."""
+
+import pytest
+
+from repro.sim.memory import DDR4, HBM_1_0, MemoryModel, MemorySpec
+
+
+class TestSpecs:
+    def test_presets_sane(self):
+        assert HBM_1_0.energy_pj_per_bit == 7.0  # Sec V-B figure
+        assert HBM_1_0.bandwidth_bytes_per_cycle == 256  # 256 GB/s at 1 GHz
+        assert DDR4.bandwidth_bytes_per_cycle < HBM_1_0.bandwidth_bytes_per_cycle
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySpec("bad", row_hit_latency=0, row_miss_latency=10,
+                       bandwidth_bytes_per_cycle=1, banks=1, row_bytes=1,
+                       energy_pj_per_bit=1.0)
+        with pytest.raises(ValueError):
+            MemorySpec("bad", row_hit_latency=20, row_miss_latency=10,
+                       bandwidth_bytes_per_cycle=1, banks=1, row_bytes=1,
+                       energy_pj_per_bit=1.0)
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        mem = MemoryModel()
+        latency = mem.access(0)
+        assert latency >= HBM_1_0.row_miss_latency
+        assert mem.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        mem = MemoryModel()
+        mem.access(0)
+        latency = mem.access(64)
+        assert latency == HBM_1_0.row_hit_latency
+        assert mem.stats.row_hits == 1
+
+    def test_different_row_same_bank_misses(self):
+        mem = MemoryModel()
+        mem.access(0)
+        far = HBM_1_0.row_bytes * HBM_1_0.banks  # same bank, next row
+        mem.access(far)
+        assert mem.stats.row_misses == 2
+
+    def test_energy_accounting(self):
+        mem = MemoryModel()
+        mem.access(0, size_bytes=64)
+        assert mem.stats.energy_pj == pytest.approx(64 * 8 * 7.0)
+
+    def test_invalid_inputs(self):
+        mem = MemoryModel()
+        with pytest.raises(ValueError):
+            mem.access(-1)
+        with pytest.raises(ValueError):
+            mem.access(0, size_bytes=0)
+
+    def test_reset(self):
+        mem = MemoryModel()
+        mem.access(0)
+        mem.reset()
+        assert mem.stats.accesses == 0
+        assert mem.stats.row_hit_rate == 0.0
+
+
+class TestBurstLatency:
+    def test_zero_accesses_free(self):
+        assert MemoryModel().burst_latency(0, 0) == 0
+
+    def test_parallelism_reduces_latency(self):
+        serial = MemoryModel().burst_latency(64 * 100, 100, parallelism=1)
+        parallel = MemoryModel().burst_latency(64 * 100, 100, parallelism=8)
+        assert parallel < serial
+
+    def test_bandwidth_floor(self):
+        mem = MemoryModel()
+        # Huge transfer with few accesses: bandwidth-bound.
+        latency = mem.burst_latency(1_000_000, 1, parallelism=64)
+        assert latency >= 1_000_000 // HBM_1_0.bandwidth_bytes_per_cycle
+
+    def test_row_hit_fraction_effect(self):
+        hot = MemoryModel().burst_latency(6400, 100, row_hit_fraction=1.0)
+        cold = MemoryModel().burst_latency(6400, 100, row_hit_fraction=0.0)
+        assert hot < cold
+
+    def test_invalid_params(self):
+        mem = MemoryModel()
+        with pytest.raises(ValueError):
+            mem.burst_latency(10, -1)
+        with pytest.raises(ValueError):
+            mem.burst_latency(10, 1, parallelism=0)
+        with pytest.raises(ValueError):
+            mem.burst_latency(10, 1, row_hit_fraction=2.0)
+
+    def test_stats_updated(self):
+        mem = MemoryModel()
+        mem.burst_latency(640, 10)
+        assert mem.stats.accesses == 10
+        assert mem.stats.bytes_transferred == 640

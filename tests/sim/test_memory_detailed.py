@@ -1,0 +1,134 @@
+"""Request-level memory scheduler tests + cross-validation of the summary
+model's assumptions."""
+
+import random
+
+import pytest
+
+from repro.sim.memory import HBM_1_0, MemoryModel
+from repro.sim.memory_detailed import (
+    DetailedMemory,
+    observed_parallelism,
+    observed_row_hit_fraction,
+)
+
+
+class TestBasics:
+    def test_single_request(self):
+        mem = DetailedMemory()
+        mem.submit(0, size_bytes=64)
+        (done,) = mem.drain()
+        assert not done.row_hit  # cold row
+        assert done.latency >= HBM_1_0.row_miss_latency
+
+    def test_row_hit_after_open(self):
+        mem = DetailedMemory()
+        mem.submit(0)
+        mem.submit(64)  # same row
+        first, second = mem.drain()
+        assert not first.row_hit
+        assert second.row_hit
+
+    def test_fr_fcfs_prefers_open_row(self):
+        """Among queued requests, the open row's request is served first
+        even if an older request targets a closed row."""
+        mem = DetailedMemory()
+        row_bytes = HBM_1_0.row_bytes
+        banks = HBM_1_0.banks
+        # Same bank: rows 0 and `banks` both map to bank 0.
+        mem.submit(0, issue_time=0)                       # opens row 0
+        mem.submit(row_bytes * banks, issue_time=1)       # other row, older
+        mem.submit(128, issue_time=2)                     # row 0 again
+        completions = mem.drain()
+        order = [c.request.address for c in completions]
+        assert order.index(128) < order.index(row_bytes * banks)
+
+    def test_banks_overlap(self):
+        """Requests to distinct banks overlap (service times interleave)."""
+        mem = DetailedMemory()
+        for bank in range(4):
+            mem.submit(bank * HBM_1_0.row_bytes, issue_time=0)
+        completions = mem.drain()
+        makespan = max(c.finish_time for c in completions)
+        serial = 4 * HBM_1_0.row_miss_latency
+        assert makespan < serial
+
+    def test_same_bank_serialises(self):
+        mem = DetailedMemory()
+        stride = HBM_1_0.row_bytes * HBM_1_0.banks  # same bank, new row
+        for i in range(4):
+            mem.submit(i * stride, issue_time=0)
+        completions = mem.drain()
+        makespan = max(c.finish_time for c in completions)
+        assert makespan >= 4 * HBM_1_0.row_miss_latency
+
+    def test_drain_clears(self):
+        mem = DetailedMemory()
+        mem.submit(0)
+        assert len(mem.drain()) == 1
+        assert mem.drain() == []
+
+    def test_request_validation(self):
+        mem = DetailedMemory()
+        with pytest.raises(ValueError):
+            mem.submit(-1)
+        with pytest.raises(ValueError):
+            mem.submit(0, size_bytes=0)
+        with pytest.raises(ValueError):
+            mem.submit(0, issue_time=-1)
+
+
+class TestObservables:
+    def test_sequential_stream_mostly_hits(self):
+        mem = DetailedMemory()
+        for i in range(200):
+            mem.submit(i * 64, issue_time=i)
+        fraction = observed_row_hit_fraction(mem.drain())
+        assert fraction > 0.9
+
+    def test_random_stream_mostly_misses(self):
+        rng = random.Random(1)
+        mem = DetailedMemory()
+        for i in range(200):
+            mem.submit(rng.randrange(0, 1 << 30) // 64 * 64, issue_time=i)
+        fraction = observed_row_hit_fraction(mem.drain())
+        assert fraction < 0.3
+
+    def test_parallelism_grows_with_bank_spread(self):
+        spread = DetailedMemory()
+        for i in range(64):
+            spread.submit((i % 16) * HBM_1_0.row_bytes
+                          + (i // 16) * HBM_1_0.row_bytes * HBM_1_0.banks,
+                          issue_time=0)
+        focused = DetailedMemory()
+        stride = HBM_1_0.row_bytes * HBM_1_0.banks
+        for i in range(64):
+            focused.submit(i * stride, issue_time=0)
+        assert observed_parallelism(spread.drain()) > \
+            observed_parallelism(focused.drain())
+
+    def test_empty_observables(self):
+        assert observed_row_hit_fraction([]) == 0.0
+        assert observed_parallelism([]) == 0.0
+
+
+class TestSummaryModelCrossValidation:
+    """The burst model's knobs should bracket the detailed behaviour."""
+
+    def test_burst_latency_within_factor_of_detailed(self):
+        rng = random.Random(2)
+        n = 128
+        detailed = DetailedMemory()
+        for i in range(n):
+            detailed.submit(rng.randrange(0, 1 << 26) // 16 * 16,
+                            size_bytes=16, issue_time=0)
+        completions = detailed.drain()
+        detailed_makespan = max(c.finish_time for c in completions)
+        hit_frac = observed_row_hit_fraction(completions)
+        mlp = observed_parallelism(completions)
+
+        summary = MemoryModel().burst_latency(
+            total_bytes=n * 16, accesses=n,
+            parallelism=max(1, int(round(mlp))),
+            row_hit_fraction=hit_frac)
+        assert summary == pytest.approx(detailed_makespan, rel=0.6)

@@ -1,0 +1,60 @@
+"""Tests for the Read SPM model."""
+
+import pytest
+
+from repro.sim.spm import Scratchpad
+
+
+class TestScratchpad:
+    def test_prefetch_then_hit(self):
+        spm = Scratchpad(capacity=4)
+        assert spm.prefetch(0)
+        assert spm.fetch(0) == spm.read_latency
+        assert spm.stats.hits == 1
+
+    def test_miss_pays_dram(self):
+        spm = Scratchpad(capacity=4, miss_penalty=45)
+        assert spm.fetch(7) == 45
+        assert spm.stats.misses == 1
+
+    def test_fetch_frees_slot(self):
+        spm = Scratchpad(capacity=1)
+        spm.prefetch(0)
+        assert not spm.prefetch(1)  # full
+        spm.fetch(0)
+        assert spm.prefetch(1)
+
+    def test_duplicate_prefetch_idempotent(self):
+        spm = Scratchpad(capacity=2)
+        assert spm.prefetch(0)
+        assert spm.prefetch(0)
+        assert spm.occupancy == 1
+        assert spm.stats.prefetches == 1
+
+    def test_capacity_enforced(self):
+        spm = Scratchpad(capacity=2)
+        assert spm.prefetch(0) and spm.prefetch(1)
+        assert not spm.prefetch(2)
+        assert spm.free_slots == 0
+
+    def test_evict(self):
+        spm = Scratchpad(capacity=2)
+        spm.prefetch(0)
+        spm.evict(0)
+        assert not spm.contains(0)
+        assert spm.stats.evictions == 1
+        spm.evict(99)  # no-op
+        assert spm.stats.evictions == 1
+
+    def test_hit_rate(self):
+        spm = Scratchpad(capacity=4)
+        spm.prefetch(0)
+        spm.fetch(0)
+        spm.fetch(1)
+        assert spm.stats.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Scratchpad(capacity=0)
+        with pytest.raises(ValueError):
+            Scratchpad(read_latency=0)

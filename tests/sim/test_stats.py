@@ -1,0 +1,92 @@
+"""Tests for utilization traces and counters."""
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import CounterSet, ThroughputResult, UtilizationTrace
+
+
+class TestUtilizationTrace:
+    def test_single_unit_full_busy(self):
+        trace = UtilizationTrace(1)
+        trace.begin(0, 0)
+        trace.end(0, 100)
+        assert trace.average_utilization(100) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        trace = UtilizationTrace(2)
+        trace.begin(0, 0)
+        trace.end(0, 100)
+        assert trace.average_utilization(100) == pytest.approx(0.5)
+
+    def test_window_start(self):
+        trace = UtilizationTrace(1)
+        trace.begin(0, 0)
+        trace.end(0, 50)
+        assert trace.average_utilization(100, start=50) == 0.0
+        assert trace.average_utilization(100, start=0) == pytest.approx(0.5)
+
+    def test_double_begin_raises(self):
+        trace = UtilizationTrace(1)
+        trace.begin(0, 0)
+        with pytest.raises(ValueError):
+            trace.begin(0, 5)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(1).end(0, 5)
+
+    def test_unit_bounds(self):
+        with pytest.raises(IndexError):
+            UtilizationTrace(2).begin(2, 0)
+
+    def test_close_all(self):
+        trace = UtilizationTrace(3)
+        trace.begin(0, 0)
+        trace.begin(1, 10)
+        trace.close_all(20)
+        assert trace.busy_cycles == 20 + 10
+
+    def test_series_shape_and_values(self):
+        trace = UtilizationTrace(1)
+        trace.begin(0, 0)
+        trace.end(0, 50)
+        series = trace.series(100, bins=10)
+        assert series.shape == (10,)
+        assert np.allclose(series[:5], 1.0)
+        assert np.allclose(series[5:], 0.0)
+
+    def test_series_partial_bin(self):
+        trace = UtilizationTrace(1)
+        trace.begin(0, 0)
+        trace.end(0, 25)
+        series = trace.series(100, bins=2)
+        assert series[0] == pytest.approx(0.5)
+
+    def test_series_empty(self):
+        assert np.all(UtilizationTrace(4).series(100) == 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            UtilizationTrace(0)
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("stalls")
+        counters.add("stalls", 4)
+        assert counters.get("stalls") == 5
+        assert counters.get("unknown") == 0
+        assert counters.as_dict() == {"stalls": 5}
+
+
+class TestThroughputResult:
+    def test_reads_per_second(self):
+        result = ThroughputResult(reads=1000, cycles=1_000_000)
+        # 1 Mcycle at 1 GHz = 1 ms -> 1e6 reads/s
+        assert result.reads_per_second == pytest.approx(1e6)
+        assert result.kreads_per_second == pytest.approx(1000.0)
+
+    def test_zero_cycles(self):
+        assert ThroughputResult(reads=10, cycles=0).reads_per_second == 0.0

@@ -1,0 +1,55 @@
+"""Execution trace tests."""
+
+import pytest
+
+from repro.sim.trace import ExecutionTrace
+
+
+class TestExecutionTrace:
+    def test_record_and_filter(self):
+        trace = ExecutionTrace()
+        trace.record(0, "SU0", "start", read=3)
+        trace.record(5, "EU1", "start", hit=7)
+        trace.record(9, "SU0", "finish")
+        assert len(trace) == 3
+        assert len(trace.events(source="SU0")) == 2
+        assert len(trace.events(kind="start")) == 2
+        assert trace.events(source="SU0", kind="finish")[0].cycle == 9
+
+    def test_span(self):
+        trace = ExecutionTrace()
+        assert trace.span() is None
+        trace.record(3, "x", "a")
+        trace.record(10, "x", "b")
+        assert trace.span() == range(3, 11)
+
+    def test_capacity_drops(self):
+        trace = ExecutionTrace(capacity=2)
+        for i in range(5):
+            trace.record(i, "x", "e")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_unbounded(self):
+        trace = ExecutionTrace(capacity=None)
+        for i in range(10):
+            trace.record(i, "x", "e")
+        assert len(trace) == 10
+
+    def test_render(self):
+        trace = ExecutionTrace()
+        trace.record(1, "SU0", "start", read=1)
+        text = trace.render()
+        assert "SU0" in text and "read=1" in text
+
+    def test_render_limit(self):
+        trace = ExecutionTrace()
+        for i in range(5):
+            trace.record(i, "x", "e")
+        assert "more events" in trace.render(limit=2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace(capacity=0)
+        with pytest.raises(ValueError):
+            ExecutionTrace().record(-1, "x", "e")

@@ -1,0 +1,74 @@
+"""End-to-end CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    """A simulated reference + reads pair on disk."""
+    prefix = tmp_path_factory.mktemp("cli") / "toy"
+    code = main(["simulate", "--length", "20000", "--reads", "30",
+                 "--out-prefix", str(prefix)])
+    assert code == 0
+    return prefix
+
+
+class TestSimulate:
+    def test_files_written(self, dataset):
+        assert (dataset.parent / "toy.fa").exists()
+        assert (dataset.parent / "toy.fq").exists()
+
+    def test_fasta_parses(self, dataset):
+        from repro.genome.io import read_reference
+        ref = read_reference(f"{dataset}.fa")
+        assert len(ref) == 20_000
+
+
+class TestAlign:
+    def test_align_writes_sam(self, dataset, tmp_path, capsys):
+        sam = tmp_path / "out.sam"
+        code = main(["align", "--reference", f"{dataset}.fa",
+                     "--reads", f"{dataset}.fq", "--out", str(sam)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "mapped" in captured
+        content = sam.read_text()
+        assert content.startswith("@HD")
+        body = [l for l in content.strip().split("\n")
+                if not l.startswith("@")]
+        assert len(body) == 30
+
+    def test_long_mode_runs(self, tmp_path, capsys):
+        prefix = tmp_path / "long"
+        main(["simulate", "--length", "30000", "--reads", "5",
+              "--read-length", "800", "--error-rate", "0.01",
+              "--out-prefix", str(prefix)])
+        code = main(["align", "--reference", f"{prefix}.fa",
+                     "--reads", f"{prefix}.fq", "--long"])
+        assert code == 0
+        assert "long-read mode" in capsys.readouterr().out
+
+
+class TestAccelerate:
+    def test_synthetic(self, capsys):
+        code = main(["accelerate", "--dataset", "C.e.", "--reads", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NvWa:" in out and "SUs+EUs:" in out
+        assert "scheduling speedup" in out
+
+    def test_from_files(self, dataset, capsys):
+        code = main(["accelerate", "--reference", f"{dataset}.fa",
+                     "--reads-file", f"{dataset}.fq"])
+        assert code == 0
+        assert "scheduling speedup" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_selected_quick(self, capsys):
+        code = main(["experiments", "fig07", "table2", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Table II" in out
