@@ -8,8 +8,6 @@ shows the numbers the figures report.
 Run:  python examples/scheduling_anatomy.py
 """
 
-import numpy as np
-
 from repro.core import (
     HitsAllocator,
     HitTask,

@@ -1,0 +1,104 @@
+"""Compare a pytest-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    python scripts/check_bench_regression.py bench.json \
+        --baseline benchmarks/baseline.json [--threshold 2.0]
+
+    python scripts/check_bench_regression.py bench.json \
+        --baseline benchmarks/baseline.json --update
+
+The baseline is a reduced map of benchmark name to mean seconds (plus
+provenance metadata), regenerated with ``--update``.  The check fails (exit
+code 1) when any benchmark present in both files is slower than
+``threshold`` times its baseline mean.  Benchmarks new to this run are
+reported but never fail the check; benchmarks that disappeared are listed
+so a silently-deleted benchmark cannot hide a regression forever.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_means(bench_json_path):
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    with open(bench_json_path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in data["benchmarks"]
+    }
+
+
+def write_baseline(path, means, source):
+    baseline = {
+        "comment": (
+            "Benchmark baseline means in seconds; regenerate with "
+            "scripts/check_bench_regression.py --update"
+        ),
+        "source": source,
+        "means": {name: round(mean, 6) for name, mean in sorted(means.items())},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+
+
+def check(means, baseline_means, threshold):
+    """Returns (regressions, new, missing); regressions are fatal."""
+    regressions = []
+    for name, baseline_mean in sorted(baseline_means.items()):
+        if name not in means:
+            continue
+        if baseline_mean > 0 and means[name] > threshold * baseline_mean:
+            regressions.append((name, baseline_mean, means[name]))
+    new = sorted(set(means) - set(baseline_means))
+    missing = sorted(set(baseline_means) - set(means))
+    return regressions, new, missing
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="pytest-benchmark JSON output")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current mean exceeds threshold x baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    means = load_means(args.bench_json)
+    if args.update:
+        write_baseline(args.baseline, means, source=args.bench_json)
+        print(f"baseline updated: {args.baseline} ({len(means)} benchmarks)")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline_means = json.load(handle)["means"]
+
+    regressions, new, missing = check(means, baseline_means, args.threshold)
+    for name in new:
+        print(f"NEW       {name}: {means[name] * 1000:.1f} ms (no baseline)")
+    for name in missing:
+        print(f"MISSING   {name}: present in baseline, absent from this run")
+    for name, base, now in regressions:
+        print(
+            f"REGRESSED {name}: {now * 1000:.1f} ms vs baseline "
+            f"{base * 1000:.1f} ms ({now / base:.2f}x > {args.threshold}x)"
+        )
+    checked = len(set(means) & set(baseline_means))
+    if regressions:
+        print(f"{len(regressions)} regression(s) across {checked} benchmarks")
+        return 1
+    print(f"OK: {checked} benchmarks within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,9 @@ class SoftwareAligner:
             algorithms of Sec. II-B, selectable because NvWa's loose
             coupling makes the seeding substrate swappable.
         hash_k: k-mer length for the hash seeding mode.
+        index: optional prebuilt :class:`BidirectionalFMIndex` over this
+            reference (e.g. from the runtime artifact cache); skips index
+            construction, by far the most expensive part of setup.
     """
 
     def __init__(self, reference: ReferenceGenome,
@@ -89,7 +92,8 @@ class SoftwareAligner:
                  scoring: ScoringScheme = BWA_MEM_SCORING,
                  occ_interval: int = 128,
                  seeding: str = "fmindex",
-                 hash_k: int = 12):
+                 hash_k: int = 12,
+                 index: Optional[BidirectionalFMIndex] = None):
         if seeding not in ("fmindex", "hash"):
             raise ValueError(
                 f"seeding must be fmindex or hash, got {seeding!r}")
@@ -97,8 +101,8 @@ class SoftwareAligner:
         self.text = reference.concatenated()
         self.seeding = seeding
         if seeding == "fmindex":
-            self.index = BidirectionalFMIndex(self.text,
-                                              occ_interval=occ_interval)
+            self.index = index if index is not None else \
+                BidirectionalFMIndex(self.text, occ_interval=occ_interval)
             self.hash_index = None
         else:
             from repro.seeding.hashindex import KmerHashIndex
@@ -222,6 +226,65 @@ class SoftwareAligner:
             best = None
         return ReadAlignment(read=read, best=best, hits=hits, work=work)
 
-    def align_all(self, reads: Sequence[Read]) -> List[ReadAlignment]:
-        """Align a batch of reads, indexing them 0..n-1."""
-        return [self.align(read, idx) for idx, read in enumerate(reads)]
+    def align_all(self, reads: Sequence[Read],
+                  start_index: int = 0,
+                  batch_extension: bool = False,
+                  max_batch: int = 64) -> List[ReadAlignment]:
+        """Align a batch of reads, indexed ``start_index..start_index+n-1``.
+
+        Args:
+            start_index: global index of the first read (sharded callers
+                keep per-read indices global across shards).
+            batch_extension: pack same-shaped extension jobs into
+                vectorized batch kernel calls (see
+                :mod:`repro.runtime.batch`).  Results are bit-identical to
+                the serial path; only the kernel invocation pattern
+                changes.
+            max_batch: job cap per batched kernel call.
+        """
+        if not batch_extension:
+            return [self.align(read, start_index + idx)
+                    for idx, read in enumerate(reads)]
+        return self._align_all_batched(reads, start_index, max_batch)
+
+    def _align_all_batched(self, reads: Sequence[Read], start_index: int,
+                           max_batch: int) -> List[ReadAlignment]:
+        """Seed + chain every read first, then extend all hits batched."""
+        from repro.runtime.batch import smith_waterman_batch
+
+        staged = []
+        pairs: List[tuple] = []
+        for offset, read in enumerate(reads):
+            work = PhaseWork()
+            anchors = self.collect_anchors(read.sequence, work)
+            hits = self.build_hits(start_index + offset, len(read.sequence),
+                                   anchors)
+            work.hit_count = len(hits)
+            staged.append((read, hits, work))
+            for hit in hits:
+                oriented = (seq.reverse_complement(read.sequence)
+                            if hit.reverse else read.sequence)
+                pairs.append((oriented, self.text[hit.ref_start:hit.ref_end]))
+        locals_ = smith_waterman_batch(pairs, scoring=self.scoring,
+                                       max_batch=max_batch)
+        results = []
+        cursor = 0
+        for read, hits, work in staged:
+            best: Optional[Alignment] = None
+            for hit in hits:
+                local = locals_[cursor]
+                cursor += 1
+                work.extension_cells += local.cells
+                candidate = Alignment(
+                    score=local.score, cigar=local.cigar,
+                    read_start=local.read_start, read_end=local.read_end,
+                    ref_start=hit.ref_start + local.ref_start,
+                    ref_end=hit.ref_start + local.ref_end,
+                    reverse=hit.reverse, cells=local.cells)
+                if best is None or candidate.score > best.score:
+                    best = candidate
+            if best is not None and best.score <= 0:
+                best = None
+            results.append(ReadAlignment(read=read, best=best, hits=hits,
+                                         work=work))
+        return results

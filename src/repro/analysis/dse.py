@@ -6,6 +6,11 @@ Sweeps the two Coordinator hyper-parameters the paper explores:
   depth; "the best result is achieved when the buffer depth is 1024".
 - Interval count (Fig 13(b)): throughput plus Coordinator power; "we take
   an interval of four ... the best trade-off between throughput and power".
+
+Every sweep point is an independent full simulation, so each sweep accepts
+a ``parallelism`` knob and fans its configurations out through
+:func:`repro.runtime.sweep.simulate_many` — results are identical to the
+serial loop for any worker count.
 """
 
 from __future__ import annotations
@@ -13,12 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.accelerator import NvWaAccelerator
 from repro.core.config import NvWaConfig
 from repro.core.hybrid_units import solve_unit_mix
 from repro.core.workload import Workload
 from repro.extension.systolic import matrix_fill_latency, optimal_pe_count
 from repro.power.area_power import coordinator_power
+from repro.runtime.sweep import simulate_many, sim_jobs
 
 
 @dataclass(frozen=True)
@@ -34,21 +39,20 @@ class BufferDepthPoint:
 def sweep_buffer_depth(workload: Workload,
                        depths: Sequence[int] = (64, 128, 256, 512, 1024,
                                                 2048, 4096),
-                       base: NvWaConfig = None) -> List[BufferDepthPoint]:
+                       base: NvWaConfig = None,
+                       parallelism: int = 1) -> List[BufferDepthPoint]:
     """Fig 13(a): run the full simulation at each Hits Buffer depth."""
     if not depths:
         raise ValueError("need at least one depth")
     base = base or NvWaConfig()
-    points = []
-    for depth in depths:
-        config = replace(base, hits_buffer_depth=depth)
-        report = NvWaAccelerator(config).run(workload)
-        points.append(BufferDepthPoint(
-            depth=depth,
-            kreads_per_second=report.throughput.kreads_per_second,
-            su_utilization=report.su_utilization,
-            eu_utilization=report.eu_utilization))
-    return points
+    configs = [replace(base, hits_buffer_depth=depth) for depth in depths]
+    results = simulate_many(sim_jobs(configs, workload),
+                            parallelism=parallelism)
+    return [BufferDepthPoint(depth=depth,
+                             kreads_per_second=result.kreads_per_second,
+                             su_utilization=result.su_utilization,
+                             eu_utilization=result.eu_utilization)
+            for depth, result in zip(depths, results)]
 
 
 @dataclass(frozen=True)
@@ -109,7 +113,8 @@ def service_demand_mass(hit_lengths: Sequence[int],
 
 def sweep_interval_count(workload: Workload,
                          interval_counts: Sequence[int] = (1, 2, 4, 8, 16),
-                         base: NvWaConfig = None) -> List[IntervalPoint]:
+                         base: NvWaConfig = None,
+                         parallelism: int = 1) -> List[IntervalPoint]:
     """Fig 13(b): re-derive the EU mix per interval count via the
     (generalised) Equation 5, simulate, and evaluate Coordinator power.
 
@@ -121,7 +126,7 @@ def sweep_interval_count(workload: Workload,
     base = base or NvWaConfig()
     lengths = workload.hit_lengths()
     seen: Dict[Tuple[int, ...], bool] = {}
-    points = []
+    staged = []
     for count in interval_counts:
         classes = interval_classes(count)
         if classes in seen:
@@ -132,15 +137,18 @@ def sweep_interval_count(workload: Workload,
         eu_config = tuple(sorted((pe, n) for pe, n in mix.items() if n > 0))
         config = replace(base, eu_config=eu_config,
                          reference_classes=classes)
-        report = NvWaAccelerator(config).run(workload)
-        points.append(IntervalPoint(
-            intervals=len(classes),
-            eu_config=eu_config,
-            kreads_per_second=report.throughput.kreads_per_second,
-            coordinator_power_w=coordinator_power(
+        staged.append((classes, eu_config, config))
+    results = simulate_many(
+        sim_jobs([config for _, _, config in staged], workload),
+        parallelism=parallelism)
+    return [IntervalPoint(
                 intervals=len(classes),
-                buffer_depth=base.hits_buffer_depth)))
-    return points
+                eu_config=eu_config,
+                kreads_per_second=result.kreads_per_second,
+                coordinator_power_w=coordinator_power(
+                    intervals=len(classes),
+                    buffer_depth=base.hits_buffer_depth))
+            for (classes, eu_config, _), result in zip(staged, results)]
 
 
 def best_tradeoff(points: Sequence[IntervalPoint]) -> IntervalPoint:
@@ -163,7 +171,8 @@ class ThresholdPoint:
 def sweep_switch_threshold(workload: Workload,
                            thresholds: Sequence[float] = (0.25, 0.5, 0.75,
                                                           0.9, 1.0),
-                           base: NvWaConfig = None) -> List[ThresholdPoint]:
+                           base: NvWaConfig = None,
+                           parallelism: int = 1) -> List[ThresholdPoint]:
     """Sweep the Hits Buffer switch threshold (the paper's "e.g. 75 %").
 
     Low thresholds switch eagerly (more switch overhead, finer batches);
@@ -174,22 +183,21 @@ def sweep_switch_threshold(workload: Workload,
     if any(not 0.0 < t <= 1.0 for t in thresholds):
         raise ValueError("thresholds must be in (0, 1]")
     base = base or NvWaConfig()
-    points = []
-    for threshold in thresholds:
-        config = replace(base, switch_threshold=threshold)
-        report = NvWaAccelerator(config).run(workload)
-        points.append(ThresholdPoint(
-            value=threshold,
-            kreads_per_second=report.throughput.kreads_per_second,
-            su_utilization=report.su_utilization,
-            eu_utilization=report.eu_utilization))
-    return points
+    configs = [replace(base, switch_threshold=t) for t in thresholds]
+    results = simulate_many(sim_jobs(configs, workload),
+                            parallelism=parallelism)
+    return [ThresholdPoint(value=threshold,
+                           kreads_per_second=result.kreads_per_second,
+                           su_utilization=result.su_utilization,
+                           eu_utilization=result.eu_utilization)
+            for threshold, result in zip(thresholds, results)]
 
 
 def sweep_idle_trigger(workload: Workload,
                        fractions: Sequence[float] = (0.0, 0.05, 0.15, 0.3,
                                                      0.5),
-                       base: NvWaConfig = None) -> List[ThresholdPoint]:
+                       base: NvWaConfig = None,
+                       parallelism: int = 1) -> List[ThresholdPoint]:
     """Sweep the Allocate Trigger's idle-EU fraction (the paper's 15 %).
 
     Low fractions request allocation rounds eagerly (lower latency, more
@@ -200,13 +208,11 @@ def sweep_idle_trigger(workload: Workload,
     if any(not 0.0 <= f <= 1.0 for f in fractions):
         raise ValueError("fractions must be in [0, 1]")
     base = base or NvWaConfig()
-    points = []
-    for fraction in fractions:
-        config = replace(base, idle_trigger_fraction=fraction)
-        report = NvWaAccelerator(config).run(workload)
-        points.append(ThresholdPoint(
-            value=fraction,
-            kreads_per_second=report.throughput.kreads_per_second,
-            su_utilization=report.su_utilization,
-            eu_utilization=report.eu_utilization))
-    return points
+    configs = [replace(base, idle_trigger_fraction=f) for f in fractions]
+    results = simulate_many(sim_jobs(configs, workload),
+                            parallelism=parallelism)
+    return [ThresholdPoint(value=fraction,
+                           kreads_per_second=result.kreads_per_second,
+                           su_utilization=result.su_utilization,
+                           eu_utilization=result.eu_utilization)
+            for fraction, result in zip(fractions, results)]

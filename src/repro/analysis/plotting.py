@@ -48,7 +48,8 @@ def bar_chart(items: Dict[str, float], width: int = 40,
     if any(v < 0 for v in items.values()):
         raise ValueError("bar chart values must be non-negative")
     if log_scale:
-        transform = lambda v: math.log10(v + 1)
+        def transform(v):
+            return math.log10(v + 1)
     else:
         transform = float
     peak = max(transform(v) for v in items.values()) or 1.0

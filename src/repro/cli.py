@@ -8,12 +8,27 @@ Subcommands::
     python -m repro.cli accelerate --dataset H.s. --reads 2000
     python -m repro.cli accelerate --reference x.fa --reads-file x.fq
     python -m repro.cli experiments fig11 fig13 --quick
+    python -m repro.cli experiments --parallelism 4 --cache-dir .cache/
+
+``--parallelism N`` fans work out over N worker processes and
+``--cache-dir DIR`` memoizes deterministic inputs on disk; results are
+bit-identical to the serial, uncached run for every worker count.
 """
 
 from __future__ import annotations
 
 import argparse
 from typing import List, Optional
+
+
+def _execution_config(args: argparse.Namespace):
+    """An ExecutionConfig from --parallelism/--cache-dir, or ``None``."""
+    parallelism = getattr(args, "parallelism", None) or 1
+    cache_dir = getattr(args, "cache_dir", None)
+    if parallelism == 1 and cache_dir is None:
+        return None
+    from repro.experiments.common import ExecutionConfig
+    return ExecutionConfig(parallelism=parallelism, cache_dir=cache_dir)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -56,11 +71,19 @@ def _cmd_align(args: argparse.Namespace) -> int:
                   "pipeline; long-read results printed only")
         return 0
 
-    from repro.align.pipeline import SoftwareAligner
     from repro.align.sam import write_sam
 
-    aligner = SoftwareAligner(reference)
-    results = aligner.align_all(reads)
+    if args.parallelism > 1:
+        from repro.runtime.sharded import ShardedRunner
+        runner = ShardedRunner(parallelism=args.parallelism,
+                               shard_size=args.shard_size)
+        results = runner.align(reference, reads,
+                               batch_extension=args.batch_extension)
+    else:
+        from repro.align.pipeline import SoftwareAligner
+        aligner = SoftwareAligner(reference)
+        results = aligner.align_all(reads,
+                                    batch_extension=args.batch_extension)
     report = evaluate(results, reference)
     print(f"mapped {report.mapped}/{report.total} reads "
           f"({report.mapped_fraction:.1%})")
@@ -71,7 +94,12 @@ def _cmd_align(args: argparse.Namespace) -> int:
 
 
 def _cmd_accelerate(args: argparse.Namespace) -> int:
-    from repro.core import NvWaAccelerator, baseline
+    from repro.core import baseline
+    from repro.runtime.sweep import simulate_many
+
+    exec_config = _execution_config(args)
+    parallelism = exec_config.parallelism if exec_config else 1
+    cache = exec_config.cache() if exec_config else None
 
     if args.reference and args.reads_file:
         from repro.align.pipeline import SoftwareAligner
@@ -83,20 +111,22 @@ def _cmd_accelerate(args: argparse.Namespace) -> int:
         workload = workload_from_pipeline(results)
         source = f"{len(reads)} reads from {args.reads_file}"
     else:
-        from repro.core import synthetic_workload
         from repro.genome.datasets import get_dataset
+        from repro.runtime.artifacts import cached_synthetic_workload
         profile = get_dataset(args.dataset)
-        workload = synthetic_workload(profile, args.reads, seed=args.seed)
+        workload = cached_synthetic_workload(cache, profile, args.reads,
+                                             seed=args.seed)
         source = f"{args.reads} synthetic {profile.name} reads"
 
-    nvwa = NvWaAccelerator(baseline.nvwa()).run(workload)
-    base = NvWaAccelerator(baseline.sus_eus_baseline()).run(workload)
+    jobs = [(baseline.nvwa(), workload, None),
+            (baseline.sus_eus_baseline(), workload, None)]
+    nvwa, base = simulate_many(jobs, parallelism=parallelism)
     print(f"workload: {source}, {workload.total_hits} hits")
     print(f"NvWa:    {nvwa.cycles:>10,} cycles  "
-          f"{nvwa.throughput.kreads_per_second:>12,.0f} Kreads/s  "
+          f"{nvwa.kreads_per_second:>12,.0f} Kreads/s  "
           f"SU {nvwa.su_utilization:.0%}  EU {nvwa.eu_utilization:.0%}")
     print(f"SUs+EUs: {base.cycles:>10,} cycles  "
-          f"{base.throughput.kreads_per_second:>12,.0f} Kreads/s  "
+          f"{base.kreads_per_second:>12,.0f} Kreads/s  "
           f"SU {base.su_utilization:.0%}  EU {base.eu_utilization:.0%}")
     print(f"scheduling speedup: {base.cycles / nvwa.cycles:.2f}x")
     return 0
@@ -105,7 +135,8 @@ def _cmd_accelerate(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_experiments
     for result in run_experiments(args.names, quick=args.quick,
-                                  csv_dir=args.csv_dir):
+                                  csv_dir=args.csv_dir,
+                                  exec_config=_execution_config(args)):
         print(result.format())
         print()
     return 0
@@ -140,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="SAM output path")
     p.add_argument("--long", action="store_true",
                    help="use the long-read (chain-then-fill) pipeline")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="align shards in N worker processes")
+    p.add_argument("--shard-size", type=int, default=256,
+                   help="reads per shard for parallel alignment")
+    p.add_argument("--batch-extension", action="store_true",
+                   help="vectorize same-shaped extension jobs")
     p.set_defaults(func=_cmd_align)
 
     p = sub.add_parser("accelerate",
@@ -149,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--reference", help="FASTA (with --reads-file)")
     p.add_argument("--reads-file", help="FASTQ (with --reference)")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="simulate configurations in N worker processes")
+    p.add_argument("--cache-dir",
+                   help="artifact cache for synthetic workloads")
     p.set_defaults(func=_cmd_accelerate)
 
     p = sub.add_parser("experiments", help="regenerate paper exhibits")
@@ -156,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exhibit keys (fig11, table2, ...); empty = all")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--csv-dir", help="also write CSVs here")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="fan independent simulations over N workers")
+    p.add_argument("--cache-dir",
+                   help="memoize genomes/indexes/read sets/workloads here")
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("report-card",
@@ -168,6 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "parallelism", 1) < 1:
+        parser.error(f"--parallelism must be >= 1, got {args.parallelism}")
     return args.func(args)
 
 

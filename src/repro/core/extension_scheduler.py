@@ -13,7 +13,6 @@ design time; this module is the runtime half.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.core.coordinator import Placement

@@ -22,11 +22,16 @@ from repro.baselines.platforms import (
     paper_reported_nvwa_kreads,
 )
 from repro.core import baseline
-from repro.core.accelerator import NvWaAccelerator
 from repro.core.config import NvWaConfig
-from repro.core.workload import Workload, synthetic_workload
-from repro.experiments.common import ExperimentResult
+from repro.core.workload import Workload
+from repro.experiments.common import (
+    ExecutionConfig,
+    ExperimentResult,
+    experiment_workload,
+    resolve_execution,
+)
 from repro.genome.datasets import get_dataset
+from repro.runtime.sweep import sim_jobs, simulate_many
 
 #: The paper's published speedups (Fig 11 text).
 PAPER_SPEEDUPS = {
@@ -43,18 +48,20 @@ PAPER_ABLATIONS = {"+HUS": 3.32, "+OCRA": 1.73, "+HA (NvWa)": 2.38}
 
 def run(reads: int = 2000, seed: int = 1,
         workload: Optional[Workload] = None,
-        base: Optional[NvWaConfig] = None) -> ExperimentResult:
+        base: Optional[NvWaConfig] = None,
+        exec_config: Optional[ExecutionConfig] = None) -> ExperimentResult:
     """Regenerate Fig 11: ablation ladder + platform speedups."""
-    workload = workload or synthetic_workload(get_dataset("H.s."), reads,
-                                              seed=seed)
+    policy = resolve_execution(exec_config)
+    workload = workload if workload is not None else experiment_workload(
+        get_dataset("H.s."), reads, seed, exec_config=policy)
     stats = WorkloadStats.from_workload(workload)
 
-    ladder: Dict[str, float] = {}
-    reports = {}
-    for name, config in baseline.ablation_ladder(base).items():
-        report = NvWaAccelerator(config).run(workload)
-        reports[name] = report
-        ladder[name] = report.throughput.kreads_per_second
+    rungs = baseline.ablation_ladder(base)
+    results = simulate_many(sim_jobs(list(rungs.values()), workload),
+                            parallelism=policy.parallelism)
+    ladder: Dict[str, float] = {
+        name: result.kreads_per_second
+        for name, result in zip(rungs, results)}
 
     nvwa_kreads = ladder["+HA (NvWa)"]
     baseline_kreads = ladder["SUs+EUs"]

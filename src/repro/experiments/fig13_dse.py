@@ -16,8 +16,13 @@ from repro.analysis.dse import (
     sweep_interval_count,
     sweep_switch_threshold,
 )
-from repro.core.workload import Workload, synthetic_workload
-from repro.experiments.common import ExperimentResult
+from repro.core.workload import Workload
+from repro.experiments.common import (
+    ExecutionConfig,
+    ExperimentResult,
+    experiment_workload,
+    resolve_execution,
+)
 from repro.genome.datasets import get_dataset
 
 
@@ -26,13 +31,17 @@ def run(reads: int = 2500, seed: int = 3,
         interval_counts: Sequence[int] = (1, 2, 4, 8, 16),
         switch_thresholds: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
         idle_fractions: Sequence[float] = (0.0, 0.15, 0.4),
-        workload: Optional[Workload] = None) -> ExperimentResult:
+        workload: Optional[Workload] = None,
+        exec_config: Optional[ExecutionConfig] = None) -> ExperimentResult:
     """Regenerate the paper's two sweeps plus the two threshold knobs it
     fixes by example (75 % switch, 15 % idle trigger)."""
-    workload = workload or synthetic_workload(get_dataset("H.s."), reads,
-                                              seed=seed)
+    policy = resolve_execution(exec_config)
+    workload = workload if workload is not None else experiment_workload(
+        get_dataset("H.s."), reads, seed, exec_config=policy)
+    parallelism = policy.parallelism
     rows = []
-    depth_points = sweep_buffer_depth(workload, depths=depths)
+    depth_points = sweep_buffer_depth(workload, depths=depths,
+                                      parallelism=parallelism)
     for point in depth_points:
         rows.append({"sweep": "buffer_depth", "x": point.depth,
                      "kreads_per_s": round(point.kreads_per_second, 1),
@@ -40,7 +49,8 @@ def run(reads: int = 2500, seed: int = 3,
                      "eu_utilization": round(point.eu_utilization, 3)})
 
     interval_points = sweep_interval_count(workload,
-                                           interval_counts=interval_counts)
+                                           interval_counts=interval_counts,
+                                           parallelism=parallelism)
     for point in interval_points:
         rows.append({"sweep": "intervals", "x": point.intervals,
                      "kreads_per_s": round(point.kreads_per_second, 1),
@@ -50,12 +60,14 @@ def run(reads: int = 2500, seed: int = 3,
                                                     1)})
 
     for point in sweep_switch_threshold(workload,
-                                        thresholds=switch_thresholds):
+                                        thresholds=switch_thresholds,
+                                        parallelism=parallelism):
         rows.append({"sweep": "switch_threshold", "x": point.value,
                      "kreads_per_s": round(point.kreads_per_second, 1),
                      "su_utilization": round(point.su_utilization, 3),
                      "eu_utilization": round(point.eu_utilization, 3)})
-    for point in sweep_idle_trigger(workload, fractions=idle_fractions):
+    for point in sweep_idle_trigger(workload, fractions=idle_fractions,
+                                    parallelism=parallelism):
         rows.append({"sweep": "idle_trigger", "x": point.value,
                      "kreads_per_s": round(point.kreads_per_second, 1),
                      "su_utilization": round(point.su_utilization, 3),

@@ -14,32 +14,43 @@ from typing import Optional, Sequence
 from repro.analysis.distributions import dataset_interval_table
 from repro.baselines.platforms import CPU_BWA_MEM, WorkloadStats
 from repro.core import baseline
-from repro.core.accelerator import NvWaAccelerator
-from repro.core.workload import synthetic_workload
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExecutionConfig,
+    ExperimentResult,
+    experiment_workload,
+    resolve_execution,
+)
 from repro.genome.datasets import (
     DatasetProfile,
     long_read_datasets,
     short_read_datasets,
 )
+from repro.runtime.sweep import simulate_many
 
 
 def run(reads_per_dataset: int = 800, seed: int = 4,
         profiles: Optional[Sequence[DatasetProfile]] = None,
+        exec_config: Optional[ExecutionConfig] = None,
         ) -> ExperimentResult:
     """Regenerate Fig 14(a)'s speedups and Fig 14(b)'s distributions."""
+    policy = resolve_execution(exec_config)
     profiles = list(profiles) if profiles is not None else \
         short_read_datasets() + long_read_datasets()
 
+    config = baseline.nvwa()
+    workloads = [experiment_workload(profile, reads_per_dataset, seed + idx,
+                                     exec_config=policy)
+                 for idx, profile in enumerate(profiles)]
+    results = simulate_many([(config, workload, None)
+                             for workload in workloads],
+                            parallelism=policy.parallelism)
+
     rows = []
     speedups = {}
-    for idx, profile in enumerate(profiles):
-        workload = synthetic_workload(profile, reads_per_dataset,
-                                      seed=seed + idx)
-        report = NvWaAccelerator(baseline.nvwa()).run(workload)
+    for profile, workload, result in zip(profiles, workloads, results):
         stats = WorkloadStats.from_workload(workload)
         cpu_kreads = CPU_BWA_MEM.kreads_per_second(stats)
-        nvwa_kreads = report.throughput.kreads_per_second
+        nvwa_kreads = result.kreads_per_second
         speedup = nvwa_kreads / cpu_kreads
         speedups[profile.name] = speedup
         rows.append({"dataset": profile.name,

@@ -6,6 +6,12 @@ Usage::
     python -m repro.experiments.runner fig11 fig13  # a subset
     python -m repro.experiments.runner --quick      # smaller workloads
     python -m repro.experiments.runner --csv-dir out/  # + CSV per exhibit
+    python -m repro.experiments.runner --parallelism 4 --cache-dir .cache/
+
+``--parallelism`` fans independent simulations out across worker
+processes and ``--cache-dir`` memoizes the deterministic inputs
+(genomes, indexes, read sets, workloads) on disk; both leave the
+regenerated numbers bit-identical to the serial, uncached run.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.experiments.common import ExecutionConfig, execution
 from repro.experiments import (
     energy_comparison,
     fig02_breakdown,
@@ -66,11 +73,15 @@ EXPERIMENTS: Dict[str, Dict[str, Callable]] = {
 
 
 def run_experiments(names: List[str], quick: bool = False,
-                    csv_dir: Optional[str] = None) -> List:
+                    csv_dir: Optional[str] = None,
+                    exec_config: Optional[ExecutionConfig] = None) -> List:
     """Run the named experiments (all when empty); returns the results.
 
     With ``csv_dir`` set, each exhibit's rows are also written to
-    ``<csv_dir>/<name>.csv``.
+    ``<csv_dir>/<name>.csv``.  ``exec_config`` installs an execution
+    policy (parallel workers, artifact cache) for the duration of the
+    run; experiments resolve it ambiently, so the registry's zero-arg
+    callables need no threading-through.
     """
     selected = names or list(EXPERIMENTS)
     unknown = [n for n in selected if n not in EXPERIMENTS]
@@ -79,28 +90,43 @@ def run_experiments(names: List[str], quick: bool = False,
         raise KeyError(f"unknown experiments {unknown}; known: {known}")
     mode = "quick" if quick else "full"
     results = []
-    for name in selected:
-        result = EXPERIMENTS[name][mode]()
-        if csv_dir is not None:
-            os.makedirs(csv_dir, exist_ok=True)
-            result.to_csv(os.path.join(csv_dir, f"{name}.csv"))
-        results.append(result)
+    with execution(exec_config):
+        for name in selected:
+            result = EXPERIMENTS[name][mode]()
+            if csv_dir is not None:
+                os.makedirs(csv_dir, exist_ok=True)
+                result.to_csv(os.path.join(csv_dir, f"{name}.csv"))
+            results.append(result)
     return results
+
+
+def _pop_option(args: List[str], flag: str) -> Optional[str]:
+    """Remove ``flag VALUE`` from ``args``; returns VALUE or ``None``."""
+    if flag not in args:
+        return None
+    idx = args.index(flag)
+    try:
+        value = args[idx + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} requires an argument")
+    del args[idx:idx + 2]
+    return value
 
 
 def main(argv: List[str] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in args
-    csv_dir = None
-    if "--csv-dir" in args:
-        idx = args.index("--csv-dir")
-        try:
-            csv_dir = args[idx + 1]
-        except IndexError:
-            raise SystemExit("--csv-dir requires a directory argument")
-        del args[idx:idx + 2]
+    csv_dir = _pop_option(args, "--csv-dir")
+    parallelism = _pop_option(args, "--parallelism")
+    cache_dir = _pop_option(args, "--cache-dir")
+    exec_config = None
+    if parallelism is not None or cache_dir is not None:
+        exec_config = ExecutionConfig(
+            parallelism=int(parallelism) if parallelism is not None else 1,
+            cache_dir=cache_dir)
     names = [a for a in args if not a.startswith("--")]
-    for result in run_experiments(names, quick=quick, csv_dir=csv_dir):
+    for result in run_experiments(names, quick=quick, csv_dir=csv_dir,
+                                  exec_config=exec_config):
         print(result.format())
         panel = getattr(result, "panel", None)
         if panel:

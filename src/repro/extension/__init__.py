@@ -7,7 +7,10 @@ from repro.extension.scoring import (
 )
 from repro.extension.alignment import Alignment, Cigar, identity
 from repro.extension.smith_waterman import (
+    BatchDPMatrices,
+    alignment_from_matrices,
     fill_matrices,
+    fill_matrices_batch,
     fill_matrices_scalar,
     score_only,
     smith_waterman,
@@ -36,7 +39,9 @@ from repro.extension.systolic import (
 __all__ = [
     "BWA_MEM_SCORING", "DARWIN_SCORING", "ScoringScheme",
     "Alignment", "Cigar", "identity",
-    "fill_matrices", "fill_matrices_scalar", "score_only", "smith_waterman",
+    "BatchDPMatrices", "alignment_from_matrices", "fill_matrices",
+    "fill_matrices_batch", "fill_matrices_scalar", "score_only",
+    "smith_waterman",
     "needleman_wunsch",
     "GACTResult", "gact_align",
     "BandedResult", "banded_global",

@@ -79,6 +79,67 @@ def fill_matrices(read_codes: np.ndarray, ref_codes: np.ndarray,
     return DPMatrices(h, e, f)
 
 
+@dataclass
+class BatchDPMatrices:
+    """DP state for a batch of same-shaped alignments, stacked on axis 0."""
+
+    h: np.ndarray
+    e: np.ndarray
+    f: np.ndarray
+
+    def __len__(self) -> int:
+        return self.h.shape[0]
+
+    def __getitem__(self, idx: int) -> DPMatrices:
+        return DPMatrices(self.h[idx], self.e[idx], self.f[idx])
+
+
+def fill_matrices_batch(read_codes: np.ndarray, ref_codes: np.ndarray,
+                        scoring: ScoringScheme) -> BatchDPMatrices:
+    """Vectorised fill of ``k`` same-shaped alignments in one pass.
+
+    ``read_codes`` is ``(k, m)`` and ``ref_codes`` ``(k, n)``; the row
+    recurrence of :func:`fill_matrices` runs once with every elementwise
+    operation broadcast over the batch axis, so the Python-level loop cost
+    is amortised across the whole batch.  Each slice ``[j]`` is
+    bit-identical to ``fill_matrices(read_codes[j], ref_codes[j],
+    scoring)`` — the batch front-end (:mod:`repro.runtime.batch`) relies on
+    this to keep batched extension exact.
+    """
+    if read_codes.ndim != 2 or ref_codes.ndim != 2:
+        raise ValueError("batch fill expects 2-D (batch, length) arrays")
+    if read_codes.shape[0] != ref_codes.shape[0]:
+        raise ValueError("batch sizes differ between read and reference")
+    k, m = read_codes.shape
+    n = ref_codes.shape[1]
+    sub = scoring.substitution_matrix()
+    open_ext = scoring.gap_open + scoring.gap_extend
+    ext = scoring.gap_extend
+
+    h = np.zeros((k, m + 1, n + 1), dtype=np.int64)
+    e = np.full((k, m + 1, n + 1), NEG, dtype=np.int64)
+    f = np.full((k, m + 1, n + 1), NEG, dtype=np.int64)
+
+    cols = np.arange(1, n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        sub_row = sub[read_codes[:, i - 1][:, None], ref_codes]
+        e[:, i, 1:] = np.maximum(e[:, i - 1, 1:] + ext,
+                                 h[:, i - 1, 1:] + open_ext)
+        h_no_f = np.maximum(h[:, i - 1, :-1] + sub_row, e[:, i, 1:])
+        np.maximum(h_no_f, 0, out=h_no_f)
+        shifted = np.empty((k, n), dtype=np.int64)
+        shifted[:, 0] = NEG
+        if n > 1:
+            transformed = (h_no_f[:, :-1] + scoring.gap_open
+                           - ext * cols[:-1])
+            shifted[:, 1:] = np.maximum.accumulate(transformed, axis=1)
+        f[:, i, 1:] = shifted + ext * cols
+        f[:, i, 1:] = np.maximum(f[:, i, 1:],
+                                 scoring.gap_open + ext * cols)
+        h[:, i, 1:] = np.maximum(h_no_f, f[:, i, 1:])
+    return BatchDPMatrices(h, e, f)
+
+
 def fill_matrices_scalar(read_codes: np.ndarray, ref_codes: np.ndarray,
                          scoring: ScoringScheme) -> DPMatrices:
     """Straightforward O(mn) scalar fill — the oracle for the fast path."""
@@ -162,6 +223,17 @@ def smith_waterman(read, reference, scoring: ScoringScheme = BWA_MEM_SCORING,
                          ref_start=0, ref_end=0, cells=0)
     fill = fill_matrices_scalar if use_scalar else fill_matrices
     matrices = fill(read_codes, ref_codes, scoring)
+    return alignment_from_matrices(matrices, read_codes, ref_codes, scoring)
+
+
+def alignment_from_matrices(matrices: DPMatrices, read_codes: np.ndarray,
+                            ref_codes: np.ndarray,
+                            scoring: ScoringScheme) -> Alignment:
+    """Best local alignment extracted from filled DP matrices.
+
+    The shared tail of :func:`smith_waterman` and the batched front-end —
+    one definition of argmax/traceback keeps the two paths bit-identical.
+    """
     flat = int(np.argmax(matrices.h))
     end = np.unravel_index(flat, matrices.h.shape)
     score = int(matrices.h[end])

@@ -1,0 +1,62 @@
+"""Parallel, cache-aware experiment execution layer.
+
+The experiment sweeps behind the paper's headline exhibits (Figs 11-14)
+repeat two kinds of redundant work: they rebuild deterministic artifacts
+(synthetic genomes, FM-indexes, read sets, workloads) from scratch on every
+invocation, and they push independent units of work — reads through one
+`Engine`, configurations through one sweep loop — strictly serially.  This
+package removes both bottlenecks without touching the cycle-accurate
+reference semantics:
+
+- :mod:`repro.runtime.cache` — a content-addressed on-disk artifact cache
+  keyed on the generating parameters (generator seed, genome params, index
+  params), with corruption-safe fallback to rebuild.
+- :mod:`repro.runtime.artifacts` — domain memoizers that route
+  ``SyntheticReference``, FM-index construction, simulated read sets, and
+  synthetic workloads through an :class:`~repro.runtime.cache.ArtifactCache`.
+- :mod:`repro.runtime.sharded` — :class:`~repro.runtime.sharded.ShardedRunner`,
+  which partitions a workload (or read set) into deterministic shards and
+  fans them out across ``multiprocessing`` workers, each with its own
+  ``Engine`` (or ``SoftwareAligner``), merging per-shard cycle counts,
+  utilization statistics, and SAM output identically regardless of worker
+  count.
+- :mod:`repro.runtime.sweep` — :func:`~repro.runtime.sweep.simulate_many`,
+  the fan-out used by the Fig 11/13/14 sweeps: independent
+  ``(config, workload)`` simulations across workers, bit-identical to the
+  serial loop.
+- :mod:`repro.runtime.batch` — a batch front-end to the extension kernels
+  that packs same-shaped seed-extension jobs into single vectorized
+  ``fill_matrices_batch`` calls.
+
+The serial path stays the default-on reference everywhere: with
+``parallelism=1`` and no cache directory, every caller behaves bit-
+identically to the pre-runtime code paths.
+"""
+
+from repro.runtime.batch import ExtensionJob, smith_waterman_batch
+from repro.runtime.cache import ArtifactCache, CacheStats
+from repro.runtime.artifacts import (
+    cached_fm_index,
+    cached_read_set,
+    cached_reference,
+    cached_synthetic_workload,
+)
+from repro.runtime.sharded import ShardedReport, ShardedRunner, ShardPlan
+from repro.runtime.sweep import SimJob, SweepResult, simulate_many
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "ExtensionJob",
+    "ShardPlan",
+    "ShardedReport",
+    "ShardedRunner",
+    "SimJob",
+    "SweepResult",
+    "cached_fm_index",
+    "cached_read_set",
+    "cached_reference",
+    "cached_synthetic_workload",
+    "simulate_many",
+    "smith_waterman_batch",
+]

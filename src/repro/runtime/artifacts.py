@@ -1,0 +1,142 @@
+"""Domain memoizers over :class:`~repro.runtime.cache.ArtifactCache`.
+
+Each helper is the cache-aware twin of an existing builder: pass a cache to
+reuse a previously built artifact, pass ``None`` to build from scratch.
+Keys capture every parameter the artifact depends on (generator seed,
+genome params, index params), so changing any of them is an automatic
+invalidation — the old entry simply stops being addressed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.genome.datasets import DatasetProfile
+from repro.genome.reads import ILLUMINA, ErrorModel, Read, ReadSimulator
+from repro.genome.reference import ReferenceGenome, SyntheticReference
+from repro.runtime.cache import ArtifactCache
+
+
+def cached_reference(cache: Optional[ArtifactCache],
+                     length: int = 1_000_000,
+                     chromosomes: int = 2,
+                     gc_content: float = 0.41,
+                     seed: int = 0) -> ReferenceGenome:
+    """Build (or reload) a :class:`SyntheticReference` genome."""
+    builder = SyntheticReference(length=length, chromosomes=chromosomes,
+                                 gc_content=gc_content, seed=seed)
+    if cache is None:
+        return builder.build()
+    genome, _ = cache.get_or_build("reference", builder.params(),
+                                   builder.build)
+    return genome
+
+
+def cached_fm_index(cache: Optional[ArtifactCache],
+                    reference: ReferenceGenome,
+                    reference_params: Dict[str, Any],
+                    occ_interval: int = 128):
+    """Build (or reload) the bidirectional FM-index of ``reference``.
+
+    ``reference_params`` is the generating-parameter dict of the genome
+    (:meth:`SyntheticReference.params`); index construction parameters are
+    appended so the same genome can carry indexes at several checkpoint
+    spacings.
+    """
+    from repro.seeding.bidirectional import BidirectionalFMIndex
+
+    def build():
+        return BidirectionalFMIndex(reference.concatenated(),
+                                    occ_interval=occ_interval)
+
+    if cache is None:
+        return build()
+    params = {"reference": reference_params, "occ_interval": occ_interval}
+    index, _ = cache.get_or_build("fm_index", params, build)
+    return index
+
+
+def cached_read_set(cache: Optional[ArtifactCache],
+                    reference: ReferenceGenome,
+                    reference_params: Dict[str, Any],
+                    count: int,
+                    read_length: int = 101,
+                    error_model: ErrorModel = ILLUMINA,
+                    seed: int = 0) -> List[Read]:
+    """Simulate (or reload) ``count`` reads from ``reference``."""
+    simulator = ReadSimulator(reference, read_length=read_length,
+                              error_model=error_model, seed=seed)
+    if cache is None:
+        return simulator.simulate(count)
+    params = {"reference": reference_params, "count": count,
+              "simulator": simulator.params()}
+    reads, _ = cache.get_or_build("read_set", params,
+                                  lambda: simulator.simulate(count))
+    return reads
+
+
+def _profile_params(profile: DatasetProfile) -> Dict[str, Any]:
+    """The statistics of a profile that shape its synthetic workload."""
+    return {"name": profile.name,
+            "interval_mass": list(profile.interval_mass),
+            "mean_hits_per_read": profile.mean_hits_per_read,
+            "read_length": profile.read_length,
+            "long_read": profile.long_read}
+
+
+def cached_synthetic_workload(cache: Optional[ArtifactCache],
+                              profile: DatasetProfile,
+                              read_count: int,
+                              seed: int = 0,
+                              mean_seeding_accesses: int = 450,
+                              access_dispersion: float = 0.45,
+                              ref_pad: int = 8):
+    """Draw (or reload) a synthetic workload from a dataset profile."""
+    from repro.core.workload import synthetic_workload
+
+    def build():
+        return synthetic_workload(
+            profile, read_count, seed=seed,
+            mean_seeding_accesses=mean_seeding_accesses,
+            access_dispersion=access_dispersion, ref_pad=ref_pad)
+
+    if cache is None:
+        return build()
+    params = {"profile": _profile_params(profile),
+              "read_count": read_count, "seed": seed,
+              "mean_seeding_accesses": mean_seeding_accesses,
+              "access_dispersion": access_dispersion,
+              "ref_pad": ref_pad}
+    workload, _ = cache.get_or_build("synthetic_workload", params, build)
+    return workload
+
+
+def cached_pipeline_inputs(cache: Optional[ArtifactCache],
+                           length: int = 100_000,
+                           chromosomes: int = 2,
+                           gc_content: float = 0.41,
+                           genome_seed: int = 0,
+                           read_count: int = 500,
+                           read_length: int = 101,
+                           error_model: ErrorModel = ILLUMINA,
+                           read_seed: int = 0,
+                           occ_interval: int = 128,
+                           ) -> Tuple[ReferenceGenome, List[Read], Any]:
+    """One-call setup of the full pipeline substrate.
+
+    Returns ``(reference, reads, fm_index)``, all cache-aware — the warm
+    path of a repeated sweep loads three pickles instead of regenerating a
+    genome, re-deriving its suffix array, and re-simulating reads.
+    """
+    ref_builder = SyntheticReference(length=length, chromosomes=chromosomes,
+                                     gc_content=gc_content, seed=genome_seed)
+    ref_params = ref_builder.params()
+    reference = (cached_reference(cache, length=length,
+                                  chromosomes=chromosomes,
+                                  gc_content=gc_content, seed=genome_seed))
+    reads = cached_read_set(cache, reference, ref_params, read_count,
+                            read_length=read_length,
+                            error_model=error_model, seed=read_seed)
+    index = cached_fm_index(cache, reference, ref_params,
+                            occ_interval=occ_interval)
+    return reference, reads, index

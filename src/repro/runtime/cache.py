@@ -1,0 +1,192 @@
+"""Content-addressed on-disk artifact cache.
+
+Every expensive artifact in the reproduction — synthetic genome, FM-index,
+read set, workload — is a pure function of its generating parameters: the
+generator seed plus the structural knobs.  The cache therefore keys each
+entry on a canonical digest of ``(kind, schema version, params)`` and
+stores the pickled artifact content-addressed under that digest.  Repeated
+sweeps over the same genome skip rebuild entirely.
+
+Robustness rules:
+
+- writes are atomic (temp file + ``os.replace``), so a crash mid-store can
+  never leave a half-written entry behind;
+- a corrupt or unreadable entry is treated as a miss: it is deleted,
+  counted in :attr:`CacheStats.corrupt`, and the artifact is rebuilt;
+- the stored envelope records the kind and params that produced it, and a
+  mismatch on load (digest collision, manual tampering) also falls back to
+  rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+#: Bump to invalidate every existing cache entry when the on-disk artifact
+#: representations change incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
+
+
+def canonical_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalise a parameter dict into a JSON-stable form.
+
+    Tuples become lists, nested dicts are normalised recursively, and any
+    non-JSON value is rejected early so a cache key can never silently
+    depend on an object's ``repr``.
+    """
+    def convert(value: Any) -> Any:
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        if isinstance(value, dict):
+            return {str(k): convert(v) for k, v in sorted(value.items())}
+        raise TypeError(
+            f"cache params must be JSON-representable, got {type(value)!r}")
+
+    return {str(k): convert(v) for k, v in sorted(params.items())}
+
+
+class ArtifactCache:
+    """Content-addressed pickle cache rooted at ``cache_dir``.
+
+    Example:
+        >>> import tempfile
+        >>> cache = ArtifactCache(tempfile.mkdtemp())
+        >>> obj, hit = cache.get_or_build("squares", {"n": 4},
+        ...                               lambda: [i * i for i in range(4)])
+        >>> hit, cache.get_or_build("squares", {"n": 4}, list)[1]
+        (False, True)
+    """
+
+    def __init__(self, cache_dir: Union[str, os.PathLike]):
+        self.cache_dir = os.fspath(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+
+    def key(self, kind: str, params: Dict[str, Any]) -> str:
+        """Stable content digest for ``(kind, schema version, params)``."""
+        payload = json.dumps({"kind": kind,
+                              "schema": CACHE_SCHEMA_VERSION,
+                              "params": canonical_params(params)},
+                             sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, params: Dict[str, Any]) -> str:
+        """On-disk path of the entry for ``(kind, params)``."""
+        return os.path.join(self.cache_dir,
+                            f"{kind}-{self.key(kind, params)}.pkl")
+
+    def entries(self) -> Dict[str, int]:
+        """Map of cached file name -> size in bytes (for inspection)."""
+        out: Dict[str, int] = {}
+        for name in sorted(os.listdir(self.cache_dir)):
+            if name.endswith(".pkl"):
+                out[name] = os.path.getsize(
+                    os.path.join(self.cache_dir, name))
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for name in list(self.entries()):
+            os.remove(os.path.join(self.cache_dir, name))
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+    # ------------------------------------------------------------------ #
+
+    def load(self, kind: str, params: Dict[str, Any]) -> Tuple[Any, bool]:
+        """Return ``(artifact, True)`` on a hit, ``(None, False)`` on miss.
+
+        Corrupt entries are deleted and reported as misses.
+        """
+        path = self.path_for(kind, params)
+        if not os.path.exists(path):
+            self.stats.misses += 1
+            return None, False
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+            if (envelope.get("kind") != kind
+                    or envelope.get("params") != canonical_params(params)):
+                raise ValueError("cache envelope does not match request")
+            artifact = envelope["artifact"]
+        except Exception:
+            # Any failure to read/unpickle/validate means the entry is
+            # unusable; fall back to rebuild rather than propagate.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None, False
+        self.stats.hits += 1
+        return artifact, True
+
+    def store(self, kind: str, params: Dict[str, Any],
+              artifact: Any) -> str:
+        """Atomically persist ``artifact``; returns its path."""
+        path = self.path_for(kind, params)
+        envelope = {"kind": kind, "params": canonical_params(params),
+                    "schema": CACHE_SCHEMA_VERSION, "artifact": artifact}
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(envelope, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def get_or_build(self, kind: str, params: Dict[str, Any],
+                     builder: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Return ``(artifact, hit)``, building and storing on a miss."""
+        artifact, hit = self.load(kind, params)
+        if hit:
+            return artifact, True
+        artifact = builder()
+        self.store(kind, params, artifact)
+        return artifact, False
+
+
+def open_cache(cache_dir: Optional[Union[str, os.PathLike]]
+               ) -> Optional[ArtifactCache]:
+    """``ArtifactCache`` for ``cache_dir``, or ``None`` when unset."""
+    if cache_dir is None:
+        return None
+    return ArtifactCache(cache_dir)

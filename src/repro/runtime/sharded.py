@@ -1,0 +1,341 @@
+"""Sharded, multi-process execution of simulations and alignments.
+
+:class:`ShardedRunner` partitions a workload (or read set) into fixed-size
+shards and fans the shards out across ``multiprocessing`` workers, each
+holding its own simulation ``Engine`` (or its own ``SoftwareAligner``).
+Per-shard cycle counts, utilization statistics, counters, and SAM-ready
+alignment results are merged in shard order, so the aggregate is a pure
+function of the shard *plan* — never of the worker count or of completion
+order.  ``ShardedRunner(parallelism=1)`` and ``parallelism=4`` therefore
+produce bit-identical reports, which is the determinism contract the
+runtime tests pin.
+
+Simulation semantics: each shard runs to completion on a private
+accelerator instance and the merged cycle count is the *sum* of shard
+cycles — the sequential composition of batch runs with a full drain
+between batches.  With a single shard this is exactly the classic
+single-``Engine`` run, which is why the serial reference path stays
+bit-identical to the pre-runtime code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.accelerator import AssignmentQuality, NvWaAccelerator
+from repro.core.config import NvWaConfig
+from repro.core.workload import ReadTask, Workload
+from repro.sim.stats import CounterSet, ThroughputResult
+
+#: Default reads per shard.  Large enough that scheduler warm-up effects
+#: stay negligible, small enough that a few thousand reads spread across
+#: several workers.
+DEFAULT_SHARD_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic partition of ``total`` items into contiguous shards.
+
+    The plan depends only on ``total`` and ``shard_size`` — never on the
+    number of workers executing it.
+    """
+
+    total: int
+    shard_size: int = DEFAULT_SHARD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError(f"total must be >= 0, got {self.total}")
+        if self.shard_size <= 0:
+            raise ValueError(
+                f"shard_size must be positive, got {self.shard_size}")
+
+    @property
+    def num_shards(self) -> int:
+        if self.total == 0:
+            return 0
+        return (self.total + self.shard_size - 1) // self.shard_size
+
+    def bounds(self) -> List[Tuple[int, int]]:
+        """``[start, end)`` ranges, in shard order."""
+        return [(start, min(start + self.shard_size, self.total))
+                for start in range(0, self.total, self.shard_size)]
+
+
+@dataclass
+class _SimShardResult:
+    """Picklable per-shard simulation summary returned by workers."""
+
+    shard_id: int
+    reads: int
+    hits_processed: int
+    cycles: int
+    su_busy_cycles: int
+    eu_busy_cycles: int
+    num_seeding_units: int
+    num_extension_units: int
+    counters: Dict[str, int]
+    memory_energy_pj: float
+    eu_pe_efficiency: float
+    memory_bandwidth_utilization: float
+    quality_correct: Dict[int, int]
+    quality_total: Dict[int, int]
+    extension_results: Optional[Dict[Tuple[int, int], Any]] = None
+
+
+@dataclass
+class ShardedReport:
+    """Merged result of a sharded simulation run.
+
+    Mirrors the fields of
+    :class:`~repro.core.accelerator.SimulationReport` that sweeps and the
+    CLI consume; utilizations are cycle-weighted means over shards and
+    ``eu_pe_efficiency`` is the EU-busy-cycle-weighted mean (the exact
+    per-PE numerators are internal to each shard's engine).
+    """
+
+    config: NvWaConfig
+    shards: int
+    reads: int
+    hits_processed: int
+    cycles: int
+    shard_cycles: List[int]
+    su_utilization: float
+    eu_utilization: float
+    eu_pe_efficiency: float
+    memory_energy_pj: float
+    memory_bandwidth_utilization: float
+    counters: CounterSet
+    assignment_quality: AssignmentQuality
+    extension_results: Optional[Dict[Tuple[int, int], Any]] = None
+
+    @property
+    def throughput(self) -> ThroughputResult:
+        return ThroughputResult(reads=self.reads, cycles=self.cycles,
+                                frequency_hz=self.config.frequency_hz)
+
+    @property
+    def eu_effective_utilization(self) -> float:
+        return self.eu_utilization * self.eu_pe_efficiency
+
+
+def _simulate_shard(payload: Tuple[int, NvWaConfig, Tuple[ReadTask, ...],
+                                   Optional[int]]) -> _SimShardResult:
+    """Worker body: one shard through a private accelerator instance."""
+    shard_id, config, tasks, max_cycles = payload
+    report = NvWaAccelerator(config).run(Workload(list(tasks)),
+                                         max_cycles=max_cycles)
+    return _SimShardResult(
+        shard_id=shard_id,
+        reads=report.reads,
+        hits_processed=report.hits_processed,
+        cycles=report.cycles,
+        su_busy_cycles=report.su_trace.busy_cycles,
+        eu_busy_cycles=report.eu_trace.busy_cycles,
+        num_seeding_units=config.num_seeding_units,
+        num_extension_units=config.num_extension_units,
+        counters=report.counters.as_dict(),
+        memory_energy_pj=report.memory_energy_pj,
+        eu_pe_efficiency=report.eu_pe_efficiency,
+        memory_bandwidth_utilization=report.memory_bandwidth_utilization,
+        quality_correct=dict(report.assignment_quality.correct),
+        quality_total=dict(report.assignment_quality.total),
+        extension_results=report.extension_results,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Alignment workers: one SoftwareAligner per process, built once by the
+# pool initializer (index construction is the expensive part).
+# --------------------------------------------------------------------- #
+
+_WORKER_ALIGNER = None
+_WORKER_OPTIONS: Dict[str, Any] = {}
+
+
+def _init_align_worker(reference, aligner_kwargs: Dict[str, Any],
+                       batch_extension: bool, max_batch: int) -> None:
+    from repro.align.pipeline import SoftwareAligner
+
+    global _WORKER_ALIGNER, _WORKER_OPTIONS
+    _WORKER_ALIGNER = SoftwareAligner(reference, **aligner_kwargs)
+    _WORKER_OPTIONS = {"batch_extension": batch_extension,
+                       "max_batch": max_batch}
+
+
+def _align_shard(payload: Tuple[int, int, Sequence[Any]]
+                 ) -> Tuple[int, List[Any]]:
+    shard_id, start, reads = payload
+    results = _WORKER_ALIGNER.align_all(
+        reads, start_index=start,
+        batch_extension=_WORKER_OPTIONS["batch_extension"],
+        max_batch=_WORKER_OPTIONS["max_batch"])
+    return shard_id, results
+
+
+def _pool_context(requested: Optional[str] = None):
+    """Fork when the platform offers it (cheap, shares the parent's
+    imports); spawn otherwise."""
+    if requested is not None:
+        return multiprocessing.get_context(requested)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class ShardedRunner:
+    """Parallel, shard-deterministic front-end to the accelerator and the
+    software aligner.
+
+    Args:
+        config: accelerator configuration for :meth:`run` (paper design
+            point when omitted).
+        parallelism: worker processes; ``1`` executes shards serially
+            in-process (the reference path, no multiprocessing involved).
+        shard_size: reads per shard.  Part of the result's identity:
+            changing it changes the shard plan (and therefore the merged
+            cycle count); changing ``parallelism`` never does.
+        mp_context: optional multiprocessing start method override
+            ("fork"/"spawn"/"forkserver").
+    """
+
+    def __init__(self, config: Optional[NvWaConfig] = None,
+                 parallelism: int = 1,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 mp_context: Optional[str] = None):
+        if parallelism <= 0:
+            raise ValueError(
+                f"parallelism must be positive, got {parallelism}")
+        self.config = config if config is not None else NvWaConfig()
+        self.parallelism = parallelism
+        self.shard_size = shard_size
+        self.mp_context = mp_context
+        # Validates shard_size eagerly so misconfiguration fails at
+        # construction, not first run.
+        ShardPlan(total=0, shard_size=shard_size)
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+
+    def run(self, workload: Workload,
+            max_cycles: Optional[int] = None) -> ShardedReport:
+        """Simulate ``workload`` across shards; returns the merged report."""
+        plan = ShardPlan(total=len(workload), shard_size=self.shard_size)
+        payloads = [(shard_id, self.config,
+                     tuple(workload.tasks[start:end]), max_cycles)
+                    for shard_id, (start, end) in enumerate(plan.bounds())]
+        if self.parallelism == 1 or len(payloads) <= 1:
+            shard_results = [_simulate_shard(p) for p in payloads]
+        else:
+            workers = min(self.parallelism, len(payloads))
+            ctx = _pool_context(self.mp_context)
+            with ctx.Pool(processes=workers) as pool:
+                shard_results = list(
+                    pool.imap_unordered(_simulate_shard, payloads))
+        shard_results.sort(key=lambda r: r.shard_id)
+        return self._merge(shard_results)
+
+    def _merge(self, shards: List[_SimShardResult]) -> ShardedReport:
+        cycles = sum(s.cycles for s in shards)
+        reads = sum(s.reads for s in shards)
+        hits = sum(s.hits_processed for s in shards)
+        counters = CounterSet()
+        quality = AssignmentQuality()
+        extension_results: Optional[Dict[Tuple[int, int], Any]] = None
+        su_busy = eu_busy = 0
+        eu_busy_weighted_eff = 0.0
+        bw_weighted = 0.0
+        energy = 0.0
+        for shard in shards:
+            su_busy += shard.su_busy_cycles
+            eu_busy += shard.eu_busy_cycles
+            eu_busy_weighted_eff += (shard.eu_pe_efficiency
+                                     * shard.eu_busy_cycles)
+            bw_weighted += (shard.memory_bandwidth_utilization
+                            * shard.cycles)
+            energy += shard.memory_energy_pj
+            for name, value in sorted(shard.counters.items()):
+                counters.add(name, value)
+            for pe_class, total in sorted(shard.quality_total.items()):
+                quality.total[pe_class] = \
+                    quality.total.get(pe_class, 0) + total
+            for pe_class, correct in sorted(shard.quality_correct.items()):
+                quality.correct[pe_class] = \
+                    quality.correct.get(pe_class, 0) + correct
+            if shard.extension_results is not None:
+                if extension_results is None:
+                    extension_results = {}
+                extension_results.update(shard.extension_results)
+        num_su = shards[0].num_seeding_units if shards else \
+            self.config.num_seeding_units
+        num_eu = shards[0].num_extension_units if shards else \
+            self.config.num_extension_units
+        su_util = su_busy / (cycles * num_su) if cycles else 0.0
+        eu_util = eu_busy / (cycles * num_eu) if cycles else 0.0
+        pe_eff = eu_busy_weighted_eff / eu_busy if eu_busy else 0.0
+        bw_util = bw_weighted / cycles if cycles else 0.0
+        return ShardedReport(
+            config=self.config,
+            shards=len(shards),
+            reads=reads,
+            hits_processed=hits,
+            cycles=cycles,
+            shard_cycles=[s.cycles for s in shards],
+            su_utilization=su_util,
+            eu_utilization=eu_util,
+            eu_pe_efficiency=pe_eff,
+            memory_energy_pj=energy,
+            memory_bandwidth_utilization=bw_util,
+            counters=counters,
+            assignment_quality=quality,
+            extension_results=extension_results,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Alignment
+    # ------------------------------------------------------------------ #
+
+    def align(self, reference, reads: Sequence[Any],
+              aligner_kwargs: Optional[Dict[str, Any]] = None,
+              batch_extension: bool = False,
+              max_batch: int = 64) -> List[Any]:
+        """Align ``reads`` against ``reference`` across shards.
+
+        Returns ``ReadAlignment`` results in global read order with global
+        read indices, ready for ``repro.align.sam.write_sam`` — identical
+        output for any worker count, because each read's alignment depends
+        only on the read itself and the shared reference.
+        """
+        from repro.align.pipeline import SoftwareAligner
+
+        aligner_kwargs = dict(aligner_kwargs or {})
+        plan = ShardPlan(total=len(reads), shard_size=self.shard_size)
+        bounds = plan.bounds()
+        if self.parallelism == 1 or len(bounds) <= 1:
+            aligner = SoftwareAligner(reference, **aligner_kwargs)
+            return aligner.align_all(reads, batch_extension=batch_extension,
+                                     max_batch=max_batch)
+        payloads = [(shard_id, start, list(reads[start:end]))
+                    for shard_id, (start, end) in enumerate(bounds)]
+        workers = min(self.parallelism, len(payloads))
+        ctx = _pool_context(self.mp_context)
+        with ctx.Pool(processes=workers,
+                      initializer=_init_align_worker,
+                      initargs=(reference, aligner_kwargs,
+                                batch_extension, max_batch)) as pool:
+            shard_results = list(pool.imap_unordered(_align_shard, payloads))
+        shard_results.sort(key=lambda item: item[0])
+        merged: List[Any] = []
+        for _, results in shard_results:
+            merged.extend(results)
+        return merged
+
+
+def default_parallelism() -> int:
+    """A sensible worker count for the current machine."""
+    return max(1, os.cpu_count() or 1)

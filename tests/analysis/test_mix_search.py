@@ -17,6 +17,9 @@ SMALL = NvWaConfig(num_seeding_units=32,
                    eu_config=((16, 7), (32, 5), (64, 4), (128, 2)),
                    hits_buffer_depth=256, allocation_batch_size=32)
 
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def workload():

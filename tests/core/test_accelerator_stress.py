@@ -1,7 +1,5 @@
 """Pathological-workload stress tests for the accelerator."""
 
-import pytest
-
 from repro.core import NvWaAccelerator, baseline
 from repro.core.config import NvWaConfig
 from repro.core.workload import HitTask, ReadTask, Workload

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.genome.sequence import encode, random_sequence
-from repro.extension.alignment import Cigar
 from repro.extension.scoring import BWA_MEM_SCORING, DARWIN_SCORING, ScoringScheme
 from repro.extension.smith_waterman import (
     fill_matrices,

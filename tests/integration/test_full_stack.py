@@ -12,6 +12,9 @@ from repro.core import NvWaAccelerator, baseline, workload_from_pipeline
 from repro.genome.reads import ErrorModel, ReadSimulator
 from repro.genome.reference import SyntheticReference
 
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
 
 @pytest.fixture(scope="module")
 def stack():

@@ -4,9 +4,12 @@ import pytest
 
 from repro.align.long_read import LongReadAligner
 from repro.core import NvWaAccelerator, baseline, workload_from_long_reads
-from repro.genome.reads import LONG_READ, ErrorModel, ReadSimulator
+from repro.genome.reads import ErrorModel, ReadSimulator
 from repro.genome.reference import SyntheticReference
 from repro.hw.extension_unit import GACT_TILE_SIZE
+
+pytestmark = pytest.mark.integration
+
 
 
 @pytest.fixture(scope="module")

@@ -19,6 +19,9 @@ from repro.genome import sequence as seq
 from repro.genome.reads import ErrorModel, ReadSimulator
 from repro.genome.reference import SyntheticReference
 
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
 
 @pytest.fixture(scope="module")
 def setup():

@@ -1,0 +1,151 @@
+"""simulate_many: parallel config sweeps match the serial loop exactly."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.accelerator import NvWaAccelerator
+from repro.core.config import NvWaConfig
+from repro.core.workload import synthetic_workload
+from repro.experiments.common import (
+    SERIAL_EXECUTION,
+    ExecutionConfig,
+    execution,
+    execution_config,
+    resolve_execution,
+    set_execution_config,
+)
+from repro.genome.datasets import get_dataset
+from repro.runtime.sweep import SweepResult, sim_jobs, simulate_many
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(get_dataset("H.s."), 250, seed=13)
+
+
+@pytest.fixture(scope="module")
+def configs():
+    base = NvWaConfig()
+    return [replace(base, hits_buffer_depth=depth)
+            for depth in (64, 256, 1024, 4096)]
+
+
+class TestSimulateMany:
+    def test_serial_matches_direct_runs(self, workload, configs):
+        results = simulate_many(sim_jobs(configs, workload))
+        assert len(results) == len(configs)
+        for config, result in zip(configs, results):
+            report = NvWaAccelerator(config).run(workload)
+            assert result.cycles == report.cycles
+            assert result.kreads_per_second == \
+                report.throughput.kreads_per_second
+            assert result.su_utilization == report.su_utilization
+            assert result.eu_utilization == report.eu_utilization
+            assert result.eu_pe_efficiency == report.eu_pe_efficiency
+
+    def test_parallel_matches_serial(self, workload, configs):
+        serial = simulate_many(sim_jobs(configs, workload), parallelism=1)
+        parallel = simulate_many(sim_jobs(configs, workload), parallelism=3)
+        assert serial == parallel  # SweepResult is a frozen dataclass
+
+    def test_order_preserved(self, workload, configs):
+        results = simulate_many(sim_jobs(configs, workload), parallelism=2)
+        direct = [NvWaAccelerator(c).run(workload).cycles for c in configs]
+        assert [r.cycles for r in results] == direct
+
+    def test_empty_jobs(self):
+        assert simulate_many([]) == []
+        assert simulate_many([], parallelism=4) == []
+
+    def test_result_type(self, workload, configs):
+        results = simulate_many(sim_jobs(configs[:1], workload))
+        assert isinstance(results[0], SweepResult)
+        assert results[0].reads == len(workload)
+
+
+class TestExecutionPolicy:
+    def test_default_is_serial(self):
+        assert execution_config() == SERIAL_EXECUTION
+        assert SERIAL_EXECUTION.parallelism == 1
+        assert SERIAL_EXECUTION.cache_dir is None
+
+    def test_context_manager_scopes(self, tmp_path):
+        policy = ExecutionConfig(parallelism=2, cache_dir=str(tmp_path))
+        with execution(policy) as active:
+            assert active is policy
+            assert execution_config() is policy
+        assert execution_config() == SERIAL_EXECUTION
+
+    def test_set_and_restore(self):
+        policy = ExecutionConfig(parallelism=3)
+        previous = set_execution_config(policy)
+        try:
+            assert execution_config() is policy
+        finally:
+            set_execution_config(previous)
+        assert execution_config() == SERIAL_EXECUTION
+
+    def test_none_resets_to_serial(self):
+        set_execution_config(ExecutionConfig(parallelism=5))
+        set_execution_config(None)
+        assert execution_config() == SERIAL_EXECUTION
+
+    def test_resolve_explicit_wins(self):
+        explicit = ExecutionConfig(parallelism=7)
+        with execution(ExecutionConfig(parallelism=2)):
+            assert resolve_execution(explicit) is explicit
+            assert resolve_execution(None).parallelism == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(parallelism=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(shard_size=0)
+
+    def test_cache_accessor(self, tmp_path):
+        assert ExecutionConfig().cache() is None
+        cache = ExecutionConfig(cache_dir=str(tmp_path)).cache()
+        assert cache is not None
+        assert cache.cache_dir == str(tmp_path)
+
+
+class TestExperimentParity:
+    """Experiments produce identical rows under any execution policy."""
+
+    def test_fig13_quick_parity(self, tmp_path):
+        from repro.experiments import fig13_dse
+        serial = fig13_dse.run(reads=120, depths=(64, 1024),
+                               interval_counts=(1, 4),
+                               switch_thresholds=(0.75,),
+                               idle_fractions=(0.15,))
+        policy = ExecutionConfig(parallelism=2, cache_dir=str(tmp_path))
+        parallel = fig13_dse.run(reads=120, depths=(64, 1024),
+                                 interval_counts=(1, 4),
+                                 switch_thresholds=(0.75,),
+                                 idle_fractions=(0.15,),
+                                 exec_config=policy)
+        warm = fig13_dse.run(reads=120, depths=(64, 1024),
+                             interval_counts=(1, 4),
+                             switch_thresholds=(0.75,),
+                             idle_fractions=(0.15,),
+                             exec_config=policy)
+        assert serial.rows == parallel.rows == warm.rows
+
+    def test_fig11_quick_parity(self):
+        from repro.experiments import fig11_throughput
+        serial = fig11_throughput.run(reads=150)
+        parallel = fig11_throughput.run(
+            reads=150, exec_config=ExecutionConfig(parallelism=2))
+        assert serial.rows == parallel.rows
+
+    def test_runner_flags(self, tmp_path):
+        from repro.experiments.runner import main
+        csv_dir = tmp_path / "csv"
+        code = main(["fig13", "--quick", "--parallelism", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--csv-dir", str(csv_dir)])
+        assert code == 0
+        assert (csv_dir / "fig13.csv").exists()
+        # The ambient policy was restored after the run.
+        assert execution_config() == SERIAL_EXECUTION

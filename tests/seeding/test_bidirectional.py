@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.genome.sequence import encode, random_sequence
-from repro.seeding.bidirectional import BidirectionalFMIndex, BiInterval
+from repro.seeding.bidirectional import BidirectionalFMIndex
 
 
 def naive_positions(text, pattern):

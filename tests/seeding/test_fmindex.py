@@ -2,13 +2,12 @@
 
 import random
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.genome.sequence import encode, random_sequence
-from repro.seeding.fmindex import FMIndex, SAInterval
+from repro.genome.sequence import random_sequence
+from repro.seeding.fmindex import FMIndex
 
 
 def naive_positions(text: str, pattern: str):
