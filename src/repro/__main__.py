@@ -1,0 +1,12 @@
+"""``python -m repro`` — module entry point for the CLI.
+
+Makes every subcommand (``simulate``, ``align``, ``accelerate``,
+``experiments``, ``report-card``, ``serve``, ``loadgen``) reachable
+without installing the console script; equivalent to
+``python -m repro.cli``.
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

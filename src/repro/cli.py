@@ -1,23 +1,28 @@
 """Command-line interface.
 
-Subcommands::
+Subcommands (``python -m repro`` works identically)::
 
-    python -m repro.cli simulate  --length 100000 --reads 500 --out-prefix x
-    python -m repro.cli align     --reference x.fa --reads x.fq --out x.sam
-    python -m repro.cli align     --reference x.fa --reads x.fq --long
-    python -m repro.cli accelerate --dataset H.s. --reads 2000
-    python -m repro.cli accelerate --reference x.fa --reads-file x.fq
-    python -m repro.cli experiments fig11 fig13 --quick
-    python -m repro.cli experiments --parallelism 4 --cache-dir .cache/
+    python -m repro simulate  --length 100000 --reads 500 --out-prefix x
+    python -m repro align     --reference x.fa --reads x.fq --out x.sam
+    python -m repro align     --reference x.fa --reads x.fq --long
+    python -m repro accelerate --dataset H.s. --reads 2000
+    python -m repro accelerate --reference x.fa --reads-file x.fq
+    python -m repro experiments fig11 fig13 --quick
+    python -m repro experiments --parallelism 4 --cache-dir .cache/
+    python -m repro serve     --reference x.fa --port 7878
+    python -m repro loadgen   --connect 127.0.0.1:7878 --reference x.fa
 
 ``--parallelism N`` fans work out over N worker processes and
 ``--cache-dir DIR`` memoizes deterministic inputs on disk; results are
 bit-identical to the serial, uncached run for every worker count.
+``serve`` runs the online alignment service (dynamic batching, admission
+control, live metrics) and ``loadgen`` benchmarks it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import List, Optional
 
 
@@ -142,6 +147,78 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+    import signal
+
+    from repro.genome.io import read_reference
+    from repro.service.server import AlignmentServer, ServerConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    reference = read_reference(args.reference)
+    config = ServerConfig(
+        host=args.host, port=args.port, unix_path=args.unix_socket,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth, workers=args.workers,
+        request_timeout_s=args.request_timeout_ms / 1000.0,
+        batch_extension=not args.no_batch_extension,
+        stats_interval_s=args.stats_interval)
+
+    async def serve() -> None:
+        server = AlignmentServer(reference, config=config)
+        await server.start()
+        print(f"serving on {server.endpoint}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-UNIX event loops
+                signal.signal(sig, lambda *_: stop.set())
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("shutting down: draining queued requests...", flush=True)
+        serve_task.cancel()
+        await server.shutdown(drain=True)
+
+    asyncio.run(serve())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import loadgen
+
+    if args.reads_file:
+        from repro.genome.io import parse_fastq
+        reads = list(parse_fastq(args.reads_file))[:args.requests]
+        specs = loadgen.workload_from_reads(reads)
+    else:
+        from repro.genome.io import read_reference
+        reference = read_reference(args.reference)
+        specs = loadgen.build_workload(
+            reference, args.requests, read_length=args.read_length,
+            seed=args.seed, pair_fraction=args.pair_fraction)
+    config = loadgen.LoadgenConfig(
+        concurrency=args.concurrency, mode=args.mode, rate=args.rate,
+        wait_ready_s=args.wait_ready)
+    report = loadgen.run(args.connect, specs, config=config)
+    print(report.format())
+    failures = []
+    if report.dropped:
+        failures.append(f"{report.dropped} requests got no response")
+    if report.error_count and not args.allow_errors:
+        failures.append(f"{report.error_count} requests errored")
+    if args.max_p99_ms is not None and report.p99_ms > args.max_p99_ms:
+        failures.append(f"p99 {report.p99_ms:.1f} ms exceeds "
+                        f"--max-p99-ms {args.max_p99_ms}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _cmd_report_card(args: argparse.Namespace) -> int:
     from repro.experiments.report_card import format_card, run
     criteria = run(quick=args.quick)
@@ -203,6 +280,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="memoize genomes/indexes/read sets/workloads here")
     p.set_defaults(func=_cmd_experiments)
 
+    p = sub.add_parser("serve",
+                       help="run the online alignment service")
+    p.add_argument("--reference", required=True, help="FASTA to serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--unix-socket",
+                   help="serve on a UNIX socket instead of TCP")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="dispatch a batch as soon as it reaches this size")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="longest a lone request waits for batchmates")
+    p.add_argument("--queue-depth", type=int, default=1024,
+                   help="admission bound; beyond it requests are rejected")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine worker threads (one aligner each)")
+    p.add_argument("--request-timeout-ms", type=float, default=30_000.0,
+                   help="per-request deadline (0 disables)")
+    p.add_argument("--no-batch-extension", action="store_true",
+                   help="disable the vectorized extension kernels")
+    p.add_argument("--stats-interval", type=float, default=10.0,
+                   help="seconds between stats log lines (0 disables)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="benchmark a running alignment service")
+    p.add_argument("--connect", required=True,
+                   help="host:port or unix:/path of the server")
+    p.add_argument("--reference",
+                   help="FASTA to sample request reads from")
+    p.add_argument("--reads-file",
+                   help="FASTQ of requests (instead of sampling)")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--concurrency", type=int, default=64,
+                   help="closed-loop in-flight request bound")
+    p.add_argument("--mode", choices=["closed", "open"], default="closed")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop arrivals per second")
+    p.add_argument("--pair-fraction", type=float, default=0.0,
+                   help="fraction of requests that are read pairs")
+    p.add_argument("--read-length", type=int, default=101)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wait-ready", type=float, default=0.0,
+                   help="retry the initial connect for this many seconds")
+    p.add_argument("--max-p99-ms", type=float,
+                   help="exit nonzero if p99 latency exceeds this")
+    p.add_argument("--allow-errors", action="store_true",
+                   help="do not fail the run on rejected/errored requests")
+    p.set_defaults(func=_cmd_loadgen)
+
     p = sub.add_parser("report-card",
                        help="check every reproduction criterion")
     p.add_argument("--quick", action="store_true")
@@ -210,11 +337,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> None:
+    """Reject bad knob values with a clear message, not a traceback."""
+    if getattr(args, "parallelism", 1) < 1:
+        parser.error(f"--parallelism must be >= 1, got {args.parallelism}")
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        parent = os.path.dirname(os.path.abspath(cache_dir)) or os.sep
+        if not os.path.isdir(parent):
+            parser.error(
+                f"--cache-dir parent directory does not exist: {parent}")
+    if getattr(args, "command", None) == "loadgen":
+        if args.requests < 1:
+            parser.error(f"--requests must be >= 1, got {args.requests}")
+        if args.concurrency < 1:
+            parser.error(
+                f"--concurrency must be >= 1, got {args.concurrency}")
+        if not args.reads_file and not args.reference:
+            parser.error("loadgen needs --reference or --reads-file")
+    if getattr(args, "command", None) == "serve":
+        for name in ("max_batch", "queue_depth", "workers"):
+            value = getattr(args, name)
+            if value < 1:
+                flag = "--" + name.replace("_", "-")
+                parser.error(f"{flag} must be >= 1, got {value}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "parallelism", 1) < 1:
-        parser.error(f"--parallelism must be >= 1, got {args.parallelism}")
+    _validate(parser, args)
     return args.func(args)
 
 

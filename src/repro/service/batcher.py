@@ -1,0 +1,253 @@
+"""Dynamic batching with admission control — NvWa's scheduler, online.
+
+The paper's thesis is that accelerator throughput comes from keeping
+units busy by scheduling diverse ready work onto them, not from making a
+single unit faster (§III). The serving translation: never run the batch
+Smith-Waterman kernel below capacity while requests are waiting. The
+:class:`DynamicBatcher` implements the two-knob policy every
+high-throughput serving system converges on:
+
+- **max_batch**: the kernel's preferred occupancy — once a forming batch
+  reaches it, dispatch immediately;
+- **max_wait**: the deadline a lone request will tolerate — when the
+  queue runs dry before the batch fills, wait at most this long for
+  company, then dispatch short.
+
+Between those bounds the batcher *drains greedily*: everything already
+queued joins the batch with no waiting at all, so under load batches run
+full (occupancy → max_batch) and under light load latency stays within
+one max_wait of the kernel time.
+
+Admission control is a bounded queue: :meth:`DynamicBatcher.submit`
+raises :class:`ServiceOverloadedError` once ``queue_depth`` requests are
+waiting, which the server maps to an ``overloaded`` response (the moral
+HTTP 429) instead of letting latency grow without bound. A closed
+batcher keeps handing out queued work until empty — that is the graceful
+drain path — but admits nothing new.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from collections import deque
+
+from repro.service.metrics import MetricsRegistry
+
+#: Default knobs: a full extension-kernel batch, and a wait bound that is
+#: small next to per-read alignment time (~ms) so batching is nearly free.
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT_S = 0.002
+DEFAULT_QUEUE_DEPTH = 1024
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Admission control rejected the request (queue at capacity)."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The batcher is draining or closed; no new work is admitted."""
+
+
+@dataclass
+class WorkItem:
+    """One queued request with its completion future and queue timestamps."""
+
+    request: Any
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+    dequeued_at: float = 0.0
+
+    @property
+    def abandoned(self) -> bool:
+        """True when the waiter gave up (timeout/disconnect cancelled it)."""
+        return self.future.cancelled()
+
+
+@dataclass
+class BatcherStats:
+    """Point-in-time counters the batcher maintains for introspection."""
+
+    submitted: int = 0
+    rejected: int = 0
+    dispatched_batches: int = 0
+    dispatched_items: int = 0
+    abandoned_items: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "dispatched_batches": self.dispatched_batches,
+            "dispatched_items": self.dispatched_items,
+            "abandoned_items": self.abandoned_items,
+        }
+
+
+class DynamicBatcher:
+    """Coalesces submitted requests into kernel-sized batches.
+
+    Args:
+        max_batch: dispatch as soon as a forming batch reaches this size.
+        max_wait_s: dispatch a short batch after waiting this long for
+            more arrivals (measured from the first dequeue).
+        queue_depth: admission bound on waiting requests.
+        metrics: optional registry; the batcher keeps ``queue_depth``
+            (gauge) and ``batch_size`` (histogram) current.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(self, max_batch: int = DEFAULT_MAX_BATCH,
+                 max_wait_s: float = DEFAULT_MAX_WAIT_S,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(
+                f"max_wait_s must be >= 0, got {max_wait_s}")
+        if queue_depth <= 0:
+            raise ValueError(
+                f"queue_depth must be positive, got {queue_depth}")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.queue_depth = queue_depth
+        self.metrics = metrics
+        self.stats = BatcherStats()
+        self._clock = clock
+        self._queue: Deque[WorkItem] = deque()
+        self._arrival = asyncio.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting (admission-controlled quantity)."""
+        return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, request: Any) -> "asyncio.Future[Any]":
+        """Admit one request; returns the future its result resolves.
+
+        Raises:
+            ServiceClosedError: the batcher is draining/closed.
+            ServiceOverloadedError: ``queue_depth`` requests already wait.
+        """
+        if self._closed:
+            raise ServiceClosedError("batcher is closed to new work")
+        if len(self._queue) >= self.queue_depth:
+            self.stats.rejected += 1
+            if self.metrics is not None:
+                self.metrics.inc("rejected_total")
+            raise ServiceOverloadedError(
+                f"queue at capacity ({self.queue_depth} waiting)")
+        future: "asyncio.Future[Any]" = \
+            asyncio.get_running_loop().create_future()
+        self._queue.append(WorkItem(request=request, future=future,
+                                    enqueued_at=self._clock()))
+        self.stats.submitted += 1
+        self._note_depth()
+        self._arrival.set()
+        return future
+
+    def close(self) -> None:
+        """Stop admitting; wake consumers so they can drain and exit."""
+        self._closed = True
+        self._arrival.set()
+
+    def abort_pending(self, exc_factory: Callable[[], Exception]) -> int:
+        """Fail every queued item (the non-drain shutdown path).
+
+        Each live item's future gets ``exc_factory()``; returns how many
+        were failed. Consumers see an empty queue afterwards.
+        """
+        failed = 0
+        while self._queue:
+            item = self._queue.popleft()
+            if item.future.done():
+                continue
+            item.future.set_exception(exc_factory())
+            failed += 1
+        self._note_depth()
+        return failed
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+
+    async def next_batch(self) -> Optional[list]:
+        """The next batch of live :class:`WorkItem`, or ``None`` when the
+        batcher is closed and fully drained.
+
+        Dispatch policy: block until at least one live item is queued;
+        greedily drain whatever else is queued; if still short of
+        ``max_batch``, wait for stragglers until ``max_wait_s`` after the
+        first dequeue; never return an empty batch.
+        """
+        first = await self._next_live_item()
+        if first is None:
+            return None
+        batch = [first]
+        deadline = first.dequeued_at + self.max_wait_s
+        while len(batch) < self.max_batch:
+            item = self._pop_live()
+            if item is not None:
+                batch.append(item)
+                continue
+            if self._closed:
+                break
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            self._arrival.clear()
+            try:
+                await asyncio.wait_for(self._arrival.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        self.stats.dispatched_batches += 1
+        self.stats.dispatched_items += len(batch)
+        if self.metrics is not None:
+            self.metrics.observe("batch_size", float(len(batch)))
+        self._note_depth()
+        return batch
+
+    async def _next_live_item(self) -> Optional[WorkItem]:
+        """Block for the first non-abandoned item; None once closed+empty."""
+        while True:
+            item = self._pop_live()
+            if item is not None:
+                return item
+            if self._closed:
+                return None
+            self._arrival.clear()
+            # Re-check after clear: a submit may have raced the clear.
+            if self._queue:
+                continue
+            await self._arrival.wait()
+
+    def _pop_live(self) -> Optional[WorkItem]:
+        """Pop the oldest queued item, discarding abandoned ones."""
+        while self._queue:
+            item = self._queue.popleft()
+            if item.abandoned:
+                self.stats.abandoned_items += 1
+                if self.metrics is not None:
+                    self.metrics.inc("abandoned_total")
+                continue
+            item.dequeued_at = self._clock()
+            return item
+        return None
+
+    def _note_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("queue_depth", len(self._queue))

@@ -1,0 +1,248 @@
+"""Clients for the alignment service.
+
+Two flavours:
+
+- :class:`AsyncServiceClient` — one connection, many in-flight requests.
+  A background reader task dispatches response lines to per-request
+  futures by id, so a single socket sustains arbitrary concurrency (the
+  loadgen drives ≥64 in-flight requests through one of these).
+- :class:`ServiceClient` — a small blocking wrapper (one request at a
+  time) for scripts, examples, and debugging with no asyncio in sight.
+
+Both speak the NDJSON protocol of :mod:`repro.service.protocol` and work
+over TCP or UNIX-domain sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.genome.reads import Read
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    TYPE_PING,
+    TYPE_STATS,
+    ProtocolError,
+    decode_response,
+    encode_align,
+    encode_align_pair,
+    encode_control,
+)
+
+
+class ServiceError(RuntimeError):
+    """An ``ok: false`` response, with its protocol error code."""
+
+    def __init__(self, code: str, message: str = ""):
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+
+
+def parse_endpoint(endpoint: str) -> Tuple[Optional[str], Optional[int],
+                                           Optional[str]]:
+    """``host:port`` or ``unix:/path`` → ``(host, port, unix_path)``."""
+    if endpoint.startswith("unix:"):
+        return None, None, endpoint[len("unix:"):]
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"endpoint must be host:port or unix:/path, got {endpoint!r}")
+    return host or "127.0.0.1", int(port), None
+
+
+class AsyncServiceClient:
+    """Multiplexing asyncio client; create via :meth:`connect`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: Optional[str] = None,
+                      port: Optional[int] = None,
+                      unix_path: Optional[str] = None,
+                      timeout_s: float = 10.0) -> "AsyncServiceClient":
+        if unix_path is not None:
+            opener = asyncio.open_unix_connection(unix_path,
+                                                  limit=MAX_LINE_BYTES)
+        else:
+            if host is None or port is None:
+                raise ValueError("need host+port or unix_path")
+            opener = asyncio.open_connection(host, port,
+                                             limit=MAX_LINE_BYTES)
+        reader, writer = await asyncio.wait_for(opener, timeout_s)
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_endpoint(cls, endpoint: str,
+                               timeout_s: float = 10.0
+                               ) -> "AsyncServiceClient":
+        host, port, unix_path = parse_endpoint(endpoint)
+        return await cls.connect(host=host, port=port, unix_path=unix_path,
+                                 timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------ #
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                raw = await self._reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                try:
+                    obj = decode_response(line)
+                except ProtocolError:
+                    continue
+                future = self._pending.pop(str(obj.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(obj)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection"))
+            self._pending.clear()
+
+    async def _request(self, line: str,
+                       request_id: str) -> Dict[str, Any]:
+        future: "asyncio.Future[Dict[str, Any]]" = \
+            asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(line.encode("utf-8") + b"\n")
+            await self._writer.drain()
+        return await future
+
+    def _next_id(self) -> str:
+        return str(next(self._ids))
+
+    @staticmethod
+    def _unwrap(obj: Dict[str, Any]) -> Dict[str, Any]:
+        if not obj.get("ok"):
+            raise ServiceError(obj.get("error", "unknown"),
+                               obj.get("message", ""))
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # Request types
+    # ------------------------------------------------------------------ #
+
+    async def align(self, read: Read) -> Dict[str, Any]:
+        """Align one read; the response object (``sam``: one line)."""
+        request_id = self._next_id()
+        return self._unwrap(await self._request(
+            encode_align(request_id, read), request_id))
+
+    async def align_pair(self, mate1: Read, mate2: Read,
+                         pair_id: Optional[str] = None) -> Dict[str, Any]:
+        """Align an FR pair; response carries two SAM lines + pairing."""
+        request_id = self._next_id()
+        return self._unwrap(await self._request(
+            encode_align_pair(request_id, mate1, mate2, pair_id=pair_id),
+            request_id))
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot."""
+        request_id = self._next_id()
+        obj = self._unwrap(await self._request(
+            encode_control(request_id, TYPE_STATS), request_id))
+        return obj["stats"]
+
+    async def ping(self) -> bool:
+        request_id = self._next_id()
+        obj = self._unwrap(await self._request(
+            encode_control(request_id, TYPE_PING), request_id))
+        return bool(obj.get("pong"))
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class ServiceClient:
+    """Blocking, one-request-at-a-time client over a raw socket."""
+
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 unix_path: Optional[str] = None,
+                 timeout_s: float = 30.0):
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(unix_path)
+        else:
+            if host is None or port is None:
+                raise ValueError("need host+port or unix_path")
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout_s)
+        self._file = self._sock.makefile("rw", encoding="utf-8",
+                                         newline="\n")
+        self._ids = itertools.count(1)
+
+    def _request(self, line: str) -> Dict[str, Any]:
+        self._file.write(line + "\n")
+        self._file.flush()
+        response = self._file.readline()
+        if not response:
+            raise ConnectionError("server closed the connection")
+        obj = decode_response(response.strip())
+        if not obj.get("ok"):
+            raise ServiceError(obj.get("error", "unknown"),
+                               obj.get("message", ""))
+        return obj
+
+    def align(self, read: Read) -> Dict[str, Any]:
+        return self._request(encode_align(str(next(self._ids)), read))
+
+    def align_pair(self, mate1: Read, mate2: Read,
+                   pair_id: Optional[str] = None) -> Dict[str, Any]:
+        return self._request(encode_align_pair(
+            str(next(self._ids)), mate1, mate2, pair_id=pair_id))
+
+    def align_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send an arbitrary request object (debugging aid)."""
+        payload = dict(payload)
+        payload.setdefault("id", str(next(self._ids)))
+        return self._request(json.dumps(payload, separators=(",", ":")))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request(
+            encode_control(str(next(self._ids)), TYPE_STATS))["stats"]
+
+    def ping(self) -> bool:
+        return bool(self._request(
+            encode_control(str(next(self._ids)), TYPE_PING)).get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

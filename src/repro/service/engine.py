@@ -1,0 +1,142 @@
+"""Batch execution engine: protocol requests → SAM response payloads.
+
+One :class:`AlignmentEngine` owns one :class:`~repro.align.pipeline.
+SoftwareAligner` (the expensive part is its FM-index, built once) plus a
+:class:`~repro.align.paired.PairedAligner` sharing it. ``execute`` takes
+the mixed batch the dynamic batcher assembled — single reads and pairs
+interleaved — routes all single reads through the vectorized extension
+path (``align_all(batch_extension=True)``, i.e. the
+:mod:`repro.runtime.batch` kernels), aligns pairs through the
+mate-rescue pipeline, and renders every result with
+:func:`repro.align.sam.sam_record`.
+
+Because the engine calls the *same* pipeline objects and the *same* SAM
+renderer as the offline ``repro align`` path, service responses are
+bit-identical to offline output by construction; the round-trip tests
+pin this.
+
+The engine is deliberately crash-transparent: it holds no queue state,
+so the server can discard a crashed engine, build a fresh one from the
+factory, and replay the batch without losing accepted requests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.align.paired import PairedAligner
+from repro.align.pipeline import SoftwareAligner
+from repro.align.sam import sam_record
+from repro.genome.pairs import ReadPair
+from repro.genome.reference import ReferenceGenome
+from repro.service.protocol import AlignRequest, TYPE_ALIGN, TYPE_ALIGN_PAIR
+
+
+class EngineError(RuntimeError):
+    """Execution failed for one request after the server's retries."""
+
+
+class AlignmentEngine:
+    """Aligns protocol request batches against a fixed reference.
+
+    Args:
+        reference: genome every request is aligned to.
+        batch_extension: pack same-shaped extension jobs into vectorized
+            kernel calls (bit-identical results; this is where dynamic
+            batching buys throughput).
+        max_batch: job cap per vectorized kernel call.
+        insert_mean / insert_sd: paired-library model for proper-pair
+            detection and mate rescue.
+        aligner_kwargs: forwarded to :class:`SoftwareAligner` (seeding
+            mode, scoring, prebuilt index, ...).
+    """
+
+    def __init__(self, reference: ReferenceGenome,
+                 batch_extension: bool = True,
+                 max_batch: int = 64,
+                 insert_mean: float = 400.0,
+                 insert_sd: float = 50.0,
+                 aligner_kwargs: Optional[Dict[str, Any]] = None):
+        self.reference = reference
+        self.batch_extension = batch_extension
+        self.max_batch = max_batch
+        self.aligner = SoftwareAligner(reference, **(aligner_kwargs or {}))
+        self.paired = PairedAligner(reference, insert_mean=insert_mean,
+                                    insert_sd=insert_sd,
+                                    aligner=self.aligner)
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, requests: Sequence[AlignRequest]
+                ) -> List[Dict[str, Any]]:
+        """Align a mixed batch; payload dicts in request order.
+
+        Single-read requests across the whole batch are aligned in one
+        ``align_all`` call so their extension jobs share vectorized
+        kernel invocations; pairs go through mate rescue individually
+        (rescue is data-dependent and cheap relative to the mates'
+        primary alignments).
+        """
+        singles = [(idx, req) for idx, req in enumerate(requests)
+                   if req.type == TYPE_ALIGN]
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+
+        if singles:
+            reads = [req.reads[0] for _, req in singles]
+            results = self.aligner.align_all(
+                reads, batch_extension=self.batch_extension,
+                max_batch=self.max_batch)
+            for (idx, _), result in zip(singles, results):
+                payloads[idx] = {
+                    "sam": [sam_record(result, self.reference)],
+                    "mapped": result.aligned,
+                }
+
+        for idx, req in enumerate(requests):
+            if req.type != TYPE_ALIGN_PAIR:
+                continue
+            payloads[idx] = self._execute_pair(req)
+
+        missing = [i for i, p in enumerate(payloads) if p is None]
+        if missing:
+            raise EngineError(
+                f"unhandled request types at batch positions {missing}")
+        return payloads  # type: ignore[return-value]
+
+    def _execute_pair(self, request: AlignRequest) -> Dict[str, Any]:
+        pair = ReadPair(pair_id=request.pair_id or request.reads[0].read_id,
+                        mate1=request.reads[0], mate2=request.reads[1])
+        outcome = self.paired.align_pair(pair)
+        return {
+            "sam": [sam_record(outcome.result1, self.reference),
+                    sam_record(outcome.result2, self.reference)],
+            "mapped": outcome.both_mapped,
+            "proper": outcome.proper,
+            "insert_size": outcome.insert_size,
+            "rescued_mate": outcome.rescued_mate,
+        }
+
+
+class FlakyEngine:
+    """Test/chaos wrapper: crashes on scheduled ``execute`` calls.
+
+    Wraps a real engine and raises on call numbers listed in
+    ``crash_on_calls`` (1-based), simulating a worker dying mid-batch.
+    Used by the crash-recovery tests and available for fault-injection
+    benchmarks; the server must replay the batch on a fresh engine
+    without dropping any accepted request.
+    """
+
+    def __init__(self, inner: AlignmentEngine,
+                 crash_on_calls: Sequence[int] = (1,)):
+        self.inner = inner
+        self.crash_on_calls = set(crash_on_calls)
+        self.calls = 0
+
+    def execute(self, requests: Sequence[AlignRequest]
+                ) -> List[Dict[str, Any]]:
+        self.calls += 1
+        if self.calls in self.crash_on_calls:
+            raise RuntimeError(
+                f"injected worker crash on call {self.calls}")
+        return self.inner.execute(requests)

@@ -1,0 +1,196 @@
+"""Service-level observability: counters, gauges, latency histograms.
+
+The offline reproduction measures utilization per simulated cycle; an
+online server needs the serving equivalents — request and error counts,
+queue depth, batch occupancy, and latency percentiles. This module keeps
+them in a single :class:`MetricsRegistry` that the server samples for the
+``stats`` protocol request and for its periodic log line.
+
+Histograms record exact samples in a bounded ring (newest
+``window`` samples) plus lifetime count/sum, so percentiles reflect
+recent behaviour while totals stay exact. Everything is plain Python and
+cheap enough to update on every request; none of it is on the kernel hot
+path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+#: Default sample window for percentile estimation.
+DEFAULT_WINDOW = 4096
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")`` without importing
+    numpy on the serving path. Returns 0.0 for an empty sequence.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous level (queue depth, in-flight, connections)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Lifetime count/sum plus a bounded window of recent samples.
+
+    Percentiles are computed over the window (the behaviour an operator
+    watches); ``mean`` is lifetime-exact.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        return percentile(list(self._samples), q)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "max": round(self.max, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
+class MetricsRegistry:
+    """All serving metrics, named on demand and snapshot atomically.
+
+    Thread-safe: the engine runs in executor threads while the event loop
+    updates queue metrics, so every mutation takes the registry lock (the
+    operations are tiny; contention is negligible at service rates).
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- named access (creates on first use) --------------------------- #
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(window=self._window)
+            return self._histograms[name]
+
+    # -- convenience mutators ------------------------------------------ #
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        counter = self.counter(name)
+        with self._lock:
+            counter.inc(amount)
+
+    def set_gauge(self, name: str, value: int) -> None:
+        gauge = self.gauge(name)
+        with self._lock:
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histogram(name)
+        with self._lock:
+            histogram.observe(value)
+
+    # -- snapshots ------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view: counters, gauges, histogram summaries."""
+        with self._lock:
+            return {
+                "counters": {name: c.value
+                             for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value
+                           for name, g in sorted(self._gauges.items())},
+                "histograms": {name: h.summary()
+                               for name, h in
+                               sorted(self._histograms.items())},
+            }
+
+    def format_line(self, names: Optional[List[str]] = None) -> str:
+        """One compact log line for the periodic stats logger."""
+        snap = self.snapshot()
+        parts: List[str] = []
+        for name, value in snap["counters"].items():  # type: ignore[union-attr]
+            parts.append(f"{name}={value}")
+        for name, value in snap["gauges"].items():  # type: ignore[union-attr]
+            parts.append(f"{name}={value}")
+        for name, summ in snap["histograms"].items():  # type: ignore[union-attr]
+            parts.append(f"{name}.p50={summ['p50']:.3f}")
+            parts.append(f"{name}.p99={summ['p99']:.3f}")
+        if names is not None:
+            wanted = set(names)
+            parts = [p for p in parts if p.split("=")[0].split(".p")[0]
+                     in wanted]
+        return " ".join(parts)

@@ -1,0 +1,453 @@
+"""The asyncio alignment server.
+
+Wiring (one process, one event loop)::
+
+    connections ──decode──▶ DynamicBatcher ──batches──▶ worker tasks
+         ▲                     (bounded,                (engine per
+         │                      admission-               worker, thread
+         └──────responses────── controlled)              executor)
+
+Each accepted connection speaks the NDJSON protocol of
+:mod:`repro.service.protocol`. ``align``/``align_pair`` requests are
+admitted into the :class:`~repro.service.batcher.DynamicBatcher`; worker
+tasks pull kernel-sized batches and execute them on a thread-pool
+executor, each worker owning a private
+:class:`~repro.service.engine.AlignmentEngine` (no shared mutable
+aligner state, and index construction happens once per worker, off the
+event loop). Responses stream back per connection as their batches
+retire, tagged with request ids, so any number of requests may be in
+flight on one connection.
+
+Robustness contract (pinned by tests):
+
+- **Admission control**: a full queue rejects with ``overloaded``
+  instead of queueing unboundedly.
+- **Per-request timeout**: a request that misses its deadline gets a
+  ``timeout`` response; if it is still queued it is abandoned so the
+  batcher never spends kernel time on it.
+- **Worker crash recovery**: if an engine raises mid-batch the worker
+  discards it, builds a fresh engine from the factory, and replays the
+  whole batch; after ``max_retries`` replays it isolates requests and
+  fails only the poisoned ones. Accepted requests are never silently
+  dropped.
+- **Graceful drain**: :meth:`AlignmentServer.shutdown` stops admitting,
+  lets the workers drain every queued request, flushes the responses,
+  and only then tears down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.genome.reference import ReferenceGenome
+from repro.service.batcher import (
+    DynamicBatcher,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.engine import AlignmentEngine, EngineError
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    TYPE_ALIGN_PAIR,
+    TYPE_PING,
+    TYPE_STATS,
+    decode_request,
+    error_response,
+    success_response,
+)
+
+logger = logging.getLogger("repro.service")
+
+
+@dataclass
+class ServerConfig:
+    """Every serving knob in one place (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0 = ephemeral; read server.port after start
+    unix_path: Optional[str] = None  # UNIX socket path (overrides host/port)
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_depth: int = 1024
+    workers: int = 2
+    request_timeout_s: float = 30.0  # 0 disables
+    batch_extension: bool = True
+    stats_interval_s: float = 10.0   # 0 disables the periodic log line
+    max_retries: int = 2             # batch replays after a worker crash
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {self.queue_depth}")
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.request_timeout_s < 0:
+            raise ValueError(
+                f"request_timeout_s must be >= 0, got {self.request_timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass
+class _Connection:
+    """Per-connection write serialization."""
+
+    writer: asyncio.StreamWriter
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class AlignmentServer:
+    """Online alignment service over a fixed reference genome.
+
+    Args:
+        reference: genome every request aligns against.
+        config: serving knobs (batching, admission, timeouts, workers).
+        metrics: optional shared registry (a fresh one by default).
+        engine_factory: builds one engine per worker; defaults to
+            :class:`AlignmentEngine` over ``reference`` with the config's
+            batching knobs. Tests inject flaky factories here.
+    """
+
+    def __init__(self, reference: ReferenceGenome,
+                 config: Optional[ServerConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 engine_factory: Optional[Callable[[], Any]] = None):
+        self.reference = reference
+        self.config = config or ServerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._engine_factory = engine_factory or (
+            lambda: AlignmentEngine(
+                reference,
+                batch_extension=self.config.batch_extension,
+                max_batch=self.config.max_batch))
+        self._batcher: Optional[DynamicBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._worker_tasks: list = []
+        self._stats_task: Optional[asyncio.Task] = None
+        self._response_tasks: Set[asyncio.Task] = set()
+        self._started_at = 0.0
+        self._shutting_down = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> Optional[int]:
+        """Bound TCP port (after :meth:`start`), or None on UNIX sockets."""
+        if self._server is None or self.config.unix_path is not None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def endpoint(self) -> str:
+        if self.config.unix_path is not None:
+            return f"unix:{self.config.unix_path}"
+        return f"{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind, spin up workers, start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        cfg = self.config
+        self._batcher = DynamicBatcher(
+            max_batch=cfg.max_batch,
+            max_wait_s=cfg.max_wait_ms / 1000.0,
+            queue_depth=cfg.queue_depth,
+            metrics=self.metrics)
+        self._executor = ThreadPoolExecutor(
+            max_workers=cfg.workers, thread_name_prefix="align-worker")
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker(idx))
+            for idx in range(cfg.workers)]
+        if cfg.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=cfg.unix_path,
+                limit=MAX_LINE_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=cfg.host, port=cfg.port,
+                limit=MAX_LINE_BYTES)
+        if cfg.stats_interval_s > 0:
+            self._stats_task = asyncio.ensure_future(self._stats_logger())
+        self._started_at = time.monotonic()
+        logger.info("serving alignments on %s (max_batch=%d max_wait=%.1fms "
+                    "queue_depth=%d workers=%d)", self.endpoint,
+                    cfg.max_batch, cfg.max_wait_ms, cfg.queue_depth,
+                    cfg.workers)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting; optionally drain queued work before teardown."""
+        if self._server is None:
+            return
+        self._shutting_down = True
+        self._server.close()
+        await self._server.wait_closed()
+        assert self._batcher is not None
+        if not drain:
+            # Fail queued work fast rather than executing it.
+            self._batcher.abort_pending(
+                lambda: ServiceClosedError("server shutting down"))
+        self._batcher.close()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks)
+        if self._response_tasks:
+            await asyncio.gather(*list(self._response_tasks),
+                                 return_exceptions=True)
+        if self._stats_task is not None:
+            self._stats_task.cancel()
+            try:
+                await self._stats_task
+            except asyncio.CancelledError:
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        logger.info("drained and stopped: %s", self.metrics.format_line())
+        self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer=writer)
+        self.metrics.inc("connections_total")
+        self.metrics.gauge("connections").inc()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(conn, error_response(
+                        None, ERR_BAD_REQUEST, "request line too long"))
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                await self._dispatch(conn, line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.metrics.gauge("connections").dec()
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _dispatch(self, conn: _Connection, line: str) -> None:
+        self.metrics.inc("requests_total")
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.metrics.inc("bad_requests_total")
+            self.metrics.inc("errors_total")
+            await self._write(conn, error_response(None, ERR_BAD_REQUEST,
+                                                   str(exc)))
+            return
+        if request.type == TYPE_PING:
+            await self._write(conn, success_response(request.request_id,
+                                                     pong=True))
+            return
+        if request.type == TYPE_STATS:
+            await self._write(conn, success_response(
+                request.request_id, stats=self.stats_payload()))
+            return
+        kind = ("pair_requests_total" if request.type == TYPE_ALIGN_PAIR
+                else "align_requests_total")
+        self.metrics.inc(kind)
+        assert self._batcher is not None
+        try:
+            future = self._batcher.submit(request)
+        except ServiceOverloadedError as exc:
+            self.metrics.inc("errors_total")
+            await self._write(conn, error_response(
+                request.request_id, ERR_OVERLOADED, str(exc)))
+            return
+        except ServiceClosedError as exc:
+            self.metrics.inc("errors_total")
+            await self._write(conn, error_response(
+                request.request_id, ERR_SHUTTING_DOWN, str(exc)))
+            return
+        self.metrics.gauge("in_flight").inc()
+        task = asyncio.ensure_future(
+            self._respond(conn, request.request_id, future,
+                          time.monotonic()))
+        self._response_tasks.add(task)
+        task.add_done_callback(self._response_tasks.discard)
+
+    async def _respond(self, conn: _Connection, request_id: str,
+                       future: "asyncio.Future[Dict[str, Any]]",
+                       submitted_at: float) -> None:
+        timeout = self.config.request_timeout_s or None
+        try:
+            payload = await asyncio.wait_for(future, timeout)
+            line = success_response(request_id, **payload)
+            self.metrics.inc("responses_total")
+        except asyncio.TimeoutError:
+            self.metrics.inc("timeouts_total")
+            self.metrics.inc("errors_total")
+            line = error_response(
+                request_id, ERR_TIMEOUT,
+                f"deadline of {self.config.request_timeout_s}s exceeded")
+        except (EngineError, ServiceClosedError) as exc:
+            self.metrics.inc("errors_total")
+            code = (ERR_SHUTTING_DOWN if isinstance(exc, ServiceClosedError)
+                    else ERR_INTERNAL)
+            line = error_response(request_id, code, str(exc))
+        finally:
+            self.metrics.gauge("in_flight").dec()
+            self.metrics.observe("latency_s",
+                                 time.monotonic() - submitted_at)
+        await self._write(conn, line)
+
+    async def _write(self, conn: _Connection, line: str) -> None:
+        try:
+            async with conn.lock:
+                conn.writer.write(line.encode("utf-8") + b"\n")
+                await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            # Client went away; its batch results are simply discarded.
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+
+    async def _worker(self, worker_id: int) -> None:
+        loop = asyncio.get_event_loop()
+        engine: Any = None
+        assert self._batcher is not None and self._executor is not None
+        while True:
+            batch = await self._batcher.next_batch()
+            if batch is None:
+                return
+            items = [item for item in batch if not item.abandoned]
+            if not items:
+                continue
+            requests = [item.request for item in items]
+            started = time.monotonic()
+            payloads = None
+            for attempt in range(self.config.max_retries + 1):
+                try:
+                    if engine is None:
+                        engine = await loop.run_in_executor(
+                            self._executor, self._engine_factory)
+                    payloads = await loop.run_in_executor(
+                        self._executor, engine.execute, requests)
+                    break
+                except Exception as exc:
+                    self.metrics.inc("worker_crashes_total")
+                    logger.warning(
+                        "worker %d crashed on a %d-request batch "
+                        "(attempt %d/%d): %s", worker_id, len(requests),
+                        attempt + 1, self.config.max_retries + 1, exc)
+                    engine = None  # rebuild from the factory and replay
+            if payloads is None:
+                payloads = await self._isolate(loop, requests)
+                engine = None
+            self.metrics.inc("batches_total")
+            self.metrics.observe("batch_exec_s",
+                                 time.monotonic() - started)
+            for item, payload in zip(items, payloads):
+                if item.future.done():
+                    continue  # abandoned (timeout) while we computed
+                if isinstance(payload, Exception):
+                    item.future.set_exception(payload)
+                else:
+                    item.future.set_result(payload)
+
+    async def _isolate(self, loop: asyncio.AbstractEventLoop,
+                       requests: list) -> list:
+        """Last resort after replays: run requests one by one so a single
+        poisoned request fails alone instead of sinking its batchmates."""
+        results: list = []
+        try:
+            engine = await loop.run_in_executor(self._executor,
+                                                self._engine_factory)
+        except Exception as exc:
+            err = EngineError(f"engine unavailable: {exc}")
+            return [err for _ in requests]
+        for request in requests:
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, engine.execute, [request])
+                results.append(payload[0])
+            except Exception as exc:
+                self.metrics.inc("poisoned_requests_total")
+                results.append(EngineError(str(exc)))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` response body: metrics + batcher + config."""
+        assert self._batcher is not None
+        cfg = self.config
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "config": {
+                "max_batch": cfg.max_batch,
+                "max_wait_ms": cfg.max_wait_ms,
+                "queue_depth": cfg.queue_depth,
+                "workers": cfg.workers,
+                "request_timeout_s": cfg.request_timeout_s,
+                "batch_extension": cfg.batch_extension,
+            },
+            "batcher": self._batcher.stats.as_dict(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    async def _stats_logger(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.stats_interval_s)
+            logger.info("stats %s", self.metrics.format_line())
+
+
+async def run_server(reference: ReferenceGenome,
+                     config: Optional[ServerConfig] = None,
+                     ready: Optional["asyncio.Event"] = None) -> None:
+    """Start a server and serve until cancelled; drains on the way out.
+
+    The CLI entry point; also convenient for embedding in tests::
+
+        task = asyncio.ensure_future(run_server(ref, cfg, ready))
+        await ready.wait()
+        ...
+        task.cancel()
+    """
+    server = AlignmentServer(reference, config=config)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.shutdown(drain=True)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the service tests: a small reference and traffic."""
+
+import pytest
+
+from repro.genome.pairs import PairedReadSimulator
+from repro.genome.reads import ErrorModel, ReadSimulator
+from repro.genome.reference import SyntheticReference
+
+
+@pytest.fixture(scope="session")
+def service_reference():
+    """Small enough that index construction stays in the tens of ms."""
+    return SyntheticReference(length=20_000, chromosomes=2, seed=11).build()
+
+
+@pytest.fixture(scope="session")
+def service_reads(service_reference):
+    error = ErrorModel(substitution_rate=0.002, insertion_rate=0.0002,
+                       deletion_rate=0.0002)
+    return ReadSimulator(service_reference, read_length=101,
+                         error_model=error, seed=7).simulate(24)
+
+
+@pytest.fixture(scope="session")
+def service_pairs(service_reference):
+    return PairedReadSimulator(service_reference, read_length=101,
+                               seed=9).simulate(6)

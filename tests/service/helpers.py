@@ -1,0 +1,28 @@
+"""Async helpers shared by the service test modules."""
+
+import asyncio
+import contextlib
+
+from repro.service.client import AsyncServiceClient
+from repro.service.server import AlignmentServer, ServerConfig
+
+
+def run(coro):
+    """Run a test coroutine on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+@contextlib.asynccontextmanager
+async def serving(reference, engine_factory=None, **config_overrides):
+    """A started server plus a connected client, torn down cleanly."""
+    overrides = {"port": 0, "stats_interval_s": 0.0}
+    overrides.update(config_overrides)
+    server = AlignmentServer(reference, config=ServerConfig(**overrides),
+                             engine_factory=engine_factory)
+    await server.start()
+    client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+    try:
+        yield server, client
+    finally:
+        await client.close()
+        await server.shutdown(drain=True)

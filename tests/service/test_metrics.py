@@ -1,0 +1,101 @@
+"""Counters, gauges, histograms, and percentile math."""
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_matches_numpy_linear(self):
+        numpy = pytest.importorskip("numpy")
+        samples = [0.3, 1.7, 2.2, 9.1, 4.4, 0.01, 8.8]
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+            assert percentile(samples, q) == pytest.approx(
+                float(numpy.percentile(samples, q * 100)))
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.inc(3)
+        gauge.dec()
+        gauge.set(10)
+        assert gauge.value == 10
+
+    def test_histogram_summary(self):
+        hist = Histogram(window=100)
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_histogram_window_bounds_percentiles(self):
+        hist = Histogram(window=10)
+        hist.observe(1000.0)          # pushed out of the window below
+        for _ in range(10):
+            hist.observe(1.0)
+        assert hist.quantile(0.99) == 1.0
+        assert hist.count == 11       # lifetime count still exact
+        assert hist.max == 1000.0
+
+
+class TestRegistry:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 3)
+        registry.set_gauge("queue_depth", 5)
+        registry.observe("latency_s", 0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"requests_total": 3}
+        assert snap["gauges"] == {"queue_depth": 5}
+        assert snap["histograms"]["latency_s"]["count"] == 1
+
+    def test_named_access_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_format_line(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total")
+        registry.observe("latency_s", 0.5)
+        line = registry.format_line()
+        assert "requests_total=1" in line
+        assert "latency_s.p50=0.500" in line

@@ -1,0 +1,101 @@
+"""Wire-format round trips and validation for the NDJSON protocol."""
+
+import json
+
+import pytest
+
+from repro.genome.reads import Read
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode_align,
+    encode_align_pair,
+    encode_control,
+    error_response,
+    success_response,
+)
+
+
+def test_align_round_trip():
+    read = Read(read_id="r1", sequence="ACGTACGT", quality="IIIIIIII")
+    request = decode_request(encode_align("42", read))
+    assert request.request_id == "42"
+    assert request.type == "align"
+    assert not request.is_pair
+    assert request.reads == [read]
+
+
+def test_align_without_quality():
+    read = Read(read_id="r1", sequence="ACGT")
+    request = decode_request(encode_align("1", read))
+    assert request.reads[0].quality == ""
+
+
+def test_pair_round_trip():
+    m1 = Read(read_id="p0/1", sequence="ACGTAC", quality="IIIIII")
+    m2 = Read(read_id="p0/2", sequence="TTGGCC", quality="JJJJJJ")
+    request = decode_request(encode_align_pair("7", m1, m2, pair_id="p0"))
+    assert request.is_pair
+    assert request.pair_id == "p0"
+    assert request.reads == [m1, m2]
+
+
+def test_pair_id_defaults_to_mate1():
+    m1 = Read(read_id="x/1", sequence="ACGT")
+    m2 = Read(read_id="x/2", sequence="ACGT")
+    request = decode_request(encode_align_pair("7", m1, m2))
+    assert request.pair_id == "x/1"
+
+
+def test_control_round_trip():
+    for rtype in ("stats", "ping"):
+        request = decode_request(encode_control("9", rtype))
+        assert request.type == rtype
+        assert request.reads == []
+
+
+def test_sequence_uppercased():
+    line = json.dumps({"id": "1", "type": "align", "read_id": "r",
+                       "sequence": "acgt"})
+    assert decode_request(line).reads[0].sequence == "ACGT"
+
+
+@pytest.mark.parametrize("line", [
+    "not json at all",
+    "[]",
+    json.dumps({"type": "align", "read_id": "r", "sequence": "ACGT"}),
+    json.dumps({"id": "1", "type": "nope"}),
+    json.dumps({"id": "1", "type": "align", "read_id": "", "sequence": "A"}),
+    json.dumps({"id": "1", "type": "align", "read_id": "r",
+                "sequence": "AXGT"}),
+    json.dumps({"id": "1", "type": "align", "read_id": "r",
+                "sequence": "ACGT", "quality": "II"}),
+    json.dumps({"id": "1", "type": "align_pair",
+                "mate1": {"read_id": "a", "sequence": "ACGT"}}),
+])
+def test_bad_requests_rejected(line):
+    with pytest.raises(ProtocolError):
+        decode_request(line)
+
+
+def test_oversized_line_rejected():
+    with pytest.raises(ProtocolError):
+        decode_request("x" * (MAX_LINE_BYTES + 1))
+
+
+def test_response_round_trip():
+    ok = decode_response(success_response("3", sam=["line"], mapped=True))
+    assert ok["ok"] and ok["sam"] == ["line"] and ok["mapped"]
+    err = decode_response(error_response("3", "overloaded", "queue full"))
+    assert not err["ok"]
+    assert err["error"] == "overloaded"
+    assert err["message"] == "queue full"
+
+
+def test_malformed_response_rejected():
+    with pytest.raises(ProtocolError):
+        decode_response("{}")
+    with pytest.raises(ProtocolError):
+        decode_response("garbage")

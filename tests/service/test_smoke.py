@@ -1,0 +1,94 @@
+"""Service smoke: loadgen at high concurrency against a live server.
+
+The CI `service-smoke` job runs the same scenario through the CLI
+(`repro serve` + `repro loadgen`); this in-process variant pins the
+acceptance numbers where the debugger can reach them: ≥64 concurrent
+in-flight requests, zero dropped responses, zero errors, bounded p99,
+and dynamic batching visibly coalescing (mean batch occupancy > 1).
+"""
+
+import pytest
+
+from repro.service import loadgen
+from repro.service.server import AlignmentServer, ServerConfig
+from tests.service.helpers import run
+
+
+@pytest.mark.integration
+def test_loadgen_64_in_flight_zero_drops(service_reference):
+    specs = loadgen.build_workload(service_reference, 200,
+                                   pair_fraction=0.1, seed=13)
+    assert len(specs) == 200
+
+    async def scenario():
+        server = AlignmentServer(
+            service_reference,
+            config=ServerConfig(port=0, stats_interval_s=0, workers=2))
+        await server.start()
+        try:
+            return await loadgen.run_loadgen(
+                server.endpoint, specs,
+                loadgen.LoadgenConfig(concurrency=64, mode="closed"))
+        finally:
+            await server.shutdown(drain=True)
+
+    report = run(scenario())
+    assert report.requests == 200
+    assert report.completed == 200
+    assert report.error_count == 0
+    assert report.dropped == 0
+    assert report.mapped > 150          # the vast majority align
+    # Latency bound is generous (cold index build lands on the first
+    # batch) but still a real gate against pathological queueing.
+    assert report.p99_ms < 30_000
+    occupancy = report.server_stats["metrics"]["histograms"]["batch_size"]
+    assert occupancy["mean"] > 1.0, "batching never coalesced"
+
+
+@pytest.mark.integration
+def test_open_loop_mode(service_reference):
+    specs = loadgen.build_workload(service_reference, 30, seed=5)
+
+    async def scenario():
+        server = AlignmentServer(
+            service_reference,
+            config=ServerConfig(port=0, stats_interval_s=0, workers=1))
+        await server.start()
+        try:
+            return await loadgen.run_loadgen(
+                server.endpoint, specs,
+                loadgen.LoadgenConfig(mode="open", rate=500.0))
+        finally:
+            await server.shutdown(drain=True)
+
+    report = run(scenario())
+    assert report.completed == 30
+    assert report.dropped == 0
+
+
+def test_build_workload_mix(service_reference):
+    specs = loadgen.build_workload(service_reference, 20,
+                                   pair_fraction=0.25, seed=2)
+    assert len(specs) == 20
+    assert sum(spec.is_pair for spec in specs) == 5
+    # Deterministic: same seed, same workload.
+    again = loadgen.build_workload(service_reference, 20,
+                                   pair_fraction=0.25, seed=2)
+    assert [[r.sequence for r in spec.reads] for spec in specs] == \
+        [[r.sequence for r in spec.reads] for spec in again]
+
+
+def test_build_workload_validation(service_reference):
+    with pytest.raises(ValueError):
+        loadgen.build_workload(service_reference, 0)
+    with pytest.raises(ValueError):
+        loadgen.build_workload(service_reference, 5, pair_fraction=1.5)
+
+
+def test_loadgen_config_validation():
+    with pytest.raises(ValueError):
+        loadgen.LoadgenConfig(concurrency=0)
+    with pytest.raises(ValueError):
+        loadgen.LoadgenConfig(mode="sideways")
+    with pytest.raises(ValueError):
+        loadgen.LoadgenConfig(mode="open", rate=0)

@@ -72,3 +72,129 @@ class TestExperiments:
         assert code == 0
         out = capsys.readouterr().out
         assert "Figure 7" in out and "Table II" in out
+
+
+def _module_env():
+    """Subprocess env whose PYTHONPATH resolves repro from anywhere."""
+    import os
+
+    import repro
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestModuleEntryPoint:
+    """Satellite: ``python -m repro`` works without the console script."""
+
+    def test_python_m_repro_simulate(self, tmp_path):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "simulate", "--length", "5000",
+             "--reads", "3", "--out-prefix", str(tmp_path / "m")],
+            capture_output=True, text=True, env=_module_env())
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "m.fa").exists()
+
+    def test_python_m_repro_help(self):
+        import subprocess
+        import sys
+        result = subprocess.run([sys.executable, "-m", "repro", "--help"],
+                                capture_output=True, text=True,
+                                env=_module_env())
+        assert result.returncode == 0
+        for verb in ("simulate", "align", "serve", "loadgen"):
+            assert verb in result.stdout
+
+
+class TestInputValidation:
+    def test_parallelism_below_one_rejected(self, dataset, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["align", "--reference", f"{dataset}.fa",
+                  "--reads", f"{dataset}.fq", "--parallelism", "0"])
+        assert excinfo.value.code == 2
+        assert "--parallelism must be >= 1" in capsys.readouterr().err
+
+    def test_negative_parallelism_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiments", "fig07", "--quick",
+                  "--parallelism", "-3"])
+        assert "--parallelism must be >= 1" in capsys.readouterr().err
+
+    def test_missing_cache_dir_parent_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["accelerate", "--cache-dir",
+                  "/nonexistent-root/deeper/cache"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir parent directory does not exist" in err
+
+    def test_existing_cache_dir_parent_accepted(self, tmp_path, capsys):
+        code = main(["accelerate", "--dataset", "C.e.", "--reads", "100",
+                     "--cache-dir", str(tmp_path / "fresh-cache")])
+        assert code == 0
+        assert "scheduling speedup" in capsys.readouterr().out
+
+    def test_loadgen_requires_a_read_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--connect", "127.0.0.1:1"])
+        assert "--reference or --reads-file" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_knobs(self, dataset, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--reference", f"{dataset}.fa",
+                  "--max-batch", "0"])
+        assert "--max-batch must be >= 1" in capsys.readouterr().err
+
+
+class TestServeLoadgenEndToEnd:
+    @pytest.mark.integration
+    def test_serve_and_loadgen_over_unix_socket(self, dataset, tmp_path,
+                                                capsys):
+        """The CLI pair end to end: serve on a UNIX socket in a thread,
+        then loadgen against it."""
+        import threading
+
+        sock = str(tmp_path / "svc.sock")
+        server_done = threading.Event()
+
+        def serve_thread():
+            import asyncio
+
+            from repro.genome.io import read_reference
+            from repro.service.server import (AlignmentServer,
+                                              ServerConfig)
+
+            async def body():
+                server = AlignmentServer(
+                    read_reference(f"{dataset}.fa"),
+                    config=ServerConfig(unix_path=sock,
+                                        stats_interval_s=0))
+                await server.start()
+                started.set()
+                while not stop_flag:
+                    await asyncio.sleep(0.05)
+                await server.shutdown(drain=True)
+
+            asyncio.run(body())
+            server_done.set()
+
+        started = threading.Event()
+        stop_flag = []
+        thread = threading.Thread(target=serve_thread, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30), "server never came up"
+        try:
+            code = main(["loadgen", "--connect", f"unix:{sock}",
+                         "--reference", f"{dataset}.fa",
+                         "--requests", "40", "--concurrency", "16",
+                         "--wait-ready", "10", "--max-p99-ms", "30000"])
+        finally:
+            stop_flag.append(True)
+            server_done.wait(timeout=30)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dropped 0" in out
+        assert "errors 0" in out
