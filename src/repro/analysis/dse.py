@@ -16,7 +16,7 @@ serial loop for any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import NvWaConfig
 from repro.core.hybrid_units import solve_unit_mix
@@ -39,7 +39,7 @@ class BufferDepthPoint:
 def sweep_buffer_depth(workload: Workload,
                        depths: Sequence[int] = (64, 128, 256, 512, 1024,
                                                 2048, 4096),
-                       base: NvWaConfig = None,
+                       base: Optional[NvWaConfig] = None,
                        parallelism: int = 1) -> List[BufferDepthPoint]:
     """Fig 13(a): run the full simulation at each Hits Buffer depth."""
     if not depths:
@@ -113,7 +113,7 @@ def service_demand_mass(hit_lengths: Sequence[int],
 
 def sweep_interval_count(workload: Workload,
                          interval_counts: Sequence[int] = (1, 2, 4, 8, 16),
-                         base: NvWaConfig = None,
+                         base: Optional[NvWaConfig] = None,
                          parallelism: int = 1) -> List[IntervalPoint]:
     """Fig 13(b): re-derive the EU mix per interval count via the
     (generalised) Equation 5, simulate, and evaluate Coordinator power.
@@ -171,7 +171,7 @@ class ThresholdPoint:
 def sweep_switch_threshold(workload: Workload,
                            thresholds: Sequence[float] = (0.25, 0.5, 0.75,
                                                           0.9, 1.0),
-                           base: NvWaConfig = None,
+                           base: Optional[NvWaConfig] = None,
                            parallelism: int = 1) -> List[ThresholdPoint]:
     """Sweep the Hits Buffer switch threshold (the paper's "e.g. 75 %").
 
@@ -196,7 +196,7 @@ def sweep_switch_threshold(workload: Workload,
 def sweep_idle_trigger(workload: Workload,
                        fractions: Sequence[float] = (0.0, 0.05, 0.15, 0.3,
                                                      0.5),
-                       base: NvWaConfig = None,
+                       base: Optional[NvWaConfig] = None,
                        parallelism: int = 1) -> List[ThresholdPoint]:
     """Sweep the Allocate Trigger's idle-EU fraction (the paper's 15 %).
 

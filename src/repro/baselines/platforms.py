@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.core.units import NS_PER_S, READS_PER_KREAD
 from repro.core.workload import Workload
 
 
@@ -92,11 +93,11 @@ class SoftwarePlatform:
         return seeding + extension + self.overhead_ns
 
     def reads_per_second(self, stats: WorkloadStats) -> float:
-        per_thread = 1e9 / self.time_per_read_ns(stats)
+        per_thread = NS_PER_S / self.time_per_read_ns(stats)
         return per_thread * self.threads * self.parallel_efficiency
 
     def kreads_per_second(self, stats: WorkloadStats) -> float:
-        return self.reads_per_second(stats) / 1e3
+        return self.reads_per_second(stats) / READS_PER_KREAD
 
 
 @dataclass(frozen=True)
@@ -113,7 +114,7 @@ class ReportedPlatform:
         return self.kreads_per_second_reported
 
     def reads_per_second(self, stats: WorkloadStats) -> float:
-        return self.kreads_per_second_reported * 1e3
+        return self.kreads_per_second_reported * READS_PER_KREAD
 
 
 #: 16-thread BWA-MEM on 2x Xeon E5-2620 v4 (Table I). Paper point:

@@ -11,6 +11,7 @@ Subcommands (``python -m repro`` works identically)::
     python -m repro experiments --parallelism 4 --cache-dir .cache/
     python -m repro serve     --reference x.fa --port 7878
     python -m repro loadgen   --connect 127.0.0.1:7878 --reference x.fa
+    python -m repro lint      src/ --baseline lint-baseline.json
 
 ``--parallelism N`` fans work out over N worker processes and
 ``--cache-dir DIR`` memoizes deterministic inputs on disk; results are
@@ -219,6 +220,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+    return run_lint(args)
+
+
 def _cmd_report_card(args: argparse.Namespace) -> int:
     from repro.experiments.report_card import format_card, run
     criteria = run(quick=args.quick)
@@ -329,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-errors", action="store_true",
                    help="do not fail the run on rejected/errored requests")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser("lint",
+                       help="run the determinism/concurrency analyzer")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("report-card",
                        help="check every reproduction criterion")

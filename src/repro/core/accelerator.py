@@ -121,8 +121,8 @@ class SimulationReport:
 class NvWaAccelerator:
     """The simulated accelerator. Construct once per run."""
 
-    def __init__(self, config: NvWaConfig = NvWaConfig()):
-        self.config = config
+    def __init__(self, config: Optional[NvWaConfig] = None):
+        self.config = config if config is not None else NvWaConfig()
 
     def run(self, workload: Workload,
             max_cycles: Optional[int] = None) -> SimulationReport:

@@ -225,9 +225,9 @@ class HitsAllocator:
         best_pe = optimal_pe_count(hit.hit_len, self.pe_classes)
         group = self.groups[self.group_of(hit.hit_len)]
         # Optimal class first, then the group's other classes by closeness.
-        candidates = [best_pe] + sorted(
+        candidates = [best_pe, *sorted(
             (pe for pe in group.classes if pe != best_pe),
-            key=lambda pe: abs(pe - best_pe))
+            key=lambda pe: abs(pe - best_pe))]
         for pe in candidates:
             units = free.get(pe)
             if units:
@@ -314,8 +314,8 @@ class PooledAllocator:
         taken = set()
         for hit in batch:
             best_pe = optimal_pe_count(hit.hit_len, self.pe_classes)
-            candidates = [best_pe] + [pe for pe in self.pe_classes
-                                      if pe != best_pe]
+            candidates = [best_pe, *(pe for pe in self.pe_classes
+                                     if pe != best_pe)]
             for pe in candidates:
                 units = free.get(pe)
                 if units:

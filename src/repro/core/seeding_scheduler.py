@@ -9,7 +9,7 @@ units load which reads, and at what load latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.allocator import OneCycleReadAllocator, ReadInBatchAllocator
 from repro.sim.spm import Scratchpad
@@ -38,7 +38,7 @@ class SeedingScheduler:
     """
 
     def __init__(self, num_units: int, total_reads: int,
-                 use_ocra: bool = True, spm: Scratchpad = None,
+                 use_ocra: bool = True, spm: Optional[Scratchpad] = None,
                  prefetch_ahead: int = 256, prefetch: bool = True):
         if prefetch_ahead <= 0:
             raise ValueError("prefetch_ahead must be positive")

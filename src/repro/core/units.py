@@ -1,0 +1,27 @@
+"""Named unit-conversion constants for the hardware and cost models.
+
+The analytic models convert between seconds/nanoseconds/picoseconds,
+mm²/µm², bits/bytes and reads/Kreads in many places. Each conversion
+factor lives here under one name so the conversions are auditable and
+cannot drift apart between copies — ``repro lint`` rule CFG301
+(magic-number) enforces that model arithmetic uses these instead of
+inline literals.
+"""
+
+from __future__ import annotations
+
+#: Nanoseconds per second (throughput models quote per-read costs in ns).
+NS_PER_S = 1e9
+
+#: Picoseconds per second (gate-delay arithmetic is quoted in ps).
+PS_PER_S = 1e12
+
+#: Square microns per square millimetre (SRAM density is µm²/bit, Table
+#: II areas are mm²).
+UM2_PER_MM2 = 1e6
+
+#: Bits per byte, for index-footprint accounting.
+BITS_PER_BYTE = 8
+
+#: Reads per Kread — the paper reports throughput in Kreads/s.
+READS_PER_KREAD = 1e3

@@ -12,6 +12,8 @@ into per-read time with the CPU baseline's cost model.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.align.pipeline import SoftwareAligner
 from repro.analysis.breakdown import phase_breakdown, summarize_diversity
 from repro.experiments.common import ExperimentResult
@@ -20,8 +22,10 @@ from repro.genome.reads import ErrorModel, ReadSimulator
 
 
 def run(reads: int = 500, genome_length: int = 120_000,
-        seed: int = 0, zoom: slice = slice(350, 400)) -> ExperimentResult:
+        seed: int = 0, zoom: Optional[slice] = None) -> ExperimentResult:
     """Regenerate Fig 2: per-read bars plus the 350-400 zoom window."""
+    if zoom is None:
+        zoom = slice(350, 400)
     profile = get_dataset("H.s.")
     reference = profile.build_reference(seed=seed, length=genome_length)
     aligner = SoftwareAligner(reference, occ_interval=128)

@@ -108,12 +108,12 @@ def _pop_option(args: List[str], flag: str) -> Optional[str]:
     try:
         value = args[idx + 1]
     except IndexError:
-        raise SystemExit(f"{flag} requires an argument")
+        raise SystemExit(f"{flag} requires an argument") from None
     del args[idx:idx + 2]
     return value
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in args
     csv_dir = _pop_option(args, "--csv-dir")

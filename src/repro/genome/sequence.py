@@ -10,7 +10,7 @@ basic sequence operations every other package builds on.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +36,21 @@ _DECODE_LUT = np.frombuffer(ALPHABET.encode("ascii"), dtype=np.uint8)
 
 class SequenceError(ValueError):
     """Raised when a string is not a valid DNA sequence."""
+
+
+def _resolve_rng(rng: Union[random.Random, int]) -> random.Random:
+    """Accept a ``random.Random`` or an int seed; reject anything else.
+
+    The stochastic helpers deliberately have no unseeded fallback: an
+    RNG the caller did not choose is an RNG nobody can replay.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, int) and not isinstance(rng, bool):
+        return random.Random(rng)
+    raise TypeError(
+        f"rng must be a random.Random or an int seed, got {rng!r}; "
+        "unseeded generation is not reproducible")
 
 
 def encode(sequence: str) -> np.ndarray:
@@ -82,28 +97,36 @@ def is_valid(sequence: str) -> bool:
     return all(base in _BASE_TO_CODE for base in sequence.upper())
 
 
-def random_sequence(length: int, rng: Optional[random.Random] = None,
+def random_sequence(length: int, rng: Union[random.Random, int],
                     gc_content: float = 0.5) -> str:
     """Generate a random DNA string with the requested GC content.
+
+    ``rng`` is required — either a ``random.Random`` instance or an int
+    seed — so every generated sequence is reproducible by construction.
+    (Historically this defaulted to an *unseeded* ``random.Random()``,
+    which silently made reads irreproducible; ``repro lint`` rule DET101
+    now guards against reintroducing that.)
 
     ``gc_content`` is the probability mass assigned to G+C (split evenly);
     A and T share the remainder evenly.
     """
     if not 0.0 <= gc_content <= 1.0:
         raise ValueError(f"gc_content must be in [0, 1], got {gc_content}")
-    rng = rng or random.Random()
+    rng = _resolve_rng(rng)
     weights = [(1 - gc_content) / 2, gc_content / 2,
                gc_content / 2, (1 - gc_content) / 2]
     return "".join(rng.choices(ALPHABET, weights=weights, k=length))
 
 
-def mutate(sequence: str, rate: float, rng: Optional[random.Random] = None) -> str:
+def mutate(sequence: str, rate: float, rng: Union[random.Random, int]) -> str:
     """Return a copy of ``sequence`` with each base substituted with
     probability ``rate`` (substitutions only; used to build repeat families).
+
+    ``rng`` is required (instance or int seed); see :func:`random_sequence`.
     """
     if not 0.0 <= rate <= 1.0:
         raise ValueError(f"rate must be in [0, 1], got {rate}")
-    rng = rng or random.Random()
+    rng = _resolve_rng(rng)
     out = []
     for base in sequence.upper():
         if rng.random() < rate:

@@ -28,6 +28,10 @@ GACT_TILE_SIZE = 256
 #: Bit-vector word width of the GenASM-style datapath.
 GENASM_WORD_BITS = 64
 
+#: PEs consumed by one GenASM word lane (update + candidate logic for a
+#: 64-bit vector costs ~16 PEs of systolic-array area).
+GENASM_PES_PER_LANE = 16
+
 
 @dataclass
 class ExtensionUnit:
@@ -75,7 +79,7 @@ class ExtensionUnit:
         PE budget spent on parallel word lanes.
         """
         if self.datapath == "genasm":
-            lanes = max(1, self.pe_count // 16)
+            lanes = max(1, self.pe_count // GENASM_PES_PER_LANE)
             fill = genasm_latency(hit.query_len, hit.ref_len,
                                   word_bits=GENASM_WORD_BITS, unroll=lanes)
             extra = (traceback_latency(hit.ref_len, hit.query_len)

@@ -16,6 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.units import BITS_PER_BYTE, UM2_PER_MM2
+from repro.genome.sequence import ALPHABET_SIZE
 
 #: 14 nm 6T SRAM density including array overheads, square microns per bit
 #: (high-density compiled macro; the scaling literature the paper cites
@@ -51,8 +55,8 @@ class LFMapBitLayout:
 
     @property
     def counter_bits(self) -> int:
-        """Four cumulative counters at the block head."""
-        return 4 * self.count_bits
+        """One cumulative Occ counter per base at the block head."""
+        return ALPHABET_SIZE * self.count_bits
 
     @property
     def block_bits(self) -> int:
@@ -60,7 +64,7 @@ class LFMapBitLayout:
 
     @property
     def block_bytes(self) -> int:
-        return -(-self.block_bits // 8)
+        return -(-self.block_bits // BITS_PER_BYTE)
 
     def blocks_for(self, genome_length: int) -> int:
         """Blocks needed to cover a genome's BWT (plus sentinel)."""
@@ -89,11 +93,11 @@ def sram_area_mm2(bits: int,
         raise ValueError("bits must be >= 0")
     if um2_per_bit <= 0:
         raise ValueError("density must be positive")
-    return bits * um2_per_bit / 1e6
+    return bits * um2_per_bit / UM2_PER_MM2
 
 
 def cached_genome_span(area_budget_mm2: float = PAPER_SU_TABLE_SRAM_MM2,
-                       layout: LFMapBitLayout = LFMapBitLayout(),
+                       layout: Optional[LFMapBitLayout] = None,
                        um2_per_bit: float = SRAM_UM2_PER_BIT_14NM) -> int:
     """Genome symbols whose index fits in an SRAM area budget.
 
@@ -101,8 +105,10 @@ def cached_genome_span(area_budget_mm2: float = PAPER_SU_TABLE_SRAM_MM2,
     megabases — the hot working set — which is why the SU model's default
     SRAM miss rate is small but non-zero.
     """
+    if layout is None:
+        layout = LFMapBitLayout()
     if area_budget_mm2 <= 0:
         raise ValueError("area budget must be positive")
-    bits = area_budget_mm2 * 1e6 / um2_per_bit
+    bits = area_budget_mm2 * UM2_PER_MM2 / um2_per_bit
     blocks = int(bits // layout.block_bits)
     return blocks * layout.interval

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.units import PS_PER_S
+
 
 @dataclass(frozen=True)
 class PopCountTree:
@@ -59,7 +61,7 @@ class PopCountTree:
         """
         if frequency_hz <= 0:
             raise ValueError("frequency must be positive")
-        period_ps = 1e12 / frequency_hz
+        period_ps = PS_PER_S / frequency_hz
         return self.delay_ps <= period_ps * margin
 
     def count(self, bits: np.ndarray) -> int:

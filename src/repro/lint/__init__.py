@@ -1,0 +1,44 @@
+"""``repro.lint`` — AST-based determinism & concurrency analyzer.
+
+Not to be confused with :mod:`repro.analysis` (the paper-results
+package): ``repro.analysis`` evaluates *alignment outputs*, ``repro.lint``
+statically analyzes *this codebase* for patterns that break its two
+load-bearing invariants — bit-identical results across reruns/workers/
+batch sizes, and a non-blocking, leak-free asyncio serving path.
+
+Entry points:
+
+- CLI: ``repro lint [paths] [--format json] [--baseline FILE]``
+- API: :class:`~repro.lint.core.Analyzer` +
+  :class:`~repro.lint.config.LintConfig`
+
+Rule catalog: see ``docs/LINT.md`` or ``repro lint --list-rules``.
+Suppress a finding inline with ``# repro-lint: disable=<RULE>`` (by id or
+name); suppressions that suppress nothing are themselves findings.
+"""
+
+from repro.lint.baseline import Baseline, BaselineMatch
+from repro.lint.config import DEFAULT_SCOPES, LintConfig
+from repro.lint.core import (
+    Analyzer,
+    AnalysisReport,
+    Finding,
+    Rule,
+    all_rules,
+    rule,
+    rules_by_category,
+)
+
+__all__ = [
+    "Analyzer",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineMatch",
+    "DEFAULT_SCOPES",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "rule",
+    "rules_by_category",
+]

@@ -1,0 +1,86 @@
+"""Finding baselines: ratchet new findings to zero without a flag day.
+
+A baseline is a checked-in JSON multiset of finding *fingerprints*
+(path, rule id, normalized source line — deliberately no line numbers,
+so unrelated edits don't invalidate it). CI runs ``repro lint
+--baseline lint-baseline.json src/`` and fails only on findings not in
+the baseline; ``--write-baseline`` regenerates it when a deliberate
+exception is accepted. An empty baseline means the tree is clean.
+
+Baselined-but-gone findings are also surfaced (as ``stale`` entries in
+the match result) so the baseline shrinks over time instead of
+accreting dead weight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.core import Finding
+
+__all__ = ["Baseline", "BaselineMatch"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """Partition of a run's findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    counts: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in data.get("findings", []):
+            key = (entry["path"], entry["rule_id"], entry["source_line"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts=counts)
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"path": p, "rule_id": r, "source_line": s, "count": c}
+            for (p, r, s), c in sorted(self.counts.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    def match(self, findings: List[Finding]) -> BaselineMatch:
+        """Split findings into new vs baselined; report stale entries."""
+        remaining = dict(self.counts)
+        result = BaselineMatch()
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        for (path, rule_id, source_line), count in sorted(remaining.items()):
+            if count > 0:
+                result.stale.append({"path": path, "rule_id": rule_id,
+                                     "source_line": source_line,
+                                     "count": str(count)})
+        return result

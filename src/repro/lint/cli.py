@@ -1,0 +1,144 @@
+"""The ``repro lint`` verb: run the analyzer, print text or JSON.
+
+Exit codes: 0 clean (or everything baselined), 1 unbaselined findings
+or parse errors, 2 usage errors. Stale baseline entries are reported
+but do not fail the run — they mean the tree got *better*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline, BaselineMatch
+from repro.lint.config import LintConfig
+from repro.lint.core import Analyzer, all_rules
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="output_format",
+                        help="finding output format")
+    parser.add_argument("--baseline",
+                        help="JSON baseline of accepted findings; only "
+                             "findings outside it fail the run")
+    parser.add_argument("--write-baseline",
+                        help="write the current findings to this path "
+                             "and exit 0")
+    parser.add_argument("--select",
+                        help="comma-separated rule ids/names to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--statistics", action="store_true",
+                        help="append a per-rule finding count summary")
+
+
+def _list_rules() -> int:
+    for rule_id, cls in sorted(all_rules().items()):
+        print(f"{rule_id}  {cls.name:<24} [{cls.category}] "
+              f"{cls.rationale}")
+    print("LINT001  unused-suppression      [meta] a 'repro-lint: "
+          "disable' comment that suppressed nothing")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+    config = LintConfig.load()
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+        known = set()
+        for rule_id, cls in all_rules().items():
+            known.update((rule_id, cls.name))
+        unknown = [s for s in select if s not in known]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    analyzer = Analyzer(config, select=select)
+    report = analyzer.check_paths(args.paths)
+    findings = report.sorted_findings()
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(Path(args.write_baseline))
+        print(f"wrote {len(findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    match = BaselineMatch(new=findings)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"error: baseline not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        match = Baseline.load(baseline_path).match(findings)
+
+    if args.output_format == "json":
+        _emit_json(args, report, match)
+    else:
+        _emit_text(args, report, match)
+    return 1 if (match.new or report.parse_errors) else 0
+
+
+def _emit_text(args: argparse.Namespace, report,
+               match: BaselineMatch) -> None:
+    for finding in match.new:
+        print(finding.format())
+        if finding.source_line:
+            print(f"    {finding.source_line}")
+    for error in report.parse_errors:
+        print(f"parse error: {error}")
+    for entry in match.stale:
+        print(f"stale baseline entry: {entry['path']} {entry['rule_id']} "
+              f"({entry['source_line']!r}) — no longer found; "
+              "regenerate the baseline")
+    if args.statistics and match.new:
+        counts: dict = {}
+        for finding in match.new:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        print()
+        for rule_id in sorted(counts):
+            print(f"{counts[rule_id]:>5}  {rule_id}")
+    summary = (f"{len(match.new)} finding(s)"
+               + (f", {len(match.baselined)} baselined" if args.baseline
+                  else "")
+               + f" across {report.files_checked} file(s)")
+    print(("FAIL: " if match.new or report.parse_errors else "ok: ")
+          + summary)
+
+
+def _emit_json(args: argparse.Namespace, report,
+               match: BaselineMatch) -> None:
+    payload = {
+        "findings": [f.as_dict() for f in match.new],
+        "baselined": [f.as_dict() for f in match.baselined],
+        "stale_baseline_entries": match.stale,
+        "parse_errors": report.parse_errors,
+        "files_checked": report.files_checked,
+        "ok": not (match.new or report.parse_errors),
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & concurrency analyzer")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,398 @@
+"""The analyzer engine: findings, the rule registry, suppressions.
+
+``repro.lint`` is a project-specific static analyzer (distinct from the
+paper-results package :mod:`repro.analysis`): it walks Python ASTs with
+one :class:`Rule` visitor per check and reports :class:`Finding` records.
+The reproduction's two load-bearing invariants — bit-identical results
+across reruns/worker counts/batch sizes, and a non-blocking, leak-free
+asyncio serving path — are exactly the invariants small code patterns
+silently break; the rules in :mod:`repro.lint.rules_determinism`,
+:mod:`repro.lint.rules_async` and :mod:`repro.lint.rules_units` encode
+those patterns so they fail at lint time instead of in a flaky test.
+
+Architecture:
+
+- a rule is an :class:`ast.NodeVisitor` subclass registered with the
+  :func:`rule` decorator; one fresh instance visits each module;
+- every rule belongs to a *category* (``determinism``, ``async-safety``,
+  ``config-hygiene``) and only runs on files its category is scoped to
+  (see :mod:`repro.lint.config` for ``[tool.repro-lint]`` scoping);
+- ``# repro-lint: disable=<RULE>[,<RULE>...]`` on a line suppresses findings
+  reported for that line (by id or name); suppressions that suppress
+  nothing are themselves reported as ``LINT001 unused-suppression``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "rule",
+    "all_rules",
+    "rules_by_category",
+    "Analyzer",
+    "ModuleSource",
+    "UNUSED_SUPPRESSION_ID",
+]
+
+#: Reserved id for the meta-rule reporting suppressions that matched nothing.
+UNUSED_SUPPRESSION_ID = "LINT001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported defect at a source location."""
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.rule_name}] {self.message}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+        }
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline store.
+
+        Keyed on (path, rule, normalized source line) so findings survive
+        unrelated edits that shift line numbers.
+        """
+        return (self.path, self.rule_id, " ".join(self.source_line.split()))
+
+
+@dataclass
+class ModuleSource:
+    """A parsed module plus everything rules need to report on it."""
+
+    path: str            # project-root-relative posix path (display + scoping)
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleSource":
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree,
+                   lines=source.splitlines())
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one check. Subclass, set the class attributes,
+    implement ``visit_*`` methods, and call :meth:`report` on hits.
+
+    A fresh instance visits each module, so per-file state lives on
+    ``self``. :attr:`aliases` maps local names to the dotted module paths
+    they were imported from (``np`` -> ``numpy``, ``Random`` ->
+    ``random.Random``), collected in a pre-pass so every rule can resolve
+    qualified call names with :meth:`qualified_name`.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    category: str = ""
+    rationale: str = ""
+
+    def __init__(self, module: ModuleSource,
+                 aliases: Optional[Dict[str, str]] = None):
+        self.module = module
+        self.aliases = aliases or {}
+        self.findings: List[Finding] = []
+        self._async_depth = 0
+
+    # -- reporting ------------------------------------------------------- #
+
+    def report(self, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.findings.append(Finding(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            path=self.module.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            source_line=self.module.line_at(lineno)))
+
+    # -- shared helpers -------------------------------------------------- #
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a call target to a dotted path, following import
+        aliases: ``rnd.Random`` -> ``random.Random`` when ``import random
+        as rnd``; ``default_rng`` -> ``numpy.random.default_rng`` when
+        ``from numpy.random import default_rng``. Returns None for
+        dynamic expressions (``x().y``, subscripts, ...)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def in_async_def(self) -> bool:
+        return self._async_depth > 0
+
+    # -- async scope tracking (shared by every rule) --------------------- #
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A nested sync def shields its body from the enclosing async scope.
+        saved, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass."""
+    if not cls.rule_id or not cls.name or not cls.category:
+        raise ValueError(
+            f"{cls.__name__} must define rule_id, name and category")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    if cls.rule_id == UNUSED_SUPPRESSION_ID:
+        raise ValueError(f"{UNUSED_SUPPRESSION_ID} is reserved")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Every registered rule, id -> class (imports the rule modules)."""
+    _load_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def rules_by_category() -> Dict[str, List[Type[Rule]]]:
+    out: Dict[str, List[Type[Rule]]] = {}
+    for cls in all_rules().values():
+        out.setdefault(cls.category, []).append(cls)
+    return out
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from repro.lint import rules_async, rules_determinism, rules_units  # noqa: F401
+
+
+# ---------------------------------------------------------------------- #
+# Import alias collection
+# ---------------------------------------------------------------------- #
+
+def collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted paths they alias via imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = (
+                    f"{node.module}.{item.name}")
+    return aliases
+
+
+# ---------------------------------------------------------------------- #
+# Suppressions
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]   # ids or names, as written
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        for entry in self.rules:
+            if entry in (finding.rule_id, finding.rule_name, "all"):
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    out: List[Suppression] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(entry.strip() for entry in match.group(1).split(",")
+                      if entry.strip())
+        if rules:
+            out.append(Suppression(line=lineno, rules=rules))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# The analyzer
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
+class Analyzer:
+    """Run scoped rules over files or source strings.
+
+    Args:
+        config: a :class:`repro.lint.config.LintConfig`; its per-category
+            path scopes decide which rules see which files.
+        select: optional iterable of rule ids/names to restrict the run.
+    """
+
+    def __init__(self, config, select: Optional[Iterable[str]] = None):
+        self.config = config
+        registry = all_rules()
+        wanted = None if select is None else {s for s in select}
+        self._rules: List[Type[Rule]] = []
+        for cls in registry.values():
+            if wanted is not None and not (
+                    {cls.rule_id, cls.name} & wanted):
+                continue
+            self._rules.append(cls)
+        self._rules.sort(key=lambda cls: cls.rule_id)
+
+    def rules_for_path(self, path: str) -> List[Type[Rule]]:
+        return [cls for cls in self._rules
+                if self.config.applies(cls, path)]
+
+    def check_source(self, path: str, source: str,
+                     report: Optional[AnalysisReport] = None
+                     ) -> AnalysisReport:
+        """Analyze one module given as text (path is display/scoping only)."""
+        report = report if report is not None else AnalysisReport()
+        rules = self.rules_for_path(path)
+        suppressions = parse_suppressions(source)
+        if not rules and not suppressions:
+            return report
+        try:
+            module = ModuleSource.parse(path, source)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            return report
+        report.files_checked += 1
+        aliases = collect_aliases(module.tree)
+        raw: List[Finding] = []
+        for cls in rules:
+            visitor = cls(module, aliases)
+            visitor.visit(module.tree)
+            raw.extend(visitor.findings)
+        by_line: Dict[int, List[Suppression]] = {}
+        for sup in suppressions:
+            by_line.setdefault(sup.line, []).append(sup)
+        for finding in raw:
+            suppressed = False
+            for sup in by_line.get(finding.line, ()):
+                if sup.matches(finding):
+                    sup.used = True
+                    suppressed = True
+            if not suppressed:
+                report.findings.append(finding)
+        local = {cls.rule_id for cls in rules} | {cls.name for cls in rules}
+        registry = all_rules()
+        known_anywhere = ({rid for rid in registry}
+                          | {cls.name for cls in registry.values()}
+                          | {UNUSED_SUPPRESSION_ID, "unused-suppression"})
+        for sup in suppressions:
+            if sup.used:
+                continue
+            # A suppression is unused when an entry names a rule that ran
+            # on this file and found nothing — or names no rule at all (a
+            # typo). Valid rules merely not scoped to this file stay
+            # silent: they never had the chance to fire.
+            if any(entry in local or entry == "all"
+                   or entry not in known_anywhere
+                   for entry in sup.rules):
+                names = ",".join(sup.rules)
+                report.findings.append(Finding(
+                    rule_id=UNUSED_SUPPRESSION_ID,
+                    rule_name="unused-suppression",
+                    path=path, line=sup.line, col=0,
+                    message=(f"suppression 'disable={names}' matched no "
+                             "finding on this line; remove it"),
+                    source_line=""))
+        return report
+
+    def check_paths(self, paths: Sequence[str]) -> AnalysisReport:
+        """Analyze every ``.py`` file under the given files/directories."""
+        report = AnalysisReport()
+        for file_path in iter_python_files(paths):
+            rel = self.config.project_relative(file_path)
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                report.parse_errors.append(f"{rel}: {exc}")
+                continue
+            self.check_source(rel, source, report)
+        report.findings = report.sorted_findings()
+        return report
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Yield .py files under ``paths`` in a deterministic order, skipping
+    caches and hidden directories."""
+    seen: Set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            candidates = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            if any(part == "__pycache__" or part.startswith(".")
+                   for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate

@@ -1,0 +1,200 @@
+"""Async-safety rules (category ``async-safety``).
+
+The serving stack (:mod:`repro.service`) is one event loop; its latency
+contract (p99 bounded by kernel time + one max_wait) only holds if
+nothing blocks that loop and no task silently disappears. These rules
+encode the three classic ways asyncio code rots: blocking calls inside
+coroutines, fire-and-forget tasks that get garbage-collected mid-flight,
+and locks held across awaits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.lint.core import Rule, rule
+
+#: Calls that park the whole event loop when made from a coroutine.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system", "os.wait", "os.waitpid",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname", "socket.gethostbyaddr",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.head", "requests.request",
+    "open",
+    "input",
+})
+
+#: Thread-queue constructors whose get/put block, unlike asyncio.Queue's.
+_THREAD_QUEUE_TYPES = frozenset({
+    "queue.Queue", "queue.LifoQueue", "queue.PriorityQueue",
+    "queue.SimpleQueue",
+})
+
+
+@rule
+class BlockingCallInAsyncRule(Rule):
+    """ASY201: blocking call inside ``async def``.
+
+    A coroutine that calls ``time.sleep``/``subprocess``/sync I/O parks
+    the entire event loop: every in-flight request's latency grows by
+    the blocked time, and the batcher misses its ``max_wait`` deadline.
+    Use the asyncio equivalent or ``loop.run_in_executor``.
+    """
+
+    rule_id = "ASY201"
+    name = "blocking-call-in-async"
+    category = "async-safety"
+    rationale = ("one blocked coroutine stalls every request on the "
+                 "event loop; the service's p99 contract dies")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        # Pre-pass: names bound to thread-queue instances, so that
+        # `q.get()` inside a coroutine is recognised as blocking.
+        self._thread_queues = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and isinstance(
+                    sub.value, ast.Call):
+                target = self.qualified_name(sub.value.func)
+                if target in _THREAD_QUEUE_TYPES:
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            self._thread_queues.add(tgt.id)
+                        elif isinstance(tgt, ast.Attribute):
+                            self._thread_queues.add(tgt.attr)
+        self.generic_visit(node)
+
+    def _is_thread_queue_method(self, node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+                "get", "put", "join"):
+            return False
+        owner = func.value
+        name = (owner.attr if isinstance(owner, ast.Attribute)
+                else owner.id if isinstance(owner, ast.Name) else None)
+        return name in getattr(self, "_thread_queues", ())
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_async_def():
+            target = self.qualified_name(node.func)
+            if target in _BLOCKING_CALLS:
+                hint = ("asyncio.sleep" if target == "time.sleep"
+                        else "an async API or loop.run_in_executor")
+                self.report(node, f"{target}() blocks the event loop "
+                                  f"inside async def; use {hint}")
+            elif self._is_thread_queue_method(node):
+                self.report(node, "queue.Queue method blocks the event "
+                                  "loop inside async def; use "
+                                  "asyncio.Queue or run_in_executor")
+        self.generic_visit(node)
+
+
+@rule
+class DroppedTaskRule(Rule):
+    """ASY202: ``create_task``/``ensure_future`` result discarded.
+
+    asyncio keeps only a weak reference to tasks; a task whose handle is
+    dropped can be garbage-collected mid-execution, and its exceptions
+    vanish. Keep a reference (the server's ``_response_tasks`` set
+    pattern) or await it.
+    """
+
+    rule_id = "ASY202"
+    name = "dropped-task"
+    category = "async-safety"
+    rationale = ("asyncio holds tasks weakly: an unreferenced task can "
+                 "be GC'd mid-flight and its exceptions are swallowed")
+
+    def _spawns_task(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        target = self.qualified_name(node.func)
+        if target in ("asyncio.ensure_future", "asyncio.create_task"):
+            return True
+        # loop.create_task(...) for any loop-valued name
+        return (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "create_task")
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if self._spawns_task(node.value):
+            self.report(node, "task handle discarded; asyncio may GC the "
+                              "task mid-flight — store a reference and "
+                              "discard it in a done callback")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `_ = create_task(...)` is the same bug with extra steps.
+        if self._spawns_task(node.value) and all(
+                isinstance(t, ast.Name) and t.id == "_"
+                for t in node.targets):
+            self.report(node, "task handle assigned to _ is still "
+                              "unreferenced; keep a real reference")
+        self.generic_visit(node)
+
+
+@rule
+class LockAcrossAwaitRule(Rule):
+    """ASY203: lock held across an ``await``.
+
+    ``async with lock: ... await ...`` serialises every other waiter
+    behind an arbitrarily long suspension — and a *threading* lock held
+    across an await can deadlock the loop outright. Narrow the critical
+    section, or suppress where cross-await serialisation is the point
+    (e.g. per-connection write ordering).
+    """
+
+    rule_id = "ASY203"
+    name = "lock-across-await"
+    category = "async-safety"
+    rationale = ("an await inside a critical section holds the lock for "
+                 "the full suspension; waiters serialise or deadlock")
+
+    _LOCK_HINTS = ("lock", "mutex", "semaphore", "sem")
+
+    def _lock_name(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Call):
+            return self._lock_name(expr.func)
+        else:
+            return None
+        lowered = name.lower()
+        if any(hint in lowered for hint in self._LOCK_HINTS):
+            return name
+        return None
+
+    def _check_with(self, node, is_async: bool) -> None:
+        held: List[Tuple[str, ast.AST]] = []
+        for item in node.items:
+            name = self._lock_name(item.context_expr)
+            if name is not None:
+                held.append((name, item.context_expr))
+        if not held:
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Await):
+                    for name, expr in held:
+                        kind = ("lock" if is_async
+                                else "non-async lock")
+                        self.report(expr,
+                                    f"{kind} '{name}' held across await "
+                                    f"(line {sub.lineno}); narrow the "
+                                    "critical section")
+                    return
+
+    def visit_With(self, node: ast.With) -> None:
+        if self.in_async_def():
+            self._check_with(node, is_async=False)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._check_with(node, is_async=True)
+        self.generic_visit(node)

@@ -1,0 +1,258 @@
+"""Determinism rules (category ``determinism``).
+
+The reproduction's north-star property is that cycle-level results are
+bit-identical across reruns, worker counts and batch sizes. Every rule
+here targets a concrete way Python code silently loses that property:
+entropy drawn from unseeded RNGs or the wall clock, and orderings that
+depend on the per-process hash seed instead of the data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.core import Rule, rule
+
+#: Module-level functions on ``random`` that draw from the shared,
+#: process-global (and by default time-seeded) RNG.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes",
+    "binomialvariate",
+})
+
+#: numpy.random module-level draws backed by the hidden global RandomState.
+_GLOBAL_NP_RANDOM_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "poisson", "binomial", "exponential", "seed",
+    "bytes", "random_integers",
+})
+
+#: Wall-clock / host-entropy sources. ``time.monotonic`` and
+#: ``time.perf_counter`` are deliberately absent: they are measurement
+#: clocks, fine for reporting, and never feed simulated state here.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice", "secrets.randbits",
+})
+
+#: Calls whose result order is safe to consume from a set (order-free
+#: reductions), so iteration through them is not flagged.
+_ORDER_FREE_CONSUMERS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set",
+    "frozenset",
+})
+
+
+@rule
+class UnseededRngRule(Rule):
+    """DET101: RNG constructed without an explicit seed.
+
+    ``random.Random()`` and ``numpy.random.default_rng()`` seed from OS
+    entropy, so two runs of the same experiment diverge. This is exactly
+    the historical ``rng = rng or random.Random()`` bug in
+    ``genome/sequence.py``: callers that forgot to pass an RNG got
+    irreproducible reads instead of an error.
+    """
+
+    rule_id = "DET101"
+    name = "unseeded-rng"
+    category = "determinism"
+    rationale = ("unseeded RNGs draw OS entropy; reruns diverge and the "
+                 "bit-identical-results invariant breaks")
+
+    _CONSTRUCTORS = frozenset({
+        "random.Random", "random.SystemRandom",
+        "numpy.random.default_rng", "numpy.random.Generator",
+        "numpy.random.RandomState", "numpy.random.SeedSequence",
+    })
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.qualified_name(node.func)
+        if target in self._CONSTRUCTORS and not node.args and not node.keywords:
+            self.report(node, f"{target}() without an explicit seed; pass "
+                              "a seed or thread an rng from the caller")
+        self.generic_visit(node)
+
+
+@rule
+class GlobalRandomRule(Rule):
+    """DET102: draw from the process-global RNG (``random.random()`` et
+    al., ``np.random.*``). The global RNG is shared mutable state seeded
+    from the clock: results depend on import order, worker count, and
+    everything else that touched it."""
+
+    rule_id = "DET102"
+    name = "global-random"
+    category = "determinism"
+    rationale = ("module-level random.* / np.random.* share one hidden, "
+                 "time-seeded RNG; any other caller perturbs the stream")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.qualified_name(node.func)
+        if target is not None:
+            parts = target.split(".")
+            if len(parts) == 2 and parts[0] == "random" \
+                    and parts[1] in _GLOBAL_RANDOM_FNS:
+                self.report(node, f"{target}() draws from the global RNG; "
+                                  "use an explicit random.Random(seed)")
+            elif len(parts) == 3 and parts[0] == "numpy" \
+                    and parts[1] == "random" \
+                    and parts[2] in _GLOBAL_NP_RANDOM_FNS:
+                self.report(node, f"{target}() uses numpy's global "
+                                  "RandomState; use default_rng(seed)")
+        self.generic_visit(node)
+
+
+@rule
+class WallClockRule(Rule):
+    """DET103: wall-clock or host-entropy call in deterministic code.
+
+    ``time.time()``, ``datetime.now()``, ``os.urandom()``, ``uuid4()``
+    make output depend on when/where the run happened. The simulator's
+    only clock is its integer cycle counter; measurement clocks
+    (``time.monotonic``/``perf_counter``) are allowed since they never
+    feed simulated state.
+    """
+
+    rule_id = "DET103"
+    name = "wall-clock"
+    category = "determinism"
+    rationale = ("wall-clock/entropy reads make results depend on when "
+                 "and where the run happened, not just the seed")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.qualified_name(node.func)
+        if target in _WALL_CLOCK_CALLS:
+            self.report(node, f"{target}() in deterministic code; derive "
+                              "values from the seed or cycle counter")
+        self.generic_visit(node)
+
+
+@rule
+class SetIterationRule(Rule):
+    """DET104: iteration over a set in hash order.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` (for str keys) and
+    insertion history. Feeding it into scheduler decisions, output
+    files, or any order-sensitive consumer makes runs differ even with
+    identical seeds. Wrap in ``sorted(...)`` to pin the order.
+    """
+
+    rule_id = "DET104"
+    name = "set-iteration"
+    category = "determinism"
+    rationale = ("set order follows the per-process hash seed; anything "
+                 "order-sensitive downstream loses reproducibility")
+
+    _SEQUENCE_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter",
+                                     "zip", "map", "filter", "reversed"})
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            target = self.qualified_name(node.func)
+            if target in ("set", "frozenset"):
+                return True
+            # set-algebra methods returning new sets
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "union", "intersection", "difference",
+                    "symmetric_difference"):
+                return self._is_set_expr(node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right))
+        return False
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            self.report(iter_node, "iterating a set in hash order; wrap "
+                                   "in sorted(...) to pin a deterministic "
+                                   "order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list(set(...)), tuple(x & y), "".join(set(...)): sequencing a
+        # set snapshots its hash order.
+        target = self.qualified_name(node.func)
+        if target in self._SEQUENCE_CONSUMERS:
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self.report(arg, f"{target}() over a set captures "
+                                     "hash order; sort first")
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "join":
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self.report(arg, "join() over a set captures hash "
+                                     "order; sort first")
+        self.generic_visit(node)
+
+
+@rule
+class HashOrderSortKeyRule(Rule):
+    """DET105: sort key built from ``id()`` or ``hash()``.
+
+    ``id()`` is an address — it changes across processes and runs — and
+    ``hash()`` of str follows the per-process hash seed. A sort keyed on
+    either is a different permutation every run, which then feeds
+    whatever consumed the sorted output.
+    """
+
+    rule_id = "DET105"
+    name = "hash-order-sort-key"
+    category = "determinism"
+    rationale = ("id()/hash() vary per process; sorting by them yields a "
+                 "different permutation every run")
+
+    _SORTERS = frozenset({"sorted", "min", "max",
+                          "heapq.nsmallest", "heapq.nlargest"})
+
+    def _key_uses_hash_order(self, key: ast.AST) -> Optional[str]:
+        if isinstance(key, ast.Name) and key.id in ("id", "hash"):
+            return key.id
+        for sub in ast.walk(key):
+            if isinstance(sub, ast.Call):
+                target = self.qualified_name(sub.func)
+                if target in ("id", "hash"):
+                    return target
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.qualified_name(node.func)
+        is_sorter = target in self._SORTERS or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort")
+        if is_sorter:
+            for kw in node.keywords:
+                if kw.arg == "key":
+                    culprit = self._key_uses_hash_order(kw.value)
+                    if culprit is not None:
+                        self.report(kw.value,
+                                    f"sort key uses {culprit}(), which "
+                                    "varies across runs; key on stable "
+                                    "fields instead")
+        self.generic_visit(node)

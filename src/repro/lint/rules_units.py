@@ -1,0 +1,74 @@
+"""Config/unit-hygiene rules (category ``config-hygiene``).
+
+The hardware, power and baseline models are calibrated against published
+numbers (Table I/II). Those calibration points must live in *named*
+constants or config objects — a bare ``1e12 / freq`` or ``* 1024`` deep
+inside an expression is a unit conversion nobody can audit, and the
+design-space sweeps silently mis-scale when two copies of the same
+magic number drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Rule, rule
+
+#: Structurally obvious values that do not hide a unit or calibration
+#: point: identities, signs, halving/doubling, and percentage bounds.
+_ALLOWED_VALUES = frozenset({0, 1, 2, -1, 0.0, 1.0, 2.0, -1.0, 0.5})
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+              ast.Mod, ast.Pow)
+
+
+@rule
+class MagicNumberRule(Rule):
+    """CFG301: numeric literal inline in model arithmetic.
+
+    Cycle counts, byte widths, energy/area figures and unit conversions
+    must flow through named module constants or config/dataclass fields.
+    Named values are auditable against the paper's tables and change in
+    one place; inline literals fork silently.
+
+    Deliberately *not* flagged: module-level constant definitions,
+    class-level (dataclass field) defaults, default parameter values,
+    plain ``name = <literal>`` bindings, comparisons, and subscripts —
+    those are exactly the blessed homes for numbers.
+    """
+
+    rule_id = "CFG301"
+    name = "magic-number"
+    category = "config-hygiene"
+    rationale = ("unnamed unit constants can't be audited against the "
+                 "paper's tables and drift apart when duplicated")
+
+    def __init__(self, module, aliases=None):
+        super().__init__(module, aliases)
+        self._func_depth = 0
+
+    # Only arithmetic inside function bodies is suspect; module and
+    # class bodies are where constants are *supposed* to be defined.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        self._func_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self._func_depth -= 1
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._func_depth > 0 and isinstance(node.op, _ARITH_OPS):
+            for operand in (node.left, node.right):
+                if isinstance(operand, ast.Constant) \
+                        and type(operand.value) in (int, float) \
+                        and operand.value not in _ALLOWED_VALUES:
+                    self.report(operand,
+                                f"magic number {operand.value!r} inline "
+                                "in model arithmetic; hoist it into a "
+                                "named constant or config field")
+        self.generic_visit(node)

@@ -122,7 +122,9 @@ class AsyncServiceClient:
         future: "asyncio.Future[Dict[str, Any]]" = \
             asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
-        async with self._write_lock:
+        # Holding the write lock across drain() is the contract: request
+        # lines must hit the socket whole and in submission order.
+        async with self._write_lock:  # repro-lint: disable=lock-across-await
             self._writer.write(line.encode("utf-8") + b"\n")
             await self._writer.drain()
         return await future

@@ -328,7 +328,9 @@ class AlignmentServer:
 
     async def _write(self, conn: _Connection, line: str) -> None:
         try:
-            async with conn.lock:
+            # Response lines must reach the socket whole and unsheared;
+            # per-connection serialisation across drain() is the point.
+            async with conn.lock:  # repro-lint: disable=lock-across-await
                 conn.writer.write(line.encode("utf-8") + b"\n")
                 await conn.writer.drain()
         except (ConnectionResetError, BrokenPipeError):

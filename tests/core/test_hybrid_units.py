@@ -63,7 +63,7 @@ class TestEquation5:
 
     def test_every_positive_interval_served(self):
         mix = solve_unit_mix((0.97, 0.01, 0.01, 0.01), (16, 32, 64, 128), 512)
-        for pe, mass in zip((16, 32, 64, 128), (0.97, 0.01, 0.01, 0.01)):
+        for pe in (16, 32, 64, 128):
             assert mix[pe] >= 1
 
     def test_validation(self):
@@ -96,8 +96,8 @@ class TestFig9Toy:
     """The Fig 9(d) walk-through: hybrid beats uniform on the toy hits."""
 
     HITS = (20, 40, 10, 65, 127)
-    UNIFORM = [64, 64, 64, 64]
-    HYBRID = [16, 16, 32, 64, 128]
+    UNIFORM = (64, 64, 64, 64)
+    HYBRID = (16, 16, 32, 64, 128)
 
     def test_paper_exact_cycle_counts(self):
         """Fig 9(d): 455 cycles uniform vs 257 hybrid, load at cycle 1."""

@@ -39,7 +39,7 @@ def oracle_semi_global(pattern, text):
     m, n = len(pattern), len(text)
     prev = [0] * (n + 1)  # first row zero: free start anywhere
     for i in range(1, m + 1):
-        curr = [i] + [0] * n
+        curr = [i, *([0] * n)]
         for j in range(1, n + 1):
             curr[j] = min(prev[j] + 1, curr[j - 1] + 1,
                           prev[j - 1] + (pattern[i - 1] != text[j - 1]))

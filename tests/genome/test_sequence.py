@@ -78,7 +78,16 @@ class TestRandomSequence:
 
     def test_invalid_gc_raises(self):
         with pytest.raises(ValueError):
-            seq.random_sequence(10, gc_content=1.5)
+            seq.random_sequence(10, random.Random(0), gc_content=1.5)
+
+    def test_int_seed_accepted_and_reproducible(self):
+        assert seq.random_sequence(64, 7) == seq.random_sequence(64, 7)
+        assert (seq.random_sequence(64, 7)
+                == seq.random_sequence(64, random.Random(7)))
+
+    def test_missing_rng_rejected(self):
+        with pytest.raises(TypeError, match="not reproducible"):
+            seq.random_sequence(10, None)
 
 
 class TestMutate:
@@ -97,7 +106,11 @@ class TestMutate:
 
     def test_invalid_rate_raises(self):
         with pytest.raises(ValueError):
-            seq.mutate("ACGT", -0.1)
+            seq.mutate("ACGT", -0.1, random.Random(0))
+
+    def test_missing_rng_rejected(self):
+        with pytest.raises(TypeError, match="not reproducible"):
+            seq.mutate("ACGT", 0.5, None)
 
 
 class TestHelpers:

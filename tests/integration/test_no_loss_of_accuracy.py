@@ -72,7 +72,7 @@ class TestNoLossOfAccuracy:
         the schedulers reorder work but never change it."""
         _, _, workload = setup
         outputs = []
-        for name, config in baseline.ablation_ladder().items():
+        for config in baseline.ablation_ladder().values():
             config = replace(config, functional_execution=True)
             report = NvWaAccelerator(config).run(workload)
             outputs.append({k: (v.score, v.cigar)

@@ -1,0 +1,39 @@
+"""Shared helpers for the ``repro.lint`` self-tests."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Analyzer, LintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: ``# BAD: RULEID`` markers inside fixture files declare the expected
+#: finding for their line, so every fixture pins true positives *and*
+#: the absence of false positives on unmarked lines.
+BAD_MARKER = re.compile(r"#\s*BAD:\s*([A-Z]+\d+)")
+
+
+def expected_findings(fixture: Path):
+    """Set of (line, rule_id) declared by # BAD markers."""
+    expected = set()
+    for lineno, line in enumerate(
+            fixture.read_text(encoding="utf-8").splitlines(), start=1):
+        for rule_id in BAD_MARKER.findall(line):
+            expected.add((lineno, rule_id))
+    return expected
+
+
+def check_fixture(fixture: Path):
+    """Run every rule over one fixture; return set of (line, rule_id)."""
+    analyzer = Analyzer(LintConfig.everywhere())
+    report = analyzer.check_source(
+        fixture.name, fixture.read_text(encoding="utf-8"))
+    assert not report.parse_errors, report.parse_errors
+    return {(f.line, f.rule_id) for f in report.findings}
+
+
+@pytest.fixture
+def everywhere_analyzer():
+    return Analyzer(LintConfig.everywhere())

@@ -1,0 +1,33 @@
+"""Fixture: ASY201 blocking-call-in-async — flagged lines end in # BAD."""
+
+import asyncio
+import queue
+import subprocess
+import time
+
+work_q = queue.Queue()
+
+
+async def handler(request):
+    time.sleep(0.1)  # BAD: ASY201
+    subprocess.run(["aligner", request.path])  # BAD: ASY201
+    with open(request.path) as fh:  # BAD: ASY201
+        data = fh.read()
+    item = work_q.get()  # BAD: ASY201
+    return data, item
+
+
+async def nonblocking_is_fine(loop):
+    await asyncio.sleep(0.1)
+    data = await loop.run_in_executor(None, expensive)
+    return data
+
+
+def sync_helpers_are_fine(path):
+    time.sleep(0.01)
+    with open(path) as fh:
+        return fh.read()
+
+
+def expensive():
+    return 42

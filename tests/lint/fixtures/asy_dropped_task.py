@@ -1,0 +1,23 @@
+"""Fixture: ASY202 dropped-task — flagged lines end in # BAD."""
+
+import asyncio
+
+
+async def fire_and_forget(conn, payload):
+    asyncio.create_task(send(conn, payload))  # BAD: ASY202
+    asyncio.ensure_future(send(conn, payload))  # BAD: ASY202
+    loop = asyncio.get_event_loop()
+    loop.create_task(send(conn, payload))  # BAD: ASY202
+    _ = asyncio.create_task(send(conn, payload))  # BAD: ASY202
+
+
+async def kept_references_are_fine(conn, payload, tasks):
+    task = asyncio.create_task(send(conn, payload))
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)
+    await asyncio.ensure_future(send(conn, payload))
+    return task
+
+
+async def send(conn, payload):
+    await conn.write(payload)

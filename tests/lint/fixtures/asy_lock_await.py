@@ -1,0 +1,26 @@
+"""Fixture: ASY203 lock-across-await — flagged lines end in # BAD."""
+
+import asyncio
+import threading
+
+_lock = asyncio.Lock()
+_thread_lock = threading.Lock()
+
+
+async def held_across_await(writer, line):
+    async with _lock:  # BAD: ASY203
+        writer.write(line)
+        await writer.drain()
+
+
+async def thread_lock_is_worse(writer, line):
+    with _thread_lock:  # BAD: ASY203
+        await writer.drain()
+
+
+async def narrow_sections_are_fine(state, writer, line):
+    async with _lock:
+        state.count += 1
+    await writer.drain()
+    with _thread_lock:
+        state.count += 1

@@ -1,0 +1,20 @@
+"""Fixture: CFG301 magic-number — flagged lines end in # BAD."""
+
+CYCLES_PER_ACCESS = 4
+NS_PER_S = 1e9
+BUFFER_DEPTH_DEFAULT = 1024  # module-level constants are the blessed home
+
+
+def seeding_cycles(accesses):
+    return accesses * 17  # BAD: CFG301
+
+
+def throughput(cycles, frequency_hz):
+    seconds = cycles / frequency_hz
+    return 49150.0 / seconds  # BAD: CFG301
+
+
+def named_flows_are_fine(accesses, depth=BUFFER_DEPTH_DEFAULT):
+    cycles = accesses * CYCLES_PER_ACCESS
+    halves = cycles / 2
+    return cycles + depth - halves

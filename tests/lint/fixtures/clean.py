@@ -1,0 +1,17 @@
+"""Fixture: a module no rule should fire on."""
+
+import random
+
+SCALE = 1e6
+
+
+def deterministic_pipeline(seed, items):
+    rng = random.Random(seed)
+    ordered = sorted(set(items))
+    sampled = [item for item in ordered if rng.random() < 0.5]
+    return sampled
+
+
+async def tidy_handler(batcher, request):
+    future = batcher.submit(request)
+    return await future

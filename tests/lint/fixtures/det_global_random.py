@@ -1,0 +1,22 @@
+"""Fixture: DET102 global-random — flagged lines end in # BAD."""
+
+import random
+
+import numpy as np
+
+
+def draw_from_module():
+    x = random.random()  # BAD: DET102
+    y = random.randint(0, 10)  # BAD: DET102
+    random.shuffle([1, 2, 3])  # BAD: DET102
+    return x, y
+
+
+def numpy_global():
+    a = np.random.rand(4)  # BAD: DET102
+    np.random.seed(0)  # BAD: DET102
+    return a
+
+
+def instance_draws_are_fine(rng):
+    return rng.random() + rng.randint(0, 10)

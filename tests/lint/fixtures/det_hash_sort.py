@@ -1,0 +1,15 @@
+"""Fixture: DET105 hash-order-sort-key — flagged lines end in # BAD."""
+
+
+def order_tasks(tasks):
+    by_identity = sorted(tasks, key=id)  # BAD: DET105
+    by_hash = sorted(tasks, key=lambda t: hash(t.name))  # BAD: DET105
+    tasks.sort(key=lambda t: (t.prio, id(t)))  # BAD: DET105
+    first = min(tasks, key=lambda t: hash(t))  # BAD: DET105
+    return by_identity, by_hash, first
+
+
+def stable_keys_are_fine(tasks):
+    ordered = sorted(tasks, key=lambda t: (t.prio, t.name))
+    tasks.sort(key=lambda t: t.arrival_cycle)
+    return ordered

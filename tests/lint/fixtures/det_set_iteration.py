@@ -1,0 +1,22 @@
+"""Fixture: DET104 set-iteration — flagged lines end in # BAD."""
+
+
+def schedule(ready_ids, busy_ids):
+    order = []
+    for unit in set(ready_ids):  # BAD: DET104
+        order.append(unit)
+    order += [u for u in ready_ids if u in busy_ids]
+    order += list({1, 2, 3})  # BAD: DET104
+    order += [x for x in frozenset(busy_ids)]  # BAD: DET104
+    for pair in set(ready_ids) & set(busy_ids):  # BAD: DET104
+        order.append(pair)
+    return order
+
+
+def pinned_order_is_fine(ready_ids, busy_ids):
+    order = []
+    for unit in sorted(set(ready_ids)):
+        order.append(unit)
+    count = len(set(busy_ids))
+    union = set(ready_ids) | set(busy_ids)
+    return order, count, sorted(union)

@@ -1,0 +1,25 @@
+"""Fixture: DET101 unseeded-rng — every flagged line ends in # BAD."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_rng():
+    return random.Random()  # BAD: DET101
+
+
+def fresh_generator():
+    return np.random.default_rng()  # BAD: DET101
+
+
+def imported_ctor():
+    return default_rng()  # BAD: DET101
+
+
+def seeded_is_fine(seed):
+    a = random.Random(seed)
+    b = np.random.default_rng(seed)
+    c = default_rng(12345)
+    return a, b, c

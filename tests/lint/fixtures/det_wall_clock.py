@@ -1,0 +1,20 @@
+"""Fixture: DET103 wall-clock — flagged lines end in # BAD."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_result(result):
+    result["at"] = time.time()  # BAD: DET103
+    result["when"] = datetime.now()  # BAD: DET103
+    result["id"] = uuid.uuid4()  # BAD: DET103
+    result["salt"] = os.urandom(8)  # BAD: DET103
+    return result
+
+
+def measurement_clocks_are_fine():
+    started = time.monotonic()
+    t = time.perf_counter()
+    return time.monotonic() - started + t

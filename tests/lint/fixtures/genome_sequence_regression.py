@@ -1,0 +1,29 @@
+"""Fixture: the original ``genome/sequence.py`` unseeded-RNG bug,
+verbatim — the corpus pins that DET101 catches it if reintroduced."""
+
+import random
+
+ALPHABET = "ACGT"
+
+
+def random_sequence(length, rng=None, gc_content=0.5):
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError(f"gc_content must be in [0, 1], got {gc_content}")
+    rng = rng or random.Random()  # BAD: DET101
+    weights = [(1 - gc_content) / 2, gc_content / 2,
+               gc_content / 2, (1 - gc_content) / 2]
+    return "".join(rng.choices(ALPHABET, weights=weights, k=length))
+
+
+def mutate(sequence, rate, rng=None):
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    rng = rng or random.Random()  # BAD: DET101
+    out = []
+    for base in sequence.upper():
+        if rng.random() < rate:
+            choices = [b for b in ALPHABET if b != base]
+            out.append(rng.choice(choices))
+        else:
+            out.append(base)
+    return "".join(out)

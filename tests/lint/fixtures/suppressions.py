@@ -1,0 +1,17 @@
+"""Fixture: inline suppressions — one used, one unused (LINT001)."""
+
+import random
+
+
+def deliberately_unseeded():
+    # This entropy is *meant* to differ per call (an example of a
+    # justified, documented suppression).
+    return random.Random()  # repro-lint: disable=DET101
+
+
+def suppressed_by_name():
+    return random.Random()  # repro-lint: disable=unseeded-rng
+
+
+def clean_line_with_suppression(seed):
+    return random.Random(seed)  # repro-lint: disable=DET101

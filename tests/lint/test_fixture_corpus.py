@@ -1,0 +1,60 @@
+"""The fixture corpus: every rule fires where declared and nowhere else.
+
+Each fixture marks its intentionally-bad lines with ``# BAD: RULEID``;
+the corpus test asserts the analyzer's findings match those markers
+*exactly* — a missing finding is a false negative, an extra one a false
+positive. A meta-test asserts the corpus exercises every registered
+rule, so adding a rule without a fixture fails CI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules
+from repro.lint.core import UNUSED_SUPPRESSION_ID
+
+from tests.lint.conftest import FIXTURES, check_fixture, expected_findings
+
+MARKED_FIXTURES = sorted(
+    p for p in FIXTURES.glob("*.py")
+    if p.name not in ("clean.py", "suppressions.py"))
+
+
+@pytest.mark.parametrize("fixture", MARKED_FIXTURES,
+                         ids=lambda p: p.stem)
+def test_findings_match_markers_exactly(fixture: Path):
+    expected = expected_findings(fixture)
+    assert expected, f"{fixture.name} declares no # BAD markers"
+    assert check_fixture(fixture) == expected
+
+
+def test_clean_fixture_has_no_findings():
+    assert check_fixture(FIXTURES / "clean.py") == set()
+
+
+def test_suppressions_fixture():
+    """Two justified suppressions hold; the pointless one is reported."""
+    findings = check_fixture(FIXTURES / "suppressions.py")
+    assert findings == {(17, UNUSED_SUPPRESSION_ID)}
+
+
+def test_corpus_exercises_every_rule():
+    fired = set()
+    for fixture in FIXTURES.glob("*.py"):
+        fired.update(rule_id for _, rule_id in expected_findings(fixture))
+    fired.add(UNUSED_SUPPRESSION_ID)  # pinned by test_suppressions_fixture
+    missing = (set(all_rules()) | {UNUSED_SUPPRESSION_ID}) - fired
+    assert not missing, (
+        f"rules with no firing fixture: {sorted(missing)} — add a "
+        "# BAD-marked example to tests/lint/fixtures/")
+
+
+def test_catches_the_original_sequence_bug():
+    """Acceptance criterion: reintroducing the historical
+    ``rng = rng or random.Random()`` pattern from genome/sequence.py
+    is caught by DET101."""
+    findings = check_fixture(FIXTURES / "genome_sequence_regression.py")
+    det101_lines = {line for line, rule_id in findings
+                    if rule_id == "DET101"}
+    assert len(det101_lines) == 2  # once in random_sequence, once in mutate

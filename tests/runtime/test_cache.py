@@ -113,7 +113,7 @@ class TestCacheMechanics:
             def __reduce__(self):
                 raise RuntimeError("no pickling")
 
-        with pytest.raises(Exception):
+        with pytest.raises(RuntimeError, match="no pickling"):
             cache.store("thing", {"n": 1}, Unpicklable())
         assert os.listdir(cache.cache_dir) == []
 

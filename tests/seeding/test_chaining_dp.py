@@ -26,8 +26,8 @@ class TestBasicBehaviour:
         assert len(chains[0].anchors) == 5
 
     def test_strands_never_mix(self):
-        anchors = colinear_chain(0, 1000, 3) + [
-            anchor(90, 15, 1090, reverse=True)]
+        anchors = [*colinear_chain(0, 1000, 3),
+                   anchor(90, 15, 1090, reverse=True)]
         for chain in chain_anchors_dp(anchors):
             assert len({a.reverse for a in chain.anchors}) == 1
 
@@ -51,7 +51,7 @@ class TestBeatsGreedyOnNoise:
         fractures the greedy chain but not the DP chain."""
         true_chain = colinear_chain(0, 1000, 6, step=40)
         decoy = anchor(80, 15, 1_000_000)  # read middle, far locus
-        anchors = true_chain[:3] + [decoy] + true_chain[3:]
+        anchors = [*true_chain[:3], decoy, *true_chain[3:]]
         dp_best = max(chain_anchors_dp(anchors),
                       key=lambda c: c.anchor_bases)
         assert len(dp_best.anchors) == 6

@@ -119,7 +119,7 @@ class TestSummaryModelCrossValidation:
         rng = random.Random(2)
         n = 128
         detailed = DetailedMemory()
-        for i in range(n):
+        for _ in range(n):
             detailed.submit(rng.randrange(0, 1 << 26) // 16 * 16,
                             size_bytes=16, issue_time=0)
         completions = detailed.drain()
