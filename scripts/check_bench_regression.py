@@ -29,6 +29,18 @@ def load_means(bench_json_path):
     }
 
 
+def reduce_mean(mean):
+    """Round to significant digits, never decimal places.
+
+    ``round(mean, 6)`` flattened any benchmark faster than ~0.5 µs to a
+    stored baseline of 0.0, which the ``baseline_mean > 0`` guard in
+    :func:`check` then skipped forever — sub-microsecond kernels could
+    regress unboundedly.  Three significant digits keep the file tidy at
+    every magnitude while staying well inside the 2x check threshold.
+    """
+    return float(f"{mean:.3g}")
+
+
 def write_baseline(path, means, source):
     baseline = {
         "comment": (
@@ -36,7 +48,7 @@ def write_baseline(path, means, source):
             "scripts/check_bench_regression.py --update"
         ),
         "source": source,
-        "means": {name: round(mean, 6) for name, mean in sorted(means.items())},
+        "means": {name: reduce_mean(mean) for name, mean in sorted(means.items())},
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2)

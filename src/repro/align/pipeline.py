@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.genome import sequence as seq
 from repro.genome.reads import Read
 from repro.genome.reference import ReferenceGenome
@@ -214,16 +215,23 @@ class SoftwareAligner:
     def align(self, read: Read, read_idx: int = 0) -> ReadAlignment:
         """Run the full pipeline for one read (Steps ❶-❹)."""
         work = PhaseWork()
-        anchors = self.collect_anchors(read.sequence, work)
-        hits = self.build_hits(read_idx, len(read.sequence), anchors)
-        work.hit_count = len(hits)
-        best: Optional[Alignment] = None
-        for hit in hits:
-            candidate = self.extend_hit(read.sequence, hit, work)
-            if best is None or candidate.score > best.score:
-                best = candidate
-        if best is not None and best.score <= 0:
-            best = None
+        with obs.span("align_read", "pipeline", read_id=read.read_id) as top:
+            with obs.span("seeding", "pipeline"):
+                anchors = self.collect_anchors(read.sequence, work)
+            with obs.span("chain", "pipeline", anchors=len(anchors)):
+                hits = self.build_hits(read_idx, len(read.sequence), anchors)
+            work.hit_count = len(hits)
+            best: Optional[Alignment] = None
+            with obs.span("extension", "pipeline", hits=len(hits)):
+                for hit in hits:
+                    candidate = self.extend_hit(read.sequence, hit, work)
+                    if best is None or candidate.score > best.score:
+                        best = candidate
+            if best is not None and best.score <= 0:
+                best = None
+            top.set_args(mapped=best is not None,
+                         seeding_accesses=work.seeding_accesses,
+                         extension_cells=work.extension_cells)
         return ReadAlignment(read=read, best=best, hits=hits, work=work)
 
     def align_all(self, reads: Sequence[Read],
@@ -254,19 +262,22 @@ class SoftwareAligner:
 
         staged = []
         pairs: List[tuple] = []
-        for offset, read in enumerate(reads):
-            work = PhaseWork()
-            anchors = self.collect_anchors(read.sequence, work)
-            hits = self.build_hits(start_index + offset, len(read.sequence),
-                                   anchors)
-            work.hit_count = len(hits)
-            staged.append((read, hits, work))
-            for hit in hits:
-                oriented = (seq.reverse_complement(read.sequence)
-                            if hit.reverse else read.sequence)
-                pairs.append((oriented, self.text[hit.ref_start:hit.ref_end]))
-        locals_ = smith_waterman_batch(pairs, scoring=self.scoring,
-                                       max_batch=max_batch)
+        with obs.span("seeding", "pipeline", reads=len(reads)):
+            for offset, read in enumerate(reads):
+                work = PhaseWork()
+                anchors = self.collect_anchors(read.sequence, work)
+                hits = self.build_hits(start_index + offset,
+                                       len(read.sequence), anchors)
+                work.hit_count = len(hits)
+                staged.append((read, hits, work))
+                for hit in hits:
+                    oriented = (seq.reverse_complement(read.sequence)
+                                if hit.reverse else read.sequence)
+                    pairs.append((oriented,
+                                  self.text[hit.ref_start:hit.ref_end]))
+        with obs.span("extension", "pipeline", jobs=len(pairs)):
+            locals_ = smith_waterman_batch(pairs, scoring=self.scoring,
+                                           max_batch=max_batch)
         results = []
         cursor = 0
         for read, hits, work in staged:

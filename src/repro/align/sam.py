@@ -13,6 +13,7 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, TextIO, Union
 
+from repro import obs
 from repro.genome import sequence as seq
 from repro.genome.reference import ReferenceGenome
 from repro.align.pipeline import ReadAlignment
@@ -156,12 +157,13 @@ def write_sam(results: Sequence[ReadAlignment],
     handle = open(target, "w", encoding="ascii") if own else target
     mapped = 0
     try:
-        for line in sam_header(reference):
-            handle.write(line + "\n")
-        for result in results:
-            handle.write(sam_record(result, reference) + "\n")
-            if result.aligned:
-                mapped += 1
+        with obs.span("sam_emit", "pipeline", records=len(results)):
+            for line in sam_header(reference):
+                handle.write(line + "\n")
+            for result in results:
+                handle.write(sam_record(result, reference) + "\n")
+                if result.aligned:
+                    mapped += 1
     finally:
         if own:
             handle.close()

@@ -11,6 +11,8 @@ Subcommands (``python -m repro`` works identically)::
     python -m repro experiments --parallelism 4 --cache-dir .cache/
     python -m repro serve     --reference x.fa --port 7878
     python -m repro loadgen   --connect 127.0.0.1:7878 --reference x.fa
+    python -m repro obs export --connect 127.0.0.1:7878
+    python -m repro obs validate trace.json
     python -m repro lint      src/ --baseline lint-baseline.json
 
 ``--parallelism N`` fans work out over N worker processes and
@@ -18,6 +20,12 @@ Subcommands (``python -m repro`` works identically)::
 bit-identical to the serial, uncached run for every worker count.
 ``serve`` runs the online alignment service (dynamic batching, admission
 control, live metrics) and ``loadgen`` benchmarks it.
+
+``--trace-out FILE`` on ``align``/``accelerate``/``serve``/``loadgen``
+enables the :mod:`repro.obs` tracer and writes a Chrome ``trace_event``
+JSON on exit (load it in Perfetto or chrome://tracing); ``obs export``
+renders a metrics snapshot in Prometheus text format and ``obs
+validate`` sanity-checks a trace file.
 """
 
 from __future__ import annotations
@@ -25,6 +33,26 @@ from __future__ import annotations
 import argparse
 import os
 from typing import List, Optional
+
+
+def _start_tracing(args: argparse.Namespace) -> Optional[str]:
+    """Enable the global tracer when ``--trace-out`` was given."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro import obs
+        obs.configure(enabled=True)
+    return trace_out
+
+
+def _write_trace(trace_out: Optional[str], extra_events=None) -> None:
+    """Export the global tracer's events as a Chrome trace file."""
+    if not trace_out:
+        return
+    from repro import obs
+    obs.write_chrome_trace(trace_out, obs.get_tracer(),
+                           extra_events=extra_events)
+    print(f"wrote trace {trace_out} (load in Perfetto or "
+          f"chrome://tracing)")
 
 
 def _execution_config(args: argparse.Namespace):
@@ -64,6 +92,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
     from repro.analysis.accuracy import evaluate
     from repro.genome.io import parse_fastq, read_reference
 
+    trace_out = _start_tracing(args)
     reference = read_reference(args.reference)
     reads = list(parse_fastq(args.reads))
     if args.long:
@@ -96,6 +125,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
     if args.out:
         write_sam(results, reference, args.out)
         print(f"wrote {args.out}")
+    _write_trace(trace_out)
     return 0
 
 
@@ -124,9 +154,35 @@ def _cmd_accelerate(args: argparse.Namespace) -> int:
                                              seed=args.seed)
         source = f"{args.reads} synthetic {profile.name} reads"
 
-    jobs = [(baseline.nvwa(), workload, None),
-            (baseline.sus_eus_baseline(), workload, None)]
-    nvwa, base = simulate_many(jobs, parallelism=parallelism)
+    jobs = [("NvWa", baseline.nvwa()),
+            ("SUs+EUs", baseline.sus_eus_baseline())]
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        # Run the simulations directly (bit-identical to the serial
+        # sweep path) so the full reports — and their utilization
+        # traces — are still in hand for the export.
+        from repro import obs
+        from repro.core.accelerator import NvWaAccelerator
+        from repro.runtime.sweep import summarize
+        obs.configure(enabled=True)
+        extra_events = []
+        results = []
+        for idx, (label, config) in enumerate(jobs):
+            with obs.span("simulate", "sim", config=label):
+                report = NvWaAccelerator(config).run(workload)
+            results.append(summarize(report))
+            base_pid = 10 * (idx + 1)
+            extra_events += obs.utilization_events(
+                report.su_trace, pid=base_pid,
+                process_name=f"{label} SUs")
+            extra_events += obs.utilization_events(
+                report.eu_trace, pid=base_pid + 1,
+                process_name=f"{label} EUs")
+        nvwa, base = results
+    else:
+        nvwa, base = simulate_many(
+            [(config, workload, None) for _, config in jobs],
+            parallelism=parallelism)
     print(f"workload: {source}, {workload.total_hits} hits")
     print(f"NvWa:    {nvwa.cycles:>10,} cycles  "
           f"{nvwa.kreads_per_second:>12,.0f} Kreads/s  "
@@ -135,6 +191,8 @@ def _cmd_accelerate(args: argparse.Namespace) -> int:
           f"{base.kreads_per_second:>12,.0f} Kreads/s  "
           f"SU {base.su_utilization:.0%}  EU {base.eu_utilization:.0%}")
     print(f"scheduling speedup: {base.cycles / nvwa.cycles:.2f}x")
+    if trace_out:
+        _write_trace(trace_out, extra_events=extra_events)
     return 0
 
 
@@ -159,6 +217,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     logging.basicConfig(
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    trace_out = _start_tracing(args)
     reference = read_reference(args.reference)
     config = ServerConfig(
         host=args.host, port=args.port, unix_path=args.unix_socket,
@@ -186,12 +245,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.shutdown(drain=True)
 
     asyncio.run(serve())
+    _write_trace(trace_out)
     return 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service import loadgen
 
+    trace_out = _start_tracing(args)
     if args.reads_file:
         from repro.genome.io import parse_fastq
         reads = list(parse_fastq(args.reads_file))[:args.requests]
@@ -217,7 +278,60 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         f"--max-p99-ms {args.max_p99_ms}")
     for failure in failures:
         print(f"FAIL: {failure}")
+    _write_trace(trace_out)
     return 1 if failures else 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Metrics snapshot → Prometheus text exposition."""
+    import json
+
+    from repro.obs import prometheus_text
+
+    if args.connect:
+        from repro.service.client import ServiceClient, parse_endpoint
+        host, port, unix_path = parse_endpoint(args.connect)
+        client = ServiceClient(host=host, port=port, unix_path=unix_path)
+        try:
+            stats = client.stats()
+        finally:
+            client.close()
+    else:
+        with open(args.stats_json, "r", encoding="utf-8") as handle:
+            stats = json.load(handle)
+    snapshot = stats.get("metrics", stats)
+    kwargs = {} if args.prefix is None else {"prefix": args.prefix}
+    text = prometheus_text(snapshot, **kwargs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    """Check a Chrome trace file; nonzero exit on problems."""
+    import json
+
+    from repro.obs import trace_problems
+
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        try:
+            trace = json.load(handle)
+        except json.JSONDecodeError as exc:
+            print(f"FAIL: {args.trace} is not valid JSON: {exc}")
+            return 1
+    problems = trace_problems(trace)
+    events = trace.get("traceEvents", [])
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    print(f"ok: {len(events)} events ({spans} spans) in {args.trace}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -260,6 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reads per shard for parallel alignment")
     p.add_argument("--batch-extension", action="store_true",
                    help="vectorize same-shaped extension jobs")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace of the pipeline stages")
     p.set_defaults(func=_cmd_align)
 
     p = sub.add_parser("accelerate",
@@ -273,6 +389,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate configurations in N worker processes")
     p.add_argument("--cache-dir",
                    help="artifact cache for synthetic workloads")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace incl. SU/EU busy intervals")
     p.set_defaults(func=_cmd_accelerate)
 
     p = sub.add_parser("experiments", help="regenerate paper exhibits")
@@ -308,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the vectorized extension kernels")
     p.add_argument("--stats-interval", type=float, default=10.0,
                    help="seconds between stats log lines (0 disables)")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace of request/batch/kernel "
+                        "spans at shutdown")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("loadgen",
@@ -334,7 +455,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero if p99 latency exceeds this")
     p.add_argument("--allow-errors", action="store_true",
                    help="do not fail the run on rejected/errored requests")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace of client request spans")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser("obs", help="tracing / metrics export utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "export", help="render a metrics snapshot as Prometheus text")
+    p.add_argument("--connect",
+                   help="host:port or unix:/path of a live server")
+    p.add_argument("--stats-json",
+                   help="saved stats JSON instead of a live server")
+    p.add_argument("--prefix", default=None,
+                   help="metric name prefix (default repro_)")
+    p.add_argument("--out", help="write here instead of stdout")
+    p.set_defaults(func=_cmd_obs_export)
+    p = obs_sub.add_parser(
+        "validate", help="check a Chrome trace file for well-formedness")
+    p.add_argument("trace", help="trace JSON path")
+    p.set_defaults(func=_cmd_obs_validate)
 
     p = sub.add_parser("lint",
                        help="run the determinism/concurrency analyzer")
@@ -368,6 +508,13 @@ def _validate(parser: argparse.ArgumentParser,
                 f"--concurrency must be >= 1, got {args.concurrency}")
         if not args.reads_file and not args.reference:
             parser.error("loadgen needs --reference or --reads-file")
+    if (getattr(args, "command", None) == "obs"
+            and getattr(args, "obs_command", None) == "export"):
+        if not args.connect and not args.stats_json:
+            parser.error("obs export needs --connect or --stats-json")
+        if args.connect and args.stats_json:
+            parser.error("obs export takes --connect or --stats-json, "
+                         "not both")
     if getattr(args, "command", None) == "serve":
         for name in ("max_batch", "queue_depth", "workers"):
             value = getattr(args, name)

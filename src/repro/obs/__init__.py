@@ -1,0 +1,64 @@
+"""Unified observability: span tracing + metrics exposition (``repro.obs``).
+
+The reproduction's visibility story was fragmented — the simulator had
+:mod:`repro.sim.trace`, the service had :mod:`repro.service.metrics`,
+and the pipeline had ad-hoc counters.  This package is the one substrate
+spanning all three layers:
+
+- :mod:`repro.obs.tracer` — hierarchical :class:`Tracer`/:func:`span`
+  (contextvars-based, thread- and asyncio-aware, no-op when disabled);
+- :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON export loadable
+  in Perfetto, a validator, and the bridge that renders simulator
+  :class:`~repro.sim.stats.UtilizationTrace` busy intervals on the same
+  timeline;
+- :mod:`repro.obs.prom` — Prometheus text exposition for
+  :class:`~repro.service.metrics.MetricsRegistry` snapshots.
+
+CLI surface: ``--trace-out FILE`` on ``repro align`` / ``repro
+accelerate`` / ``repro serve`` / ``repro loadgen``, plus ``repro obs
+export`` (metrics text format) and ``repro obs validate`` (trace file
+checker).  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.chrome import (
+    TraceValidationError,
+    chrome_trace,
+    span_index,
+    trace_problems,
+    utilization_events,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.prom import metric_name, prometheus_text
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    begin,
+    configure,
+    get_tracer,
+    instant,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "TraceValidationError",
+    "Tracer",
+    "begin",
+    "chrome_trace",
+    "configure",
+    "get_tracer",
+    "instant",
+    "metric_name",
+    "prometheus_text",
+    "span",
+    "span_index",
+    "trace_problems",
+    "tracing_enabled",
+    "utilization_events",
+    "validate_trace_file",
+    "write_chrome_trace",
+]

@@ -1,0 +1,222 @@
+"""Chrome ``trace_event`` JSON export, validation, and the sim bridge.
+
+The export format is the JSON Object Format of the Trace Event spec: a
+top-level object with a ``traceEvents`` list, loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Complete events
+(``ph: "X"``) carry microsecond ``ts``/``dur``; metadata events
+(``ph: "M"``) name processes and threads.
+
+Two producers share the format:
+
+- :class:`repro.obs.tracer.Tracer` spans (wall-clock microseconds), and
+- :func:`utilization_events`, which converts a simulator
+  :class:`~repro.sim.stats.UtilizationTrace` busy-interval log into one
+  timeline row per hardware unit (cycles scaled by the configured clock),
+  so Fig 12's busy intervals sit next to serving-request spans in the
+  same viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.tracer import Tracer
+
+#: Trace phases the validator accepts duration/ordering rules for.
+_DURATION_PHASES = ("X",)
+_KNOWN_PHASES = ("X", "B", "E", "i", "I", "M", "C")
+
+
+class TraceValidationError(ValueError):
+    """A trace file failed structural validation."""
+
+
+def chrome_trace(tracer: Tracer,
+                 extra_events: Optional[List[Dict[str, Any]]] = None,
+                 process_name: str = "repro") -> Dict[str, Any]:
+    """The tracer's buffered events as a Chrome trace object.
+
+    Events are sorted by ``ts`` so every per-``tid`` sequence is
+    monotonic, which is what the validator (and CI) check.  Metadata
+    events naming the process and each thread row come first.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "args": {"name": process_name},
+    }]
+    for tid, thread_name in sorted(tracer.thread_names().items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "ts": 0, "args": {"name": thread_name},
+        })
+    payload = sorted(tracer.events() + list(extra_events or []),
+                     key=lambda e: (e.get("pid", 0), e.get("ts", 0)))
+    for event in payload:
+        if event.get("ph") == "M":
+            events.insert(1, event)
+        else:
+            events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       extra_events: Optional[List[Dict[str, Any]]] = None,
+                       process_name: str = "repro") -> Dict[str, Any]:
+    """Serialize :func:`chrome_trace` to ``path``; returns the object."""
+    trace = chrome_trace(tracer, extra_events=extra_events,
+                         process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    return trace
+
+
+# --------------------------------------------------------------------- #
+# Simulator bridge
+# --------------------------------------------------------------------- #
+
+def utilization_events(trace: Any, pid: int = 1,
+                       process_name: Optional[str] = None,
+                       us_per_cycle: float = 0.001,
+                       cat: str = "sim") -> List[Dict[str, Any]]:
+    """Chrome events for a :class:`~repro.sim.stats.UtilizationTrace`.
+
+    One timeline row (``tid``) per hardware unit, one complete event per
+    busy interval.  ``us_per_cycle`` scales simulated cycles onto the
+    trace's microsecond axis (0.001 = a 1 GHz clock rendered in real
+    time).  Give each simulated configuration its own ``pid`` so NvWa
+    and the baseline appear as separate processes in the viewer.
+    """
+    if us_per_cycle <= 0:
+        raise ValueError(f"us_per_cycle must be positive, got {us_per_cycle}")
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+        "args": {"name": process_name or f"sim:{trace.name}"},
+    }]
+    for unit in range(trace.unit_count):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": unit,
+            "ts": 0, "args": {"name": f"{trace.name}[{unit}]"},
+        })
+    # Busy intervals keep no unit attribution once closed (the pool is
+    # homogeneous), so lay them out greedily: each interval goes to the
+    # first row that is free at its start cycle.  Rows never overlap,
+    # which is all the timeline rendering needs.
+    row_free = [0.0] * trace.unit_count
+    for start, end in sorted(trace.intervals()):
+        row = 0
+        for candidate in range(trace.unit_count):
+            if row_free[candidate] <= start:
+                row = candidate
+                break
+        else:
+            row = min(range(trace.unit_count), key=lambda r: row_free[r])
+        row_free[row] = end
+        events.append({
+            "name": "busy", "cat": cat, "ph": "X",
+            "ts": round(start * us_per_cycle, 3),
+            "dur": round((end - start) * us_per_cycle, 3),
+            "pid": pid, "tid": row,
+            "args": {"start_cycle": start, "end_cycle": end},
+        })
+    return events
+
+
+# --------------------------------------------------------------------- #
+# Validation (used by tests, `repro obs validate`, and CI)
+# --------------------------------------------------------------------- #
+
+def trace_problems(trace: Union[Dict[str, Any], List[Any]]) -> List[str]:
+    """Structural problems in a parsed trace object; empty = valid.
+
+    Checks the properties CI pins: a non-empty ``traceEvents`` list,
+    required fields per phase, and monotonically non-decreasing ``ts``
+    within each ``(pid, tid)`` row.
+    """
+    problems: List[str] = []
+    if isinstance(trace, dict):
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no traceEvents list"]
+    elif isinstance(trace, list):
+        events = trace
+    else:
+        return [f"trace must be an object or array, got {type(trace).__name__}"]
+    real_events = 0
+    last_ts: Dict[Any, float] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            continue
+        real_events += 1
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts must be numeric, got {ts!r}")
+            continue
+        if ts < 0:
+            problems.append(f"{where}: negative ts {ts}")
+        if phase in _DURATION_PHASES:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs a non-negative dur")
+        key = (event.get("pid", 0), event.get("tid", 0))
+        if key in last_ts and ts < last_ts[key]:
+            problems.append(
+                f"{where}: ts {ts} goes backwards within pid/tid {key} "
+                f"(previous {last_ts[key]})")
+        last_ts[key] = max(ts, last_ts.get(key, ts))
+    if real_events == 0:
+        problems.append("trace contains no non-metadata events")
+    return problems
+
+
+def validate_trace_file(path: str) -> Dict[str, Any]:
+    """Load ``path`` and validate it; returns the parsed trace.
+
+    Raises:
+        TraceValidationError: unparsable JSON or structural problems.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceValidationError(f"{path}: {exc}") from exc
+    problems = trace_problems(trace)
+    if problems:
+        preview = "; ".join(problems[:5])
+        raise TraceValidationError(
+            f"{path}: {len(problems)} problem(s): {preview}")
+    return trace
+
+
+def span_index(trace: Union[Dict[str, Any], List[Any]]
+               ) -> Dict[int, Dict[str, Any]]:
+    """Map of ``span_id`` -> event for every span-carrying event."""
+    events = trace.get("traceEvents", []) if isinstance(trace, dict) \
+        else trace
+    out: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        span_id = (event.get("args") or {}).get("span_id")
+        if isinstance(span_id, int):
+            out[span_id] = event
+    return out

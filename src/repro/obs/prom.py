@@ -1,0 +1,78 @@
+"""Prometheus text exposition for :class:`~repro.service.metrics.MetricsRegistry`.
+
+Renders the registry's atomic snapshot — the same object the ``stats``
+protocol request returns — in the Prometheus text format (version
+0.0.4): counters and gauges as single samples, histograms as summaries
+with ``quantile`` labels plus exact ``_sum``/``_count`` series.  Working
+from the snapshot keeps this format-only: it serves equally from a live
+registry (``repro obs export --connect``) and from a saved ``stats``
+JSON file, with no scrape server required.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+#: Every emitted series is namespaced to avoid colliding with other jobs.
+DEFAULT_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+#: The quantiles a histogram summary exposes (matches ``Histogram.summary``).
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def metric_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """A Prometheus-legal series name: dots and dashes become ``_``."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(cleaned):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: Dict[str, Any],
+                    prefix: str = DEFAULT_PREFIX) -> str:
+    """The exposition document for one registry snapshot.
+
+    Accepts the dict shape of ``MetricsRegistry.snapshot()``:
+    ``{"counters": {...}, "gauges": {...}, "histograms": {name:
+    summary}}``.  Unknown sections are ignored so the function tolerates
+    snapshots embedded in larger ``stats`` payloads.
+    """
+    lines = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        series = metric_name(name, prefix)
+        lines.append(f"# TYPE {series} counter")
+        lines.append(f"{series} {_format_value(value)}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        series = metric_name(name, prefix)
+        lines.append(f"# TYPE {series} gauge")
+        lines.append(f"{series} {_format_value(value)}")
+    for name, summary in sorted((snapshot.get("histograms") or {}).items()):
+        series = metric_name(name, prefix)
+        lines.append(f"# TYPE {series} summary")
+        for quantile, key in SUMMARY_QUANTILES:
+            if key in summary:
+                lines.append(f'{series}{{quantile="{quantile}"}} '
+                             f"{_format_value(summary[key])}")
+        count = summary.get("count", 0)
+        total = summary.get("sum")
+        if total is None:
+            # Older snapshots carry only the mean; reconstruct the sum.
+            total = float(summary.get("mean", 0.0)) * count
+        lines.append(f"{series}_sum {_format_value(total)}")
+        lines.append(f"{series}_count {_format_value(count)}")
+        if "max" in summary:
+            lines.append(f"# TYPE {series}_max gauge")
+            lines.append(f"{series}_max {_format_value(summary['max'])}")
+    return "\n".join(lines) + "\n" if lines else ""

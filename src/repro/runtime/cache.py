@@ -28,6 +28,8 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
+from repro import obs
+
 #: Bump to invalidate every existing cache entry when the on-disk artifact
 #: representations change incompatibly.
 CACHE_SCHEMA_VERSION = 1
@@ -130,6 +132,7 @@ class ArtifactCache:
         path = self.path_for(kind, params)
         if not os.path.exists(path):
             self.stats.misses += 1
+            obs.instant("cache_miss", "runtime", kind=kind)
             return None, False
         try:
             with open(path, "rb") as handle:
@@ -143,12 +146,14 @@ class ArtifactCache:
             # unusable; fall back to rebuild rather than propagate.
             self.stats.corrupt += 1
             self.stats.misses += 1
+            obs.instant("cache_corrupt", "runtime", kind=kind)
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None, False
         self.stats.hits += 1
+        obs.instant("cache_hit", "runtime", kind=kind)
         return artifact, True
 
     def store(self, kind: str, params: Dict[str, Any],
@@ -179,7 +184,8 @@ class ArtifactCache:
         artifact, hit = self.load(kind, params)
         if hit:
             return artifact, True
-        artifact = builder()
+        with obs.span("cache_build", "runtime", kind=kind):
+            artifact = builder()
         self.store(kind, params, artifact)
         return artifact, False
 

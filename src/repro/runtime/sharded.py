@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.accelerator import AssignmentQuality, NvWaAccelerator
 from repro.core.config import NvWaConfig
 from repro.core.workload import ReadTask, Workload
@@ -229,16 +230,24 @@ class ShardedRunner:
         payloads = [(shard_id, self.config,
                      tuple(workload.tasks[start:end]), max_cycles)
                     for shard_id, (start, end) in enumerate(plan.bounds())]
-        if self.parallelism == 1 or len(payloads) <= 1:
-            shard_results = [_simulate_shard(p) for p in payloads]
-        else:
-            workers = min(self.parallelism, len(payloads))
-            ctx = _pool_context(self.mp_context)
-            with ctx.Pool(processes=workers) as pool:
-                shard_results = list(
-                    pool.imap_unordered(_simulate_shard, payloads))
-        shard_results.sort(key=lambda r: r.shard_id)
-        return self._merge(shard_results)
+        with obs.span("sharded_sim", "runtime", shards=len(payloads),
+                      parallelism=self.parallelism):
+            if self.parallelism == 1 or len(payloads) <= 1:
+                shard_results = []
+                for payload in payloads:
+                    with obs.span("sim_shard", "runtime",
+                                  shard_id=payload[0],
+                                  reads=len(payload[2])):
+                        shard_results.append(_simulate_shard(payload))
+            else:
+                workers = min(self.parallelism, len(payloads))
+                ctx = _pool_context(self.mp_context)
+                with ctx.Pool(processes=workers) as pool:
+                    shard_results = list(
+                        pool.imap_unordered(_simulate_shard, payloads))
+            shard_results.sort(key=lambda r: r.shard_id)
+            with obs.span("merge", "runtime"):
+                return self._merge(shard_results)
 
     def _merge(self, shards: List[_SimShardResult]) -> ShardedReport:
         cycles = sum(s.cycles for s in shards)
@@ -316,24 +325,28 @@ class ShardedRunner:
         aligner_kwargs = dict(aligner_kwargs or {})
         plan = ShardPlan(total=len(reads), shard_size=self.shard_size)
         bounds = plan.bounds()
-        if self.parallelism == 1 or len(bounds) <= 1:
-            aligner = SoftwareAligner(reference, **aligner_kwargs)
-            return aligner.align_all(reads, batch_extension=batch_extension,
-                                     max_batch=max_batch)
-        payloads = [(shard_id, start, list(reads[start:end]))
-                    for shard_id, (start, end) in enumerate(bounds)]
-        workers = min(self.parallelism, len(payloads))
-        ctx = _pool_context(self.mp_context)
-        with ctx.Pool(processes=workers,
-                      initializer=_init_align_worker,
-                      initargs=(reference, aligner_kwargs,
-                                batch_extension, max_batch)) as pool:
-            shard_results = list(pool.imap_unordered(_align_shard, payloads))
-        shard_results.sort(key=lambda item: item[0])
-        merged: List[Any] = []
-        for _, results in shard_results:
-            merged.extend(results)
-        return merged
+        with obs.span("sharded_align", "runtime", reads=len(reads),
+                      shards=len(bounds), parallelism=self.parallelism):
+            if self.parallelism == 1 or len(bounds) <= 1:
+                aligner = SoftwareAligner(reference, **aligner_kwargs)
+                return aligner.align_all(reads,
+                                         batch_extension=batch_extension,
+                                         max_batch=max_batch)
+            payloads = [(shard_id, start, list(reads[start:end]))
+                        for shard_id, (start, end) in enumerate(bounds)]
+            workers = min(self.parallelism, len(payloads))
+            ctx = _pool_context(self.mp_context)
+            with ctx.Pool(processes=workers,
+                          initializer=_init_align_worker,
+                          initargs=(reference, aligner_kwargs,
+                                    batch_extension, max_batch)) as pool:
+                shard_results = list(
+                    pool.imap_unordered(_align_shard, payloads))
+            shard_results.sort(key=lambda item: item[0])
+            merged: List[Any] = []
+            for _, results in shard_results:
+                merged.extend(results)
+            return merged
 
 
 def default_parallelism() -> int:

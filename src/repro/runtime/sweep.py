@@ -43,11 +43,14 @@ class SweepResult:
         return self.eu_utilization * self.eu_pe_efficiency
 
 
-def _evaluate(payload: Tuple[int, NvWaConfig, Workload, Optional[int]]
-              ) -> Tuple[int, SweepResult]:
-    job_id, config, workload, max_cycles = payload
-    report = NvWaAccelerator(config).run(workload, max_cycles=max_cycles)
-    return job_id, SweepResult(
+def summarize(report) -> SweepResult:
+    """:class:`SweepResult` from a full simulation report.
+
+    Shared by the sweep workers and by callers that keep the full report
+    around (e.g. the CLI's trace export, which needs the utilization
+    traces the summary discards).
+    """
+    return SweepResult(
         cycles=report.cycles,
         reads=report.reads,
         hits_processed=report.hits_processed,
@@ -56,6 +59,13 @@ def _evaluate(payload: Tuple[int, NvWaConfig, Workload, Optional[int]]
         eu_utilization=report.eu_utilization,
         eu_pe_efficiency=report.eu_pe_efficiency,
     )
+
+
+def _evaluate(payload: Tuple[int, NvWaConfig, Workload, Optional[int]]
+              ) -> Tuple[int, SweepResult]:
+    job_id, config, workload, max_cycles = payload
+    report = NvWaAccelerator(config).run(workload, max_cycles=max_cycles)
+    return job_id, summarize(report)
 
 
 def simulate_many(jobs: Sequence[SimJob],

@@ -35,6 +35,7 @@ from typing import Any, Callable, Deque, Optional
 
 from collections import deque
 
+from repro import obs
 from repro.service.metrics import MetricsRegistry
 
 #: Default knobs: a full extension-kernel batch, and a wait bound that is
@@ -54,12 +55,17 @@ class ServiceClosedError(RuntimeError):
 
 @dataclass
 class WorkItem:
-    """One queued request with its completion future and queue timestamps."""
+    """One queued request with its completion future and queue timestamps.
+
+    ``span_id`` carries the submitter's request-span id (0 when tracing
+    is off) so batch spans can reference every member request.
+    """
 
     request: Any
     future: "asyncio.Future[Any]"
     enqueued_at: float
     dequeued_at: float = 0.0
+    span_id: int = 0
 
     @property
     def abandoned(self) -> bool:
@@ -136,7 +142,8 @@ class DynamicBatcher:
     def closed(self) -> bool:
         return self._closed
 
-    def submit(self, request: Any) -> "asyncio.Future[Any]":
+    def submit(self, request: Any,
+               span_id: int = 0) -> "asyncio.Future[Any]":
         """Admit one request; returns the future its result resolves.
 
         Raises:
@@ -149,12 +156,14 @@ class DynamicBatcher:
             self.stats.rejected += 1
             if self.metrics is not None:
                 self.metrics.inc("rejected_total")
+            obs.instant("request_rejected", "service")
             raise ServiceOverloadedError(
                 f"queue at capacity ({self.queue_depth} waiting)")
         future: "asyncio.Future[Any]" = \
             asyncio.get_running_loop().create_future()
         self._queue.append(WorkItem(request=request, future=future,
-                                    enqueued_at=self._clock()))
+                                    enqueued_at=self._clock(),
+                                    span_id=span_id))
         self.stats.submitted += 1
         self._note_depth()
         self._arrival.set()
@@ -197,6 +206,7 @@ class DynamicBatcher:
         first = await self._next_live_item()
         if first is None:
             return None
+        form_span = obs.begin("batch_form", "service")
         batch = [first]
         deadline = first.dequeued_at + self.max_wait_s
         while len(batch) < self.max_batch:
@@ -219,6 +229,9 @@ class DynamicBatcher:
         if self.metrics is not None:
             self.metrics.observe("batch_size", float(len(batch)))
         self._note_depth()
+        form_span.end(size=len(batch),
+                      request_spans=[item.span_id for item in batch
+                                     if item.span_id])
         return batch
 
     async def _next_live_item(self) -> Optional[WorkItem]:
@@ -243,6 +256,8 @@ class DynamicBatcher:
                 self.stats.abandoned_items += 1
                 if self.metrics is not None:
                     self.metrics.inc("abandoned_total")
+                self._note_depth()
+                obs.instant("request_abandoned", "service")
                 continue
             item.dequeued_at = self._clock()
             return item

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.align.paired import PairedAligner
 from repro.align.pipeline import SoftwareAligner
 from repro.align.sam import sam_record
@@ -81,21 +82,26 @@ class AlignmentEngine:
                    if req.type == TYPE_ALIGN]
         payloads: List[Optional[Dict[str, Any]]] = [None] * len(requests)
 
-        if singles:
-            reads = [req.reads[0] for _, req in singles]
-            results = self.aligner.align_all(
-                reads, batch_extension=self.batch_extension,
-                max_batch=self.max_batch)
-            for (idx, _), result in zip(singles, results):
-                payloads[idx] = {
-                    "sam": [sam_record(result, self.reference)],
-                    "mapped": result.aligned,
-                }
+        with obs.span("engine_execute", "service", size=len(requests),
+                      singles=len(singles),
+                      pairs=len(requests) - len(singles)):
+            if singles:
+                reads = [req.reads[0] for _, req in singles]
+                results = self.aligner.align_all(
+                    reads, batch_extension=self.batch_extension,
+                    max_batch=self.max_batch)
+                with obs.span("sam_emit", "pipeline",
+                              records=len(results)):
+                    for (idx, _), result in zip(singles, results):
+                        payloads[idx] = {
+                            "sam": [sam_record(result, self.reference)],
+                            "mapped": result.aligned,
+                        }
 
-        for idx, req in enumerate(requests):
-            if req.type != TYPE_ALIGN_PAIR:
-                continue
-            payloads[idx] = self._execute_pair(req)
+            for idx, req in enumerate(requests):
+                if req.type != TYPE_ALIGN_PAIR:
+                    continue
+                payloads[idx] = self._execute_pair(req)
 
         missing = [i for i, p in enumerate(payloads) if p is None]
         if missing:

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.genome.pairs import PairedReadSimulator
 from repro.genome.reads import Read, ReadSimulator
 from repro.genome.reference import ReferenceGenome
@@ -209,6 +210,9 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
 
     async def issue(spec: RequestSpec) -> None:
         started = time.monotonic()
+        span = obs.begin("client_request", "loadgen",
+                         read_id=spec.reads[0].read_id,
+                         pair=spec.is_pair)
         try:
             if spec.is_pair:
                 response = await client.align_pair(spec.reads[0],
@@ -217,16 +221,19 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
                 response = await client.align(spec.reads[0])
         except ServiceError as exc:
             report.errors[exc.code] = report.errors.get(exc.code, 0) + 1
+            span.end(outcome=exc.code)
             return
         except (ConnectionError, OSError):
             report.errors["connection"] = \
                 report.errors.get("connection", 0) + 1
+            span.end(outcome="connection")
             return
         report.latencies_s.append(time.monotonic() - started)
         report.completed += 1
         report.sam_lines += len(response.get("sam", []))
         if response.get("mapped"):
             report.mapped += 1
+        span.end(outcome="ok")
 
     started = time.monotonic()
     try:

@@ -6,6 +6,16 @@ queue depth, batch occupancy, and latency percentiles. This module keeps
 them in a single :class:`MetricsRegistry` that the server samples for the
 ``stats`` protocol request and for its periodic log line.
 
+Thread-safety model: every instrument is **self-locking** — its mutators
+and readers hold a per-instrument lock — so the handles
+:meth:`MetricsRegistry.counter`/:meth:`~MetricsRegistry.gauge`/
+:meth:`~MetricsRegistry.histogram` return are safe to mutate directly
+from any thread (the engine runs in executor threads while the event
+loop updates queue metrics).  The registry's own lock only guards the
+name → instrument maps, so a convenience mutator like
+:meth:`MetricsRegistry.inc` takes each lock once, never the registry
+lock twice.
+
 Histograms record exact samples in a bounded ring (newest
 ``window`` samples) plus lifetime count/sum, so percentiles reflect
 recent behaviour while totals stay exact. Everything is plain Python and
@@ -17,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 #: Default sample window for percentile estimation.
 DEFAULT_WINDOW = 4096
@@ -44,79 +54,137 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (self-locking)."""
+
+    __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
-        self.value = 0
+        self._lock = threading.Lock()
+        self._value = 0
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
 
 
 class Gauge:
-    """An instantaneous level (queue depth, in-flight, connections)."""
+    """An instantaneous level (queue depth, in-flight, connections).
+
+    Self-locking, so concurrent ``inc``/``dec`` from different threads
+    never lose updates.
+    """
+
+    __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
-        self.value = 0
+        self._lock = threading.Lock()
+        self._value = 0
 
     def set(self, value: int) -> None:
-        self.value = value
+        with self._lock:
+            self._value = value
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: int = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
 
 
 class Histogram:
     """Lifetime count/sum plus a bounded window of recent samples.
 
     Percentiles are computed over the window (the behaviour an operator
-    watches); ``mean`` is lifetime-exact.
+    watches); ``mean`` is lifetime-exact.  Self-locking: ``observe`` and
+    the readers serialize on a per-histogram lock.
     """
+
+    __slots__ = ("_lock", "_count", "_total", "_max", "_samples")
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
         self._samples: Deque[float] = deque(maxlen=window)
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value > self.max:
-            self.max = value
-        self._samples.append(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        return percentile(list(self._samples), q)
+        with self._lock:
+            samples = list(self._samples)
+        return percentile(samples, q)
 
     def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count = self._count
+            total = self._total
+            maximum = self._max
+            samples = list(self._samples)
         return {
-            "count": self.count,
-            "mean": round(self.mean, 6),
-            "max": round(self.max, 6),
-            "p50": round(self.quantile(0.50), 6),
-            "p95": round(self.quantile(0.95), 6),
-            "p99": round(self.quantile(0.99), 6),
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count if count else 0.0, 6),
+            "max": round(maximum, 6),
+            "p50": round(percentile(samples, 0.50), 6),
+            "p95": round(percentile(samples, 0.95), 6),
+            "p99": round(percentile(samples, 0.99), 6),
         }
+
+
+#: The histogram summary keys ``format_line`` renders, in order.
+_LINE_QUANTILES = ("p50", "p99")
 
 
 class MetricsRegistry:
     """All serving metrics, named on demand and snapshot atomically.
 
-    Thread-safe: the engine runs in executor threads while the event loop
-    updates queue metrics, so every mutation takes the registry lock (the
-    operations are tiny; contention is negligible at service rates).
+    Thread-safe: instruments lock themselves (see the module docstring),
+    and the registry lock only protects the name → instrument maps, so
+    handles obtained once can be mutated forever without touching the
+    registry again.
     """
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
@@ -149,48 +217,54 @@ class MetricsRegistry:
     # -- convenience mutators ------------------------------------------ #
 
     def inc(self, name: str, amount: int = 1) -> None:
-        counter = self.counter(name)
-        with self._lock:
-            counter.inc(amount)
+        self.counter(name).inc(amount)
 
     def set_gauge(self, name: str, value: int) -> None:
-        gauge = self.gauge(name)
-        with self._lock:
-            gauge.set(value)
+        self.gauge(name).set(value)
 
     def observe(self, name: str, value: float) -> None:
-        histogram = self.histogram(name)
-        with self._lock:
-            histogram.observe(value)
+        self.histogram(name).observe(value)
 
     # -- snapshots ------------------------------------------------------ #
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready view: counters, gauges, histogram summaries."""
         with self._lock:
-            return {
-                "counters": {name: c.value
-                             for name, c in sorted(self._counters.items())},
-                "gauges": {name: g.value
-                           for name, g in sorted(self._gauges.items())},
-                "histograms": {name: h.summary()
-                               for name, h in
-                               sorted(self._histograms.items())},
-            }
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        return {
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.summary() for name, h in histograms},
+        }
+
+    def prometheus_text(self, prefix: Optional[str] = None) -> str:
+        """This registry's snapshot in Prometheus text exposition format."""
+        from repro.obs.prom import DEFAULT_PREFIX, prometheus_text
+        return prometheus_text(self.snapshot(),
+                               prefix=DEFAULT_PREFIX if prefix is None
+                               else prefix)
 
     def format_line(self, names: Optional[List[str]] = None) -> str:
-        """One compact log line for the periodic stats logger."""
+        """One compact log line for the periodic stats logger.
+
+        ``names`` filters on the *metric* name (``latency_s`` keeps both
+        ``latency_s.p50`` and ``latency_s.p99``); filtering tracks each
+        part's source metric explicitly, so names containing ``.p`` or
+        ``=`` can never be mis-split.
+        """
         snap = self.snapshot()
-        parts: List[str] = []
+        parts: List[Tuple[str, str]] = []
         for name, value in snap["counters"].items():  # type: ignore[union-attr]
-            parts.append(f"{name}={value}")
+            parts.append((name, f"{name}={value}"))
         for name, value in snap["gauges"].items():  # type: ignore[union-attr]
-            parts.append(f"{name}={value}")
+            parts.append((name, f"{name}={value}"))
         for name, summ in snap["histograms"].items():  # type: ignore[union-attr]
-            parts.append(f"{name}.p50={summ['p50']:.3f}")
-            parts.append(f"{name}.p99={summ['p99']:.3f}")
+            for quantile in _LINE_QUANTILES:
+                parts.append((name,
+                              f"{name}.{quantile}={summ[quantile]:.3f}"))
         if names is not None:
             wanted = set(names)
-            parts = [p for p in parts if p.split("=")[0].split(".p")[0]
-                     in wanted]
-        return " ".join(parts)
+            parts = [(name, text) for name, text in parts if name in wanted]
+        return " ".join(text for _, text in parts)

@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set
 
+from repro import obs
 from repro.genome.reference import ReferenceGenome
 from repro.service.batcher import (
     DynamicBatcher,
@@ -282,29 +283,40 @@ class AlignmentServer:
                 else "align_requests_total")
         self.metrics.inc(kind)
         assert self._batcher is not None
+        # The request span covers the whole lifecycle (enqueue → batch
+        # formation → kernel → respond); it is detached because those
+        # stages hop between tasks, and linked to its batch by span id.
+        req_span = obs.begin("request", "service",
+                             request_id=request.request_id,
+                             type=request.type)
         try:
-            future = self._batcher.submit(request)
+            future = self._batcher.submit(request,
+                                          span_id=req_span.span_id)
         except ServiceOverloadedError as exc:
             self.metrics.inc("errors_total")
+            req_span.end(outcome=ERR_OVERLOADED)
             await self._write(conn, error_response(
                 request.request_id, ERR_OVERLOADED, str(exc)))
             return
         except ServiceClosedError as exc:
             self.metrics.inc("errors_total")
+            req_span.end(outcome=ERR_SHUTTING_DOWN)
             await self._write(conn, error_response(
                 request.request_id, ERR_SHUTTING_DOWN, str(exc)))
             return
         self.metrics.gauge("in_flight").inc()
         task = asyncio.ensure_future(
             self._respond(conn, request.request_id, future,
-                          time.monotonic()))
+                          time.monotonic(), req_span))
         self._response_tasks.add(task)
         task.add_done_callback(self._response_tasks.discard)
 
     async def _respond(self, conn: _Connection, request_id: str,
                        future: "asyncio.Future[Dict[str, Any]]",
-                       submitted_at: float) -> None:
+                       submitted_at: float,
+                       req_span: Any = obs.NULL_SPAN) -> None:
         timeout = self.config.request_timeout_s or None
+        outcome = "ok"
         try:
             payload = await asyncio.wait_for(future, timeout)
             line = success_response(request_id, **payload)
@@ -312,6 +324,7 @@ class AlignmentServer:
         except asyncio.TimeoutError:
             self.metrics.inc("timeouts_total")
             self.metrics.inc("errors_total")
+            outcome = ERR_TIMEOUT
             line = error_response(
                 request_id, ERR_TIMEOUT,
                 f"deadline of {self.config.request_timeout_s}s exceeded")
@@ -319,12 +332,25 @@ class AlignmentServer:
             self.metrics.inc("errors_total")
             code = (ERR_SHUTTING_DOWN if isinstance(exc, ServiceClosedError)
                     else ERR_INTERNAL)
+            outcome = code
             line = error_response(request_id, code, str(exc))
         finally:
             self.metrics.gauge("in_flight").dec()
             self.metrics.observe("latency_s",
                                  time.monotonic() - submitted_at)
+        respond_span = self._tracer_begin("respond", parent=req_span)
         await self._write(conn, line)
+        respond_span.end()
+        req_span.end(outcome=outcome)
+
+    @staticmethod
+    def _tracer_begin(name: str, parent: Any) -> Any:
+        """A detached child span of ``parent`` (no-op when disabled)."""
+        tracer = obs.get_tracer()
+        if not tracer.enabled:
+            return obs.NULL_SPAN
+        return tracer.begin(name, "service",
+                            parent_id=parent.span_id or None)
 
     async def _write(self, conn: _Connection, line: str) -> None:
         try:
@@ -355,6 +381,14 @@ class AlignmentServer:
             requests = [item.request for item in items]
             started = time.monotonic()
             payloads = None
+            # The kernel span is the batch's execution window; it names
+            # every member request span so the timeline links a batch to
+            # the requests it retired (the Perfetto-clickable analogue
+            # of NvWa's unit-occupancy attribution).
+            kernel_span = obs.begin(
+                "kernel", "service", worker=worker_id, size=len(items),
+                request_spans=[item.span_id for item in items
+                               if item.span_id])
             for attempt in range(self.config.max_retries + 1):
                 try:
                     if engine is None:
@@ -376,6 +410,7 @@ class AlignmentServer:
             self.metrics.inc("batches_total")
             self.metrics.observe("batch_exec_s",
                                  time.monotonic() - started)
+            kernel_span.end()
             for item, payload in zip(items, payloads):
                 if item.future.done():
                     continue  # abandoned (timeout) while we computed

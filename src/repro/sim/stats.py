@@ -58,6 +58,15 @@ class UtilizationTrace:
         for unit in list(self._open):
             self.end(unit, cycle)
 
+    def intervals(self) -> List[Tuple[int, int]]:
+        """Closed ``(start, end)`` busy intervals, in ``end()``-call order.
+
+        Note the ordering: intervals are appended when a unit goes idle,
+        so with several units in flight the list is *not* sorted by end
+        cycle (the trap the old ``series()`` fell into).
+        """
+        return list(self._intervals)
+
     @property
     def busy_cycles(self) -> int:
         return sum(end - start for start, end in self._intervals)
@@ -80,6 +89,9 @@ class UtilizationTrace:
             return np.zeros(bins)
         edges = np.linspace(0, total_cycles, bins + 1)
         busy = np.zeros(bins)
+        # _intervals is ordered by end()-call time, not by end cycle, so
+        # an interval past total_cycles says nothing about later entries:
+        # clip every interval to the window instead of stopping early.
         for s, e in self._intervals:
             lo = np.searchsorted(edges, s, side="right") - 1
             hi = np.searchsorted(edges, e, side="left")
@@ -87,8 +99,6 @@ class UtilizationTrace:
                 overlap = min(e, edges[b + 1]) - max(s, edges[b])
                 if overlap > 0:
                     busy[b] += overlap
-            if e > total_cycles:
-                break
         widths = np.diff(edges)
         return busy / (widths * self.unit_count)
 

@@ -1,0 +1,88 @@
+"""Prometheus text exposition of metrics snapshots."""
+
+from repro.obs.prom import metric_name, prometheus_text
+from repro.service.metrics import MetricsRegistry
+
+
+class TestMetricName:
+    def test_dots_and_dashes_sanitized(self):
+        assert metric_name("latency_s.p50") == "repro_latency_s_p50"
+        assert metric_name("queue-depth") == "repro_queue_depth"
+
+    def test_custom_prefix(self):
+        assert metric_name("x", prefix="svc_") == "svc_x"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("9lives", prefix="") == "_9lives"
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        text = prometheus_text({"counters": {"requests_total": 5},
+                                "gauges": {"queue_depth": 2}})
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 5" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_as_summary(self):
+        snapshot = {"histograms": {"latency_s": {
+            "count": 4, "sum": 2.0, "mean": 0.5, "max": 1.0,
+            "p50": 0.4, "p95": 0.9, "p99": 0.99}}}
+        text = prometheus_text(snapshot)
+        assert "# TYPE repro_latency_s summary" in text
+        assert 'repro_latency_s{quantile="0.5"} 0.4' in text
+        assert 'repro_latency_s{quantile="0.95"} 0.9' in text
+        assert 'repro_latency_s{quantile="0.99"} 0.99' in text
+        assert "repro_latency_s_sum 2.0" in text
+        assert "repro_latency_s_count 4" in text
+        assert "repro_latency_s_max 1.0" in text
+
+    def test_sum_reconstructed_from_mean_for_old_snapshots(self):
+        snapshot = {"histograms": {"h": {"count": 4, "mean": 0.5,
+                                         "p50": 0.5}}}
+        text = prometheus_text(snapshot)
+        assert "repro_h_sum 2.0" in text
+
+    def test_empty_snapshot(self):
+        assert prometheus_text({}) == ""
+
+    def test_tolerates_stats_payload_extras(self):
+        text = prometheus_text({"counters": {"a": 1},
+                                "uptime_s": 12.5,
+                                "batcher": {"submitted": 3}})
+        assert "repro_a 1" in text
+        assert "uptime" not in text
+
+    def test_registry_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 3)
+        registry.set_gauge("in_flight", 1)
+        for value in (0.1, 0.2, 0.3, 0.4):
+            registry.observe("latency_s", value)
+        text = registry.prometheus_text()
+        assert "repro_requests_total 3" in text
+        assert "repro_in_flight 1" in text
+        assert "repro_latency_s_count 4" in text
+        assert "repro_latency_s_sum 1.0" in text
+
+    def test_registry_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        assert "svc_x 1" in registry.prometheus_text(prefix="svc_")
+
+    def test_each_series_parses(self):
+        """Every sample line must be `name{labels} value` shaped."""
+        registry = MetricsRegistry()
+        registry.inc("requests_total")
+        registry.observe("latency_s", 0.5)
+        for line in registry.prometheus_text().strip().splitlines():
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[1] == "TYPE"
+                assert parts[3] in ("counter", "gauge", "summary")
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name[0].isalpha() or name[0] == "_"

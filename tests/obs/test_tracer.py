@@ -1,0 +1,231 @@
+"""Span tracer: nesting, concurrency-awareness, and disabled overhead."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """Deterministic microsecond-resolution clock for tracer tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", "test", size=3):
+            clock.advance(0.001)
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(0.0)
+        assert event["dur"] == pytest.approx(1000.0)
+        assert event["args"]["size"] == 3
+        assert event["args"]["span_id"] > 0
+
+    def test_nested_spans_record_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer", "t") as outer:
+            with tracer.span("inner", "t") as inner:
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert "parent_id" not in by_name["outer"]["args"]
+        assert by_name["inner"]["args"]["parent_id"] == outer.span_id
+        assert by_name["inner"]["args"]["span_id"] == inner.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer", "t") as outer:
+            with tracer.span("a", "t"):
+                pass
+            with tracer.span("b", "t"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert by_name["a"]["args"]["parent_id"] == outer.span_id
+        assert by_name["b"]["args"]["parent_id"] == outer.span_id
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("boom", "t"):
+                raise KeyError("x")
+        (event,) = tracer.events()
+        assert event["args"]["error"] == "KeyError"
+
+    def test_set_args_and_end_args(self):
+        tracer = Tracer()
+        with tracer.span("work", "t") as span:
+            span.set_args(mapped=7)
+        (event,) = tracer.events()
+        assert event["args"]["mapped"] == 7
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.begin("once", "t")
+        span.end()
+        span.end()
+        assert len(tracer.events()) == 1
+
+    def test_detached_begin_does_not_become_ambient_parent(self):
+        tracer = Tracer()
+        detached = tracer.begin("request", "t")
+        with tracer.span("unrelated", "t"):
+            pass
+        detached.end()
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert "parent_id" not in by_name["unrelated"]["args"]
+
+    def test_begin_with_explicit_parent(self):
+        tracer = Tracer()
+        parent = tracer.begin("request", "t")
+        child = tracer.begin("respond", "t", parent_id=parent.span_id)
+        child.end()
+        parent.end()
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert by_name["respond"]["args"]["parent_id"] == parent.span_id
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        with tracer.span("outer", "t") as outer:
+            tracer.instant("cache_hit", "t", kind="genome")
+        hit = [e for e in tracer.events() if e["name"] == "cache_hit"][0]
+        assert hit["ph"] == "i"
+        assert hit["args"]["kind"] == "genome"
+        assert hit["args"]["parent_id"] == outer.span_id
+
+
+class TestConcurrency:
+    def test_asyncio_tasks_get_independent_parents(self):
+        tracer = Tracer()
+
+        async def task(name):
+            with tracer.span(name, "t"):
+                await asyncio.sleep(0.001)
+                with tracer.span(f"{name}.child", "t"):
+                    await asyncio.sleep(0.001)
+
+        async def main():
+            await asyncio.gather(task("t1"), task("t2"))
+
+        asyncio.run(main())
+        by_name = {e["name"]: e for e in tracer.events()}
+        for name in ("t1", "t2"):
+            assert (by_name[f"{name}.child"]["args"]["parent_id"]
+                    == by_name[name]["args"]["span_id"])
+
+    def test_threads_get_independent_parents_and_tids(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name, "t"):
+                barrier.wait()
+                with tracer.span(f"{name}.child", "t"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"w{i}",),
+                                    name=f"worker-{i}")
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_name = {e["name"]: e for e in tracer.events()}
+        for name in ("w0", "w1"):
+            assert (by_name[f"{name}.child"]["args"]["parent_id"]
+                    == by_name[name]["args"]["span_id"])
+        assert by_name["w0"]["tid"] != by_name["w1"]["tid"]
+        assert set(tracer.thread_names().values()) == \
+            {"worker-0", "worker-1"}
+
+    def test_concurrent_recording_drops_nothing(self):
+        tracer = Tracer()
+
+        def work():
+            for i in range(200):
+                with tracer.span("w", "t", i=i):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.events()) == 800
+        ids = [e["args"]["span_id"] for e in tracer.events()]
+        assert len(set(ids)) == 800
+
+
+class TestCapacityAndDisabled:
+    def test_capacity_bounds_buffer_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span("s", "t", i=i):
+                pass
+        assert len(tracer.events()) == 3
+        assert tracer.dropped == 2
+        tracer.clear()
+        assert len(tracer.events()) == 0
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_disabled_tracer_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x", "t") is NULL_SPAN
+        assert tracer.begin("x", "t") is NULL_SPAN
+        tracer.instant("x", "t")
+        assert len(tracer.events()) == 0
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_args(a=1)
+            span.end(b=2)
+        assert NULL_SPAN.span_id == 0
+
+
+class TestGlobalTracer:
+    @pytest.fixture(autouse=True)
+    def _reset_global(self):
+        yield
+        obs.configure(enabled=False)
+
+    def test_disabled_by_default_helpers_are_noops(self):
+        obs.configure(enabled=False)
+        assert not obs.tracing_enabled()
+        assert obs.span("x", "t") is NULL_SPAN
+        assert obs.begin("x", "t") is NULL_SPAN
+        obs.instant("x", "t")
+        assert len(obs.get_tracer().events()) == 0
+
+    def test_configure_enables_and_resets(self):
+        tracer = obs.configure(enabled=True)
+        assert obs.get_tracer() is tracer
+        with obs.span("x", "t"):
+            pass
+        assert len(tracer.events()) == 1
+        fresh = obs.configure(enabled=True)
+        assert len(fresh.events()) == 0
+
+    def test_disabled_overhead_is_one_branch(self):
+        """Instrumented hot paths must not allocate when tracing is
+        off: the helpers return the same singleton every call."""
+        obs.configure(enabled=False)
+        spans = {id(obs.span("hot", "t")) for _ in range(100)}
+        assert spans == {id(NULL_SPAN)}

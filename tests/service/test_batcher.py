@@ -125,6 +125,67 @@ def test_abandoned_items_are_skipped():
     run(scenario())
 
 
+def test_abandonment_updates_queue_depth_gauge():
+    """A discarded waiter must leave the gauge, not just the deque."""
+    async def scenario():
+        metrics = MetricsRegistry()
+        batcher = DynamicBatcher(max_batch=8, max_wait_s=0.0,
+                                 metrics=metrics)
+        keep = batcher.submit("keep")
+        dropped = [batcher.submit(f"drop{i}") for i in range(2)]
+        assert metrics.gauge("queue_depth").value == 3
+        for future in dropped:
+            future.cancel()
+        batch = await batcher.next_batch()
+        assert [item.request for item in batch] == ["keep"]
+        assert batcher.stats.abandoned_items == 2
+        assert metrics.snapshot()["counters"]["abandoned_total"] == 2
+        assert metrics.gauge("queue_depth").value == 0
+        assert not keep.done()
+    run(scenario())
+
+
+def test_cancel_mid_batch_formation_never_joins_batch():
+    """A waiter cancelled while a batch is *forming* (first member
+    already dequeued, batcher waiting for stragglers) must be discarded,
+    not dispatched to the engine."""
+    async def scenario():
+        batcher = DynamicBatcher(max_batch=4, max_wait_s=0.5)
+        batcher.submit("first")
+        batch_task = asyncio.ensure_future(batcher.next_batch())
+        await asyncio.sleep(0.01)   # formation underway, waiting
+        doomed = batcher.submit("doomed")
+        doomed.cancel()             # cancelled before the batcher wakes
+        await asyncio.sleep(0.01)
+        straggler = batcher.submit("straggler")
+        batcher.close()             # stop waiting for more arrivals
+        batch = await batch_task
+        assert [item.request for item in batch] == ["first", "straggler"]
+        assert all(not item.future.cancelled() for item in batch)
+        assert batcher.stats.abandoned_items == 1
+        assert not straggler.done()
+    run(scenario())
+
+
+def test_cancel_after_submit_before_any_dequeue():
+    """Cancel landing before the consumer ever runs: the batch must
+    form entirely from live items and never block on the dead one."""
+    async def scenario():
+        metrics = MetricsRegistry()
+        batcher = DynamicBatcher(max_batch=2, max_wait_s=0.0,
+                                 metrics=metrics)
+        dead = batcher.submit("dead")
+        live = batcher.submit("live")
+        dead.cancel()
+        batch = await batcher.next_batch()
+        assert [item.request for item in batch] == ["live"]
+        assert all(not item.future.cancelled() for item in batch)
+        assert batcher.stats.abandoned_items == 1
+        assert metrics.gauge("queue_depth").value == 0
+        assert not live.done()
+    run(scenario())
+
+
 def test_abort_pending_fails_queued_futures():
     async def scenario():
         batcher = DynamicBatcher(max_batch=8)

@@ -1,5 +1,8 @@
 """Counters, gauges, histograms, and percentile math."""
 
+import sys
+import threading
+
 import pytest
 
 from repro.service.metrics import (
@@ -99,3 +102,93 @@ class TestRegistry:
         line = registry.format_line()
         assert "requests_total=1" in line
         assert "latency_s.p50=0.500" in line
+
+    def test_format_line_filters_on_metric_name(self):
+        registry = MetricsRegistry()
+        registry.observe("latency_s", 0.5)
+        registry.inc("requests_total")
+        line = registry.format_line(names=["latency_s"])
+        assert "latency_s.p50" in line
+        assert "latency_s.p99" in line
+        assert "requests_total" not in line
+
+    def test_format_line_filter_names_containing_dot_p(self):
+        """Regression: the old filter split rendered parts on ``.p`` and
+        ``=``, so a metric named e.g. ``queue.pops`` was filed under
+        ``queue`` — requesting it by its real name dropped it, and
+        requesting ``queue`` wrongly matched it.
+        """
+        registry = MetricsRegistry()
+        registry.inc("queue.pops", 3)
+        registry.inc("queue", 1)
+        line = registry.format_line(names=["queue.pops"])
+        assert "queue.pops=3" in line
+        assert "queue=1" not in line
+        line = registry.format_line(names=["queue"])
+        assert "queue=1" in line
+        assert "queue.pops" not in line
+
+    def test_histogram_summary_has_exact_sum(self):
+        registry = MetricsRegistry()
+        for value in (0.25, 0.5, 0.125):
+            registry.observe("latency_s", value)
+        summary = registry.snapshot()["histograms"]["latency_s"]
+        assert summary["sum"] == pytest.approx(0.875)
+
+
+class TestThreadSafety:
+    """Regression: instrument handles used to mutate unlocked, so
+    concurrent increments from engine threads could be lost."""
+
+    @pytest.fixture(autouse=True)
+    def _aggressive_switching(self):
+        # Force frequent thread switches so unlocked read-modify-write
+        # races are actually exercised, not just theoretically possible.
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        yield
+        sys.setswitchinterval(old)
+
+    @staticmethod
+    def _hammer(fn, threads=8, iterations=2000):
+        barrier = threading.Barrier(threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(iterations):
+                fn()
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        return threads * iterations
+
+    def test_counter_handle_no_lost_increments(self):
+        counter = Counter()
+        expected = self._hammer(counter.inc)
+        assert counter.value == expected
+
+    def test_registry_inc_no_lost_increments(self):
+        registry = MetricsRegistry()
+        expected = self._hammer(lambda: registry.inc("hits"))
+        assert registry.counter("hits").value == expected
+
+    def test_gauge_inc_dec_balance(self):
+        gauge = Gauge()
+
+        def wiggle():
+            gauge.inc(5)
+            gauge.dec(5)
+
+        self._hammer(wiggle)
+        assert gauge.value == 0
+
+    def test_histogram_observe_exact_count_and_sum(self):
+        registry = MetricsRegistry()
+        expected = self._hammer(
+            lambda: registry.observe("latency_s", 0.5))
+        hist = registry.histogram("latency_s")
+        assert hist.count == expected
+        assert hist.total == pytest.approx(expected * 0.5)

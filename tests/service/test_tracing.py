@@ -1,0 +1,101 @@
+"""End-to-end tracing through the live service.
+
+Acceptance pins from the observability issue:
+
+- a serve + traffic session exports as *valid* Chrome trace JSON,
+- batch-level spans (``batch_form``, ``kernel``) reference their member
+  request spans by id, and every referenced id resolves to a real
+  ``request`` span in the same trace,
+- with tracing disabled (the default) the service records nothing.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import span_index, trace_problems, validate_trace_file
+from repro.service import loadgen
+from tests.service.helpers import run, serving
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    """Leave the process-global tracer disabled after every test."""
+    yield
+    obs.configure(enabled=False)
+
+
+def _drive_traffic(reference, requests=24, pair_fraction=0.25):
+    specs = loadgen.build_workload(reference, requests,
+                                   pair_fraction=pair_fraction, seed=7)
+
+    async def scenario():
+        async with serving(reference, workers=2) as (server, _client):
+            return await loadgen.run_loadgen(
+                server.endpoint, specs,
+                loadgen.LoadgenConfig(concurrency=8),
+                collect_server_stats=False)
+
+    return run(scenario())
+
+
+@pytest.mark.integration
+def test_served_traffic_exports_valid_chrome_trace(
+        service_reference, tmp_path):
+    obs.configure(enabled=True)
+    report = _drive_traffic(service_reference)
+    assert report.completed == report.requests
+
+    path = tmp_path / "trace.json"
+    trace = obs.write_chrome_trace(str(path), obs.get_tracer())
+    assert trace_problems(trace) == []
+    validate_trace_file(str(path))
+
+    events = trace["traceEvents"]
+    names = {e["name"] for e in events if e.get("ph") == "X"}
+    # All three layers show up in one timeline: service lifecycle,
+    # engine execution, and the software pipeline underneath.
+    assert {"request", "batch_form", "kernel", "respond",
+            "engine_execute", "sam_emit"} <= names
+
+
+@pytest.mark.integration
+def test_batch_spans_reference_member_request_spans(service_reference):
+    obs.configure(enabled=True)
+    _drive_traffic(service_reference)
+
+    trace = obs.chrome_trace(obs.get_tracer())
+    index = span_index(trace)
+    events = trace["traceEvents"]
+    requests = [e for e in events if e.get("name") == "request"]
+    kernels = [e for e in events if e.get("name") == "kernel"]
+    batches = [e for e in events if e.get("name") == "batch_form"]
+    assert requests and kernels and batches
+
+    request_ids = {e["args"]["span_id"] for e in requests}
+    linked = 0
+    for group in kernels + batches:
+        members = group["args"].get("request_spans", [])
+        assert members, "batch-level span lists no member requests"
+        for span_id in members:
+            assert span_id in index, "dangling request span reference"
+            assert span_id in request_ids
+            linked += 1
+    # Every request the kernels executed is accounted for.
+    kernel_members = {sid for e in kernels
+                      for sid in e["args"]["request_spans"]}
+    assert kernel_members == request_ids
+
+    # Request spans parent their respond spans across the task hop.
+    responds = [e for e in events if e.get("name") == "respond"]
+    assert responds
+    for event in responds:
+        assert event["args"]["parent_id"] in request_ids
+
+
+@pytest.mark.integration
+def test_disabled_tracing_records_nothing(service_reference):
+    obs.configure(enabled=False)
+    report = _drive_traffic(service_reference, requests=8,
+                            pair_fraction=0.0)
+    assert report.completed == 8
+    assert len(obs.get_tracer().events()) == 0

@@ -66,6 +66,52 @@ class TestUtilizationTrace:
     def test_series_empty(self):
         assert np.all(UtilizationTrace(4).series(100) == 0)
 
+    def test_series_out_of_order_intervals_not_dropped(self):
+        """Regression: an interval ending past the window must not hide
+        later-recorded intervals.
+
+        ``_intervals`` is ordered by ``end()``-call time, not end cycle:
+        unit 0 runs past the window and closes *first*, so its interval
+        precedes unit 1's fully-in-window interval in the list.  The old
+        ``series()`` broke out of its loop at the first interval with
+        ``end > total_cycles`` and silently dropped everything recorded
+        after it.
+        """
+        trace = UtilizationTrace(2)
+        trace.begin(0, 0)
+        trace.begin(1, 10)
+        trace.end(0, 150)   # appended first, ends beyond the window
+        trace.end(1, 50)    # appended second, fully inside the window
+        series = trace.series(100, bins=10)
+        # Unit 1's interval (cycles 10-50) must be present: bins 1-4
+        # have both units busy.
+        assert np.allclose(series[1:5], 1.0)
+        # Unit 0's overlong interval is clipped, not discarded: bins
+        # 5-9 still show it busy.
+        assert np.allclose(series[5:], 0.5)
+        assert series[0] == pytest.approx(0.5)
+        # The binned series must agree with the closed-form average.
+        assert np.mean(series) == pytest.approx(
+            trace.average_utilization(100))
+
+    def test_series_clips_interval_straddling_window_end(self):
+        trace = UtilizationTrace(1)
+        trace.begin(0, 80)
+        trace.end(0, 200)
+        series = trace.series(100, bins=10)
+        assert np.allclose(series[:8], 0.0)
+        assert np.allclose(series[8:], 1.0)
+
+    def test_intervals_snapshot(self):
+        trace = UtilizationTrace(2)
+        trace.begin(0, 0)
+        trace.begin(1, 5)
+        trace.end(1, 9)
+        trace.end(0, 12)
+        assert trace.intervals() == [(5, 9), (0, 12)]
+        trace.intervals().append((99, 100))  # copies, does not alias
+        assert trace.intervals() == [(5, 9), (0, 12)]
+
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             UtilizationTrace(0)

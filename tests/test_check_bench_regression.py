@@ -1,0 +1,90 @@
+"""Tests for scripts/check_bench_regression.py.
+
+The script lives outside the package, so it is loaded by file path.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parent.parent
+           / "scripts" / "check_bench_regression.py")
+
+
+@pytest.fixture(scope="module")
+def bench_check():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_bench_json(path, means):
+    payload = {"benchmarks": [
+        {"name": name, "stats": {"mean": mean}}
+        for name, mean in means.items()
+    ]}
+    path.write_text(json.dumps(payload))
+
+
+class TestReduceMean:
+    def test_sub_microsecond_means_stay_nonzero(self, bench_check):
+        """Regression: ``round(mean, 6)`` flattened anything under
+        ~0.5 µs to 0.0, which the ``baseline_mean > 0`` guard then
+        skipped forever."""
+        assert bench_check.reduce_mean(2.37e-7) > 0
+        assert bench_check.reduce_mean(2.37e-7) == pytest.approx(
+            2.37e-7, rel=1e-9)
+
+    def test_three_significant_digits(self, bench_check):
+        assert bench_check.reduce_mean(0.123456) == 0.123
+        assert bench_check.reduce_mean(1234.5) == 1230.0
+        assert bench_check.reduce_mean(4.56789e-8) == pytest.approx(
+            4.57e-8)
+
+
+class TestSubMicrosecondRegression:
+    def test_regressed_nanosecond_benchmark_fails_check(
+            self, bench_check, tmp_path, capsys):
+        """A 200 ns kernel that regresses 5x must fail the gate; with
+        the old decimal-place rounding its baseline was stored as 0.0
+        and the regression passed silently."""
+        fast_run = tmp_path / "fast.json"
+        slow_run = tmp_path / "slow.json"
+        baseline = tmp_path / "baseline.json"
+        _write_bench_json(fast_run, {"test_popcount_kernel": 2e-7})
+        _write_bench_json(slow_run, {"test_popcount_kernel": 1e-6})
+
+        assert bench_check.main(
+            [str(fast_run), "--baseline", str(baseline), "--update"]) == 0
+        stored = json.loads(baseline.read_text())["means"]
+        assert stored["test_popcount_kernel"] > 0
+
+        rc = bench_check.main([str(slow_run), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_within_threshold_passes(self, bench_check, tmp_path):
+        run = tmp_path / "run.json"
+        baseline = tmp_path / "baseline.json"
+        _write_bench_json(run, {"test_popcount_kernel": 2e-7})
+        bench_check.main(
+            [str(run), "--baseline", str(baseline), "--update"])
+        _write_bench_json(run, {"test_popcount_kernel": 3e-7})
+        assert bench_check.main(
+            [str(run), "--baseline", str(baseline)]) == 0
+
+
+class TestCheck:
+    def test_new_and_missing_are_not_fatal(self, bench_check, tmp_path):
+        run = tmp_path / "run.json"
+        baseline = tmp_path / "baseline.json"
+        _write_bench_json(run, {"a": 1.0, "b": 2.0})
+        bench_check.main(
+            [str(run), "--baseline", str(baseline), "--update"])
+        _write_bench_json(run, {"a": 1.0, "c": 9.9})
+        assert bench_check.main(
+            [str(run), "--baseline", str(baseline)]) == 0

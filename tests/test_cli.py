@@ -66,6 +66,107 @@ class TestAccelerate:
         assert "scheduling speedup" in capsys.readouterr().out
 
 
+class TestTraceOut:
+    @pytest.fixture(autouse=True)
+    def _reset_tracer(self):
+        yield
+        from repro import obs
+        obs.configure(enabled=False)
+
+    def test_align_trace_out(self, dataset, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+        trace_path = tmp_path / "align-trace.json"
+        code = main(["align", "--reference", f"{dataset}.fa",
+                     "--reads", f"{dataset}.fq",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        assert "wrote trace" in capsys.readouterr().out
+        trace = validate_trace_file(str(trace_path))
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert {"align_read", "seeding", "extension"} <= names
+
+    def test_accelerate_trace_out_includes_utilization(
+            self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+        trace_path = tmp_path / "accel-trace.json"
+        code = main(["accelerate", "--dataset", "C.e.", "--reads", "100",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        assert "scheduling speedup" in capsys.readouterr().out
+        trace = validate_trace_file(str(trace_path))
+        events = trace["traceEvents"]
+        processes = {e["args"]["name"] for e in events
+                     if e.get("name") == "process_name"}
+        assert {"NvWa SUs", "NvWa EUs",
+                "SUs+EUs SUs", "SUs+EUs EUs"} <= processes
+        assert any(e.get("name") == "busy" for e in events)
+
+    def test_accelerate_trace_matches_untraced_numbers(self, capsys):
+        """The direct-run trace path must not change the printed
+        simulation results."""
+        main(["accelerate", "--dataset", "C.e.", "--reads", "100"])
+        plain = capsys.readouterr().out
+
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            main(["accelerate", "--dataset", "C.e.", "--reads", "100",
+                  "--trace-out", f"{tmp}/t.json"])
+        traced = capsys.readouterr().out
+        keep = [line for line in plain.splitlines()
+                if "cycles" in line or "speedup" in line]
+        for line in keep:
+            assert line in traced
+
+
+class TestObsCommand:
+    def test_validate_accepts_good_trace(self, tmp_path, capsys):
+        import json
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 2,
+             "pid": 0, "tid": 0},
+        ]}
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(trace))
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_trace(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        path.write_text("not json at all")
+        assert main(["obs", "validate", str(path)]) == 1
+
+    def test_export_from_stats_json(self, tmp_path, capsys):
+        import json
+        stats = {"metrics": {"counters": {"requests_total": 9},
+                             "gauges": {},
+                             "histograms": {}}}
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(stats))
+        assert main(["obs", "export", "--stats-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_requests_total 9" in out
+
+    def test_export_to_file_with_prefix(self, tmp_path, capsys):
+        import json
+        stats = {"counters": {"hits": 2}}
+        src = tmp_path / "stats.json"
+        src.write_text(json.dumps(stats))
+        dst = tmp_path / "metrics.prom"
+        assert main(["obs", "export", "--stats-json", str(src),
+                     "--prefix", "svc_", "--out", str(dst)]) == 0
+        assert "svc_hits 2" in dst.read_text()
+
+    def test_export_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs", "export"])
+        assert "--connect or --stats-json" in capsys.readouterr().err
+
+
 class TestExperiments:
     def test_selected_quick(self, capsys):
         code = main(["experiments", "fig07", "table2", "--quick"])
