@@ -11,6 +11,7 @@ Subcommands (``python -m repro`` works identically)::
     python -m repro experiments --parallelism 4 --cache-dir .cache/
     python -m repro serve     --reference x.fa --port 7878
     python -m repro loadgen   --connect 127.0.0.1:7878 --reference x.fa
+    python -m repro chaos     --fault-plan ci-default --seed 7
     python -m repro obs export --connect 127.0.0.1:7878
     python -m repro obs validate trace.json
     python -m repro lint      src/ --baseline lint-baseline.json
@@ -19,7 +20,10 @@ Subcommands (``python -m repro`` works identically)::
 ``--cache-dir DIR`` memoizes deterministic inputs on disk; results are
 bit-identical to the serial, uncached run for every worker count.
 ``serve`` runs the online alignment service (dynamic batching, admission
-control, live metrics) and ``loadgen`` benchmarks it.
+control, live metrics) and ``loadgen`` benchmarks it.  ``chaos`` runs
+serve + loadgen + the sharded runtime under a seeded fault plan and
+gates on the resilience invariants (see docs/RESILIENCE.md); ``serve
+--fault-plan`` arms the same injection on a long-lived server.
 
 ``--trace-out FILE`` on ``align``/``accelerate``/``serve``/``loadgen``
 enables the :mod:`repro.obs` tracer and writes a Chrome ``trace_event``
@@ -225,10 +229,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth, workers=args.workers,
         request_timeout_s=args.request_timeout_ms / 1000.0,
         batch_extension=not args.no_batch_extension,
-        stats_interval_s=args.stats_interval)
+        stats_interval_s=args.stats_interval,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window_s=args.breaker_window,
+        breaker_cooldown_s=args.breaker_cooldown)
+    fault_injector = None
+    if args.fault_plan:
+        from repro.faults.plan import named_plan
+        fault_injector = named_plan(args.fault_plan,
+                                    args.fault_seed).injector()
+        print(f"fault injection armed: plan={args.fault_plan} "
+              f"seed={args.fault_seed}", flush=True)
 
     async def serve() -> None:
-        server = AlignmentServer(reference, config=config)
+        server = AlignmentServer(reference, config=config,
+                                 fault_injector=fault_injector)
         await server.start()
         print(f"serving on {server.endpoint}", flush=True)
         stop = asyncio.Event()
@@ -263,9 +278,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         specs = loadgen.build_workload(
             reference, args.requests, read_length=args.read_length,
             seed=args.seed, pair_fraction=args.pair_fraction)
+    retry = None
+    if args.retries > 0:
+        from repro.faults.retry import RetryPolicy
+        retry = RetryPolicy(max_attempts=args.retries + 1,
+                            seed=args.seed)
     config = loadgen.LoadgenConfig(
         concurrency=args.concurrency, mode=args.mode, rate=args.rate,
-        wait_ready_s=args.wait_ready)
+        wait_ready_s=args.wait_ready, retry=retry)
     report = loadgen.run(args.connect, specs, config=config)
     print(report.format())
     failures = []
@@ -280,6 +300,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"FAIL: {failure}")
     _write_trace(trace_out)
     return 1 if failures else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    trace_out = _start_tracing(args)
+    report = run_chaos(plan_name=args.fault_plan, seed=args.seed,
+                       requests=args.requests,
+                       pair_fraction=args.pair_fraction,
+                       parallelism=args.parallelism)
+    print(report.format())
+    _write_trace(trace_out)
+    return 0 if report.passed else 1
 
 
 def _cmd_obs_export(args: argparse.Namespace) -> int:
@@ -426,6 +459,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the vectorized extension kernels")
     p.add_argument("--stats-interval", type=float, default=10.0,
                    help="seconds between stats log lines (0 disables)")
+    p.add_argument("--breaker-threshold", type=int, default=8,
+                   help="worker crashes in the window before the circuit "
+                        "breaker sheds new work with 'busy'")
+    p.add_argument("--breaker-window", type=float, default=10.0,
+                   help="sliding failure window seconds")
+    p.add_argument("--breaker-cooldown", type=float, default=2.0,
+                   help="seconds in degraded mode before a half-open probe")
+    p.add_argument("--fault-plan", choices=["ci-default", "soak", "none"],
+                   help="arm seeded fault injection with this named plan")
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="seed for --fault-plan schedules")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome trace of request/batch/kernel "
                         "spans at shutdown")
@@ -451,6 +495,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--wait-ready", type=float, default=0.0,
                    help="retry the initial connect for this many seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="per-request retries (reconnect on drops, back "
+                        "off on busy/overloaded, idempotency-key dedup)")
     p.add_argument("--max-p99-ms", type=float,
                    help="exit nonzero if p99 latency exceeds this")
     p.add_argument("--allow-errors", action="store_true",
@@ -458,6 +505,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome trace of client request spans")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser("chaos",
+                       help="run the seeded fault-injection acceptance "
+                            "harness and gate on its invariants")
+    p.add_argument("--fault-plan", default="ci-default",
+                   choices=["ci-default", "soak", "none"],
+                   help="named fault plan to inject")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault schedule + retry jitter seed")
+    p.add_argument("--requests", type=int, default=24,
+                   help="loadgen requests per service phase")
+    p.add_argument("--pair-fraction", type=float, default=0.25,
+                   help="fraction of requests that are mate pairs")
+    p.add_argument("--parallelism", type=int, default=2,
+                   help="worker processes for the sharded phase")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace of the whole chaos run")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("obs", help="tracing / metrics export utilities")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -508,6 +573,14 @@ def _validate(parser: argparse.ArgumentParser,
                 f"--concurrency must be >= 1, got {args.concurrency}")
         if not args.reads_file and not args.reference:
             parser.error("loadgen needs --reference or --reads-file")
+        if args.retries < 0:
+            parser.error(f"--retries must be >= 0, got {args.retries}")
+    if getattr(args, "command", None) == "chaos":
+        if args.requests < 1:
+            parser.error(f"--requests must be >= 1, got {args.requests}")
+        if not 0.0 <= args.pair_fraction <= 1.0:
+            parser.error(f"--pair-fraction must be in [0, 1], "
+                         f"got {args.pair_fraction}")
     if (getattr(args, "command", None) == "obs"
             and getattr(args, "obs_command", None) == "export"):
         if not args.connect and not args.stats_json:

@@ -30,18 +30,28 @@ reference semantics:
 
 The serial path stays the default-on reference everywhere: with
 ``parallelism=1`` and no cache directory, every caller behaves bit-
-identically to the pre-runtime code paths.
+identically to the pre-runtime code paths.  The parallel paths are
+resilient: worker death replays only the lost shards/jobs (see
+:func:`~repro.runtime.sharded.run_resilient` and docs/RESILIENCE.md),
+and corrupted cache entries are evicted and rebuilt rather than
+poisoning a run.
 """
 
 from repro.runtime.batch import ExtensionJob, smith_waterman_batch
-from repro.runtime.cache import ArtifactCache, CacheStats
+from repro.runtime.cache import ArtifactCache, CacheStats, open_cache
 from repro.runtime.artifacts import (
     cached_fm_index,
     cached_read_set,
     cached_reference,
     cached_synthetic_workload,
 )
-from repro.runtime.sharded import ShardedReport, ShardedRunner, ShardPlan
+from repro.runtime.sharded import (
+    ShardedReport,
+    ShardedRunner,
+    ShardPlan,
+    WorkerLostError,
+    run_resilient,
+)
 from repro.runtime.sweep import SimJob, SweepResult, simulate_many
 
 __all__ = [
@@ -53,10 +63,13 @@ __all__ = [
     "ShardedRunner",
     "SimJob",
     "SweepResult",
+    "WorkerLostError",
     "cached_fm_index",
     "cached_read_set",
     "cached_reference",
     "cached_synthetic_workload",
+    "open_cache",
+    "run_resilient",
     "simulate_many",
     "smith_waterman_batch",
 ]

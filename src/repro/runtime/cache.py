@@ -11,11 +11,20 @@ Robustness rules:
 
 - writes are atomic (temp file + ``os.replace``), so a crash mid-store can
   never leave a half-written entry behind;
-- a corrupt or unreadable entry is treated as a miss: it is deleted,
-  counted in :attr:`CacheStats.corrupt`, and the artifact is rebuilt;
+- a corrupt or unreadable entry (truncated file, torn pickle, stale
+  envelope) is treated as a miss: it is deleted, counted in
+  :attr:`CacheStats.corrupt`, and the artifact is rebuilt.  Only the
+  *data-corruption* error classes in :data:`_CORRUPT_ERRORS` get this
+  treatment — a programming error (``TypeError`` from a bad artifact
+  class, ``KeyboardInterrupt``, ...) propagates instead of being
+  silently eaten as a rebuild;
 - the stored envelope records the kind and params that produced it, and a
   mismatch on load (digest collision, manual tampering) also falls back to
-  rebuild.
+  rebuild;
+- a :class:`~repro.faults.plan.FaultInjector` may be attached; a
+  :data:`~repro.faults.plan.CACHE_CORRUPT` event at ``cache_load``
+  truncates the entry *before* the read, proving the corrupt-entry path
+  end-to-end under ``repro chaos``.
 """
 
 from __future__ import annotations
@@ -29,6 +38,28 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro import obs
+from repro.faults.injectors import corrupt_file
+from repro.faults.plan import CACHE_CORRUPT, SITE_CACHE_LOAD, FaultInjector
+
+#: Error classes that mean "this entry's bytes are unusable" — and only
+#: those.  ``pickle.UnpicklingError`` is an ``Exception`` subclass of its
+#: own; truncated files raise ``EOFError``; torn/garbage bytes can raise
+#: ``UnicodeDecodeError``/``ValueError``/``AttributeError``/
+#: ``ImportError``/``IndexError`` or ``MemoryError`` from deep inside the
+#: unpickler; envelope validation raises ``ValueError``; a non-dict
+#: envelope raises ``AttributeError`` via ``envelope.get``.  Everything
+#: else (``TypeError`` from a consumer bug, ``KeyboardInterrupt``, ...)
+#: propagates.
+_CORRUPT_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    OSError,
+    ValueError,          # includes UnicodeDecodeError; envelope mismatch
+    AttributeError,      # unpickling references a missing attribute
+    ImportError,         # unpickling references a missing module
+    IndexError,          # truncated opcode stream
+    MemoryError,         # absurd length prefix in a torn entry
+)
 
 #: Bump to invalidate every existing cache entry when the on-disk artifact
 #: representations change incompatibly.
@@ -81,10 +112,12 @@ class ArtifactCache:
         (False, True)
     """
 
-    def __init__(self, cache_dir: Union[str, os.PathLike]):
+    def __init__(self, cache_dir: Union[str, os.PathLike],
+                 fault_injector: Optional[FaultInjector] = None):
         self.cache_dir = os.fspath(cache_dir)
         os.makedirs(self.cache_dir, exist_ok=True)
         self.stats = CacheStats()
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------ #
     # Keys and paths
@@ -134,6 +167,12 @@ class ArtifactCache:
             self.stats.misses += 1
             obs.instant("cache_miss", "runtime", kind=kind)
             return None, False
+        if self.fault_injector is not None:
+            event = self.fault_injector.check(SITE_CACHE_LOAD)
+            if event is not None and event.kind == CACHE_CORRUPT:
+                corrupt_file(path, keep_fraction=event.param)
+                obs.instant("fault_injected", "faults", kind=event.kind,
+                            site=event.site, path=os.path.basename(path))
         try:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
@@ -141,20 +180,27 @@ class ArtifactCache:
                     or envelope.get("params") != canonical_params(params)):
                 raise ValueError("cache envelope does not match request")
             artifact = envelope["artifact"]
-        except Exception:
-            # Any failure to read/unpickle/validate means the entry is
-            # unusable; fall back to rebuild rather than propagate.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            obs.instant("cache_corrupt", "runtime", kind=kind)
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-            return None, False
+        except KeyError:
+            # Envelope decoded but lacks "artifact": stale/torn entry.
+            return self._corrupt_miss(path, kind)
+        except _CORRUPT_ERRORS:
+            # Unreadable bytes: rebuild.  Programming errors are NOT in
+            # _CORRUPT_ERRORS and propagate to the caller.
+            return self._corrupt_miss(path, kind)
         self.stats.hits += 1
         obs.instant("cache_hit", "runtime", kind=kind)
         return artifact, True
+
+    def _corrupt_miss(self, path: str, kind: str) -> Tuple[None, bool]:
+        """Evict a corrupt entry and account it as a miss."""
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        obs.instant("cache_corrupt", "runtime", kind=kind)
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None, False
 
     def store(self, kind: str, params: Dict[str, Any],
               artifact: Any) -> str:
@@ -190,9 +236,10 @@ class ArtifactCache:
         return artifact, False
 
 
-def open_cache(cache_dir: Optional[Union[str, os.PathLike]]
+def open_cache(cache_dir: Optional[Union[str, os.PathLike]],
+               fault_injector: Optional[FaultInjector] = None
                ) -> Optional[ArtifactCache]:
     """``ArtifactCache`` for ``cache_dir``, or ``None`` when unset."""
     if cache_dir is None:
         return None
-    return ArtifactCache(cache_dir)
+    return ArtifactCache(cache_dir, fault_injector=fault_injector)

@@ -16,20 +16,45 @@ cycles — the sequential composition of batch runs with a full drain
 between batches.  With a single shard this is exactly the classic
 single-``Engine`` run, which is why the serial reference path stays
 bit-identical to the pre-runtime code.
+
+Resilience: parallel execution runs on ``ProcessPoolExecutor`` and
+tolerates worker death (OOM-kill, SIGKILL, or an injected
+:data:`~repro.faults.plan.SHARD_KILL` fault).  When a worker dies, only
+the shards whose results were lost are re-executed — in a fresh pool,
+without the injected-kill flag — and because the merge is keyed on shard
+id, a run that lost and replayed a worker is bit-identical to one that
+did not.  :class:`WorkerLostError` is raised only if a shard keeps
+failing after ``shard_retries`` replay rounds.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import obs
 from repro.core.accelerator import AssignmentQuality, NvWaAccelerator
 from repro.core.config import NvWaConfig
 from repro.core.workload import ReadTask, Workload
+from repro.faults.plan import SHARD_KILL, SITE_SHARD, FaultInjector
 from repro.sim.stats import CounterSet, ThroughputResult
+
+
+class WorkerLostError(RuntimeError):
+    """A shard's worker died and retries were exhausted."""
 
 #: Default reads per shard.  Large enough that scheduler warm-up effects
 #: stay negligible, small enough that a few thousand reads spread across
@@ -178,6 +203,28 @@ def _align_shard(payload: Tuple[int, int, Sequence[Any]]
     return shard_id, results
 
 
+def _guarded(fn: Callable[[Any], Any], payload: Tuple[bool, Any]) -> Any:
+    """Worker body wrapper: an injected SHARD_KILL dies *for real*.
+
+    SIGKILL (not an exception) so the parent exercises the exact same
+    recovery path a production OOM-kill takes: a broken pool, a lost
+    future, and a replay of only the lost shards.
+    """
+    inject_kill, inner = payload
+    if inject_kill:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return fn(inner)
+
+
+def _simulate_shard_guarded(payload: Tuple[bool, Any]) -> _SimShardResult:
+    return _guarded(_simulate_shard, payload)
+
+
+def _align_shard_guarded(payload: Tuple[bool, Any]
+                         ) -> Tuple[int, List[Any]]:
+    return _guarded(_align_shard, payload)
+
+
 def _pool_context(requested: Optional[str] = None):
     """Fork when the platform offers it (cheap, shares the parent's
     imports); spawn otherwise."""
@@ -186,6 +233,67 @@ def _pool_context(requested: Optional[str] = None):
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+def run_resilient(fn: Callable[[Any], Any],
+                  payloads: Sequence[Any],
+                  parallelism: int,
+                  mp_context: Optional[str] = None,
+                  retries: int = 2,
+                  kill_flags: Optional[Sequence[bool]] = None,
+                  initializer: Optional[Callable[..., None]] = None,
+                  initargs: Tuple[Any, ...] = ()) -> List[Any]:
+    """Fan ``fn`` over ``payloads`` across processes, surviving worker
+    death; results in payload order.
+
+    ``fn`` must accept ``(inject_kill, payload)`` tuples (wrap a plain
+    worker body with :func:`_guarded`-style unpacking).  A dead worker
+    (real SIGKILL/OOM, or injected via ``kill_flags``) breaks the pool
+    for every payload still in flight; those payloads — and only those —
+    re-execute in a fresh pool on the next round, injected kills
+    disarmed.  Because results are keyed by payload index, a run that
+    lost and replayed a worker returns exactly what an undisturbed run
+    returns.  :class:`WorkerLostError` is raised when a payload fails
+    all ``retries + 1`` rounds.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    ctx = _pool_context(mp_context)
+    flags = list(kill_flags) if kill_flags is not None \
+        else [False] * len(payloads)
+    if len(flags) != len(payloads):
+        raise ValueError(
+            f"kill_flags length {len(flags)} != payloads {len(payloads)}")
+    results: List[Any] = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    for round_idx in range(retries + 1):
+        if not pending:
+            break
+        if round_idx:
+            obs.instant("shard_replay", "faults", round=round_idx,
+                        shards=len(pending))
+        workers = min(parallelism, len(pending))
+        lost: List[int] = []
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx,
+                                 initializer=initializer,
+                                 initargs=initargs) as pool:
+            futures = {
+                idx: pool.submit(
+                    fn, (flags[idx] and round_idx == 0, payloads[idx]))
+                for idx in pending
+            }
+            for idx, future in futures.items():
+                try:
+                    results[idx] = future.result()
+                except (BrokenProcessPool, OSError):
+                    lost.append(idx)
+        pending = lost
+    if pending:
+        raise WorkerLostError(
+            f"shards {pending} lost their worker in all "
+            f"{retries + 1} rounds")
+    return results
 
 
 class ShardedRunner:
@@ -202,22 +310,63 @@ class ShardedRunner:
             cycle count); changing ``parallelism`` never does.
         mp_context: optional multiprocessing start method override
             ("fork"/"spawn"/"forkserver").
+        shard_retries: replay rounds for shards lost to a dead worker
+            before :class:`WorkerLostError` is raised.
+        fault_injector: optional :class:`~repro.faults.plan.
+            FaultInjector` consulted once per shard (parallel paths
+            only); a :data:`SHARD_KILL` event SIGKILLs that shard's
+            worker on its first attempt.
     """
 
     def __init__(self, config: Optional[NvWaConfig] = None,
                  parallelism: int = 1,
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 shard_retries: int = 2,
+                 fault_injector: Optional[FaultInjector] = None):
         if parallelism <= 0:
             raise ValueError(
                 f"parallelism must be positive, got {parallelism}")
+        if shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be >= 0, got {shard_retries}")
         self.config = config if config is not None else NvWaConfig()
         self.parallelism = parallelism
         self.shard_size = shard_size
         self.mp_context = mp_context
+        self.shard_retries = shard_retries
+        self.fault_injector = fault_injector
         # Validates shard_size eagerly so misconfiguration fails at
         # construction, not first run.
         ShardPlan(total=0, shard_size=shard_size)
+
+    # ------------------------------------------------------------------ #
+    # Resilient parallel execution
+    # ------------------------------------------------------------------ #
+
+    def _kill_flags(self, count: int) -> List[bool]:
+        """Consult the fault plan once per shard, in shard order."""
+        flags = [False] * count
+        if self.fault_injector is None:
+            return flags
+        for shard_id in range(count):
+            event = self.fault_injector.check(SITE_SHARD)
+            if event is not None and event.kind == SHARD_KILL:
+                flags[shard_id] = True
+                obs.instant("fault_injected", "faults", kind=event.kind,
+                            site=event.site, shard=shard_id)
+        return flags
+
+    def _execute_shards(self, fn: Callable[[Any], Any],
+                        payloads: Sequence[Any],
+                        initializer: Optional[Callable[..., None]] = None,
+                        initargs: Tuple[Any, ...] = ()) -> List[Any]:
+        """:func:`run_resilient` with this runner's knobs and fault plan."""
+        return run_resilient(
+            fn, payloads, parallelism=self.parallelism,
+            mp_context=self.mp_context, retries=self.shard_retries,
+            kill_flags=self._kill_flags(len(payloads)),
+            initializer=initializer, initargs=initargs)
 
     # ------------------------------------------------------------------ #
     # Simulation
@@ -240,11 +389,8 @@ class ShardedRunner:
                                   reads=len(payload[2])):
                         shard_results.append(_simulate_shard(payload))
             else:
-                workers = min(self.parallelism, len(payloads))
-                ctx = _pool_context(self.mp_context)
-                with ctx.Pool(processes=workers) as pool:
-                    shard_results = list(
-                        pool.imap_unordered(_simulate_shard, payloads))
+                shard_results = self._execute_shards(
+                    _simulate_shard_guarded, payloads)
             shard_results.sort(key=lambda r: r.shard_id)
             with obs.span("merge", "runtime"):
                 return self._merge(shard_results)
@@ -334,14 +480,11 @@ class ShardedRunner:
                                          max_batch=max_batch)
             payloads = [(shard_id, start, list(reads[start:end]))
                         for shard_id, (start, end) in enumerate(bounds)]
-            workers = min(self.parallelism, len(payloads))
-            ctx = _pool_context(self.mp_context)
-            with ctx.Pool(processes=workers,
-                          initializer=_init_align_worker,
-                          initargs=(reference, aligner_kwargs,
-                                    batch_extension, max_batch)) as pool:
-                shard_results = list(
-                    pool.imap_unordered(_align_shard, payloads))
+            shard_results = self._execute_shards(
+                _align_shard_guarded, payloads,
+                initializer=_init_align_worker,
+                initargs=(reference, aligner_kwargs,
+                          batch_extension, max_batch))
             shard_results.sort(key=lambda item: item[0])
             merged: List[Any] = []
             for _, results in shard_results:

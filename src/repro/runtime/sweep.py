@@ -68,14 +68,23 @@ def _evaluate(payload: Tuple[int, NvWaConfig, Workload, Optional[int]]
     return job_id, summarize(report)
 
 
+def _evaluate_guarded(payload) -> Tuple[int, SweepResult]:
+    # run_resilient wraps payloads as (inject_kill, inner); sweeps never
+    # arm injected kills, but a real worker death still replays the job.
+    _, inner = payload
+    return _evaluate(inner)
+
+
 def simulate_many(jobs: Sequence[SimJob],
                   parallelism: int = 1,
                   mp_context: Optional[str] = None) -> List[SweepResult]:
     """Evaluate every job; results in job order.
 
     ``parallelism=1`` runs the plain serial loop in-process.  Higher
-    values fan jobs out over a process pool; each job's numbers are
-    identical either way because every simulation is self-contained.
+    values fan jobs out over a process pool (via :func:`repro.runtime.
+    sharded.run_resilient`, so a worker lost to the OOM killer replays
+    only its job); each job's numbers are identical either way because
+    every simulation is self-contained.
     """
     if parallelism <= 0:
         raise ValueError(f"parallelism must be positive, got {parallelism}")
@@ -85,12 +94,11 @@ def simulate_many(jobs: Sequence[SimJob],
     if parallelism == 1 or len(payloads) <= 1:
         indexed = [_evaluate(p) for p in payloads]
     else:
-        from repro.runtime.sharded import _pool_context
+        from repro.runtime.sharded import run_resilient
 
-        workers = min(parallelism, len(payloads))
-        ctx = _pool_context(mp_context)
-        with ctx.Pool(processes=workers) as pool:
-            indexed = list(pool.imap_unordered(_evaluate, payloads))
+        indexed = run_resilient(_evaluate_guarded, payloads,
+                                parallelism=parallelism,
+                                mp_context=mp_context)
     indexed.sort(key=lambda item: item[0])
     return [result for _, result in indexed]
 

@@ -1,15 +1,21 @@
 """Clients for the alignment service.
 
-Two flavours:
+Three flavours:
 
 - :class:`AsyncServiceClient` — one connection, many in-flight requests.
   A background reader task dispatches response lines to per-request
   futures by id, so a single socket sustains arbitrary concurrency (the
   loadgen drives ≥64 in-flight requests through one of these).
+- :class:`ResilientAsyncClient` — an :class:`AsyncServiceClient` under a
+  :class:`~repro.faults.retry.RetryPolicy`: it reconnects after drops,
+  retries retryable errors (``busy``/``overloaded``) with seeded
+  backoff, and stamps every align request with an idempotency key so
+  retries are deduplicated server-side (exactly-once results).
 - :class:`ServiceClient` — a small blocking wrapper (one request at a
-  time) for scripts, examples, and debugging with no asyncio in sight.
+  time) for scripts, examples, and debugging with no asyncio in sight;
+  optionally takes the same :class:`RetryPolicy` for reconnect + retry.
 
-Both speak the NDJSON protocol of :mod:`repro.service.protocol` and work
+All speak the NDJSON protocol of :mod:`repro.service.protocol` and work
 over TCP or UNIX-domain sockets.
 """
 
@@ -19,11 +25,14 @@ import asyncio
 import itertools
 import json
 import socket
+import uuid
 from typing import Any, Dict, Optional, Tuple
 
+from repro.faults.retry import RetryPolicy
 from repro.genome.reads import Read
 from repro.service.protocol import (
     MAX_LINE_BYTES,
+    RETRYABLE_ERRORS,
     TYPE_PING,
     TYPE_STATS,
     ProtocolError,
@@ -122,12 +131,25 @@ class AsyncServiceClient:
         future: "asyncio.Future[Dict[str, Any]]" = \
             asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
-        # Holding the write lock across drain() is the contract: request
-        # lines must hit the socket whole and in submission order.
-        async with self._write_lock:  # repro-lint: disable=lock-across-await
-            self._writer.write(line.encode("utf-8") + b"\n")
-            await self._writer.drain()
-        return await future
+        try:
+            # Holding the write lock across drain() is the contract:
+            # request lines must hit the socket whole and in submission
+            # order.
+            async with self._write_lock:  # repro-lint: disable=lock-across-await
+                self._writer.write(line.encode("utf-8") + b"\n")
+                await self._writer.drain()
+            return await future
+        except BaseException:
+            # Leaving on any path but `await future` (failed write,
+            # cancellation) orphans the future: read-loop teardown would
+            # later fail it with nobody awaiting, and asyncio logs
+            # "exception was never retrieved". Consume it here.
+            self._pending.pop(request_id, None)
+            if future.done() and not future.cancelled():
+                future.exception()
+            else:
+                future.cancel()
+            raise
 
     def _next_id(self) -> str:
         return str(next(self._ids))
@@ -143,18 +165,24 @@ class AsyncServiceClient:
     # Request types
     # ------------------------------------------------------------------ #
 
-    async def align(self, read: Read) -> Dict[str, Any]:
+    async def align(self, read: Read,
+                    idempotency_key: Optional[str] = None
+                    ) -> Dict[str, Any]:
         """Align one read; the response object (``sam``: one line)."""
         request_id = self._next_id()
         return self._unwrap(await self._request(
-            encode_align(request_id, read), request_id))
+            encode_align(request_id, read,
+                         idempotency_key=idempotency_key), request_id))
 
     async def align_pair(self, mate1: Read, mate2: Read,
-                         pair_id: Optional[str] = None) -> Dict[str, Any]:
+                         pair_id: Optional[str] = None,
+                         idempotency_key: Optional[str] = None
+                         ) -> Dict[str, Any]:
         """Align an FR pair; response carries two SAM lines + pairing."""
         request_id = self._next_id()
         return self._unwrap(await self._request(
-            encode_align_pair(request_id, mate1, mate2, pair_id=pair_id),
+            encode_align_pair(request_id, mate1, mate2, pair_id=pair_id,
+                              idempotency_key=idempotency_key),
             request_id))
 
     async def stats(self) -> Dict[str, Any]:
@@ -183,27 +211,171 @@ class AsyncServiceClient:
             pass
 
 
+class _RetryableError(Exception):
+    """Internal wrapper marking an error the retry policy may absorb."""
+
+    def __init__(self, inner: BaseException):
+        super().__init__(str(inner))
+        self.inner = inner
+
+
+class ResilientAsyncClient:
+    """An async client that survives connection drops and shed load.
+
+    Wraps :class:`AsyncServiceClient` with a :class:`~repro.faults.
+    retry.RetryPolicy`: connection failures tear the client down and
+    reconnect; retryable protocol errors (``busy``, ``overloaded``) back
+    off with seeded jitter; and every align request carries a generated
+    idempotency key — the *same* key across all attempts of one logical
+    request — so the server deduplicates retries and the caller sees
+    exactly-once results.  Non-retryable errors propagate immediately.
+
+    Safe for concurrent use: reconnection is serialized behind a lock,
+    and callers that hit the same dead connection all converge on the
+    one replacement.
+    """
+
+    def __init__(self, endpoint: str,
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 10.0,
+                 client: Optional[AsyncServiceClient] = None,
+                 session: Optional[str] = None):
+        self._endpoint = endpoint
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._connect_timeout_s = connect_timeout_s
+        self._client = client
+        self._lock = asyncio.Lock()
+        self._session = session or uuid.uuid4().hex[:12]
+        self._keys = itertools.count(1)
+        self.retries = 0       # retried attempts (observability)
+        self.reconnects = 0    # connections re-established
+
+    # ------------------------------------------------------------------ #
+
+    async def _get(self) -> AsyncServiceClient:
+        # Holding the lock across connect() is the contract: concurrent
+        # callers hitting a dead connection must converge on the single
+        # replacement instead of racing to open their own.
+        async with self._lock:  # repro-lint: disable=lock-across-await
+            if self._client is None:
+                self._client = await AsyncServiceClient.connect_endpoint(
+                    self._endpoint, timeout_s=self._connect_timeout_s)
+                self.reconnects += 1
+            return self._client
+
+    async def _invalidate(self, client: AsyncServiceClient) -> None:
+        async with self._lock:
+            if self._client is client:
+                self._client = None
+        try:
+            await client.close()
+        except (ConnectionError, OSError):
+            pass
+
+    def _next_key(self) -> str:
+        return f"{self._session}-{next(self._keys)}"
+
+    async def _call(self, method: str, *args: Any,
+                    key: str, **kwargs: Any) -> Dict[str, Any]:
+        async def attempt() -> Dict[str, Any]:
+            client = await self._get()
+            try:
+                return await getattr(client, method)(*args, **kwargs)
+            except ServiceError as exc:
+                if exc.code in RETRYABLE_ERRORS:
+                    raise _RetryableError(exc) from exc
+                raise
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                await self._invalidate(client)
+                raise _RetryableError(exc) from exc
+
+        def on_retry(attempt_index: int, exc: BaseException) -> None:
+            self.retries += 1
+
+        try:
+            return await self.retry.execute_async(
+                attempt, retry_on=(_RetryableError,), key=key,
+                on_retry=on_retry)
+        except _RetryableError as exc:
+            raise exc.inner from exc
+
+    # ------------------------------------------------------------------ #
+
+    async def align(self, read: Read) -> Dict[str, Any]:
+        key = self._next_key()
+        return await self._call("align", read, key=key,
+                                idempotency_key=key)
+
+    async def align_pair(self, mate1: Read, mate2: Read,
+                         pair_id: Optional[str] = None) -> Dict[str, Any]:
+        key = self._next_key()
+        return await self._call("align_pair", mate1, mate2,
+                                pair_id=pair_id, key=key,
+                                idempotency_key=key)
+
+    async def ping(self) -> bool:
+        return bool(await self._call("ping", key=self._next_key()))
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._call("stats", key=self._next_key())
+
+    async def close(self) -> None:
+        async with self._lock:
+            client, self._client = self._client, None
+        if client is not None:
+            await client.close()
+
+
 class ServiceClient:
-    """Blocking, one-request-at-a-time client over a raw socket."""
+    """Blocking, one-request-at-a-time client over a raw socket.
+
+    With ``retry_policy`` set, connection failures reconnect and retry
+    under the policy's backoff/deadline, and align requests carry
+    idempotency keys so those retries never double-compute server-side.
+    ``busy``/``overloaded`` responses are likewise retried; other
+    protocol errors raise immediately.
+    """
 
     def __init__(self, host: Optional[str] = None,
                  port: Optional[int] = None,
                  unix_path: Optional[str] = None,
-                 timeout_s: float = 30.0):
-        if unix_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout_s)
-            self._sock.connect(unix_path)
-        else:
-            if host is None or port is None:
-                raise ValueError("need host+port or unix_path")
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=timeout_s)
-        self._file = self._sock.makefile("rw", encoding="utf-8",
-                                         newline="\n")
+                 timeout_s: float = 30.0,
+                 retry_policy: Optional[RetryPolicy] = None):
+        if unix_path is None and (host is None or port is None):
+            raise ValueError("need host+port or unix_path")
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._timeout_s = timeout_s
+        self._retry = retry_policy
+        self._session = uuid.uuid4().hex[:12]
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
         self._ids = itertools.count(1)
+        self._connect()
 
-    def _request(self, line: str) -> Dict[str, Any]:
+    def _connect(self) -> None:
+        if self._unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout_s)
+            sock.connect(self._unix_path)
+        else:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout_s)
+        self._sock = sock
+        self._file = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def _teardown(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._sock = None
+        self._file = None
+
+    def _send(self, line: str) -> Dict[str, Any]:
+        assert self._file is not None
         self._file.write(line + "\n")
         self._file.flush()
         response = self._file.readline()
@@ -215,13 +387,51 @@ class ServiceClient:
                                obj.get("message", ""))
         return obj
 
+    def _request(self, line: str, key: str = "") -> Dict[str, Any]:
+        if self._retry is None:
+            if self._file is None:
+                self._connect()
+            return self._send(line)
+
+        def attempt() -> Dict[str, Any]:
+            if self._file is None:
+                self._connect()
+            try:
+                return self._send(line)
+            except ServiceError as exc:
+                if exc.code in RETRYABLE_ERRORS:
+                    raise _RetryableError(exc) from exc
+                raise
+            except (ConnectionError, OSError) as exc:
+                self._teardown()
+                raise _RetryableError(exc) from exc
+
+        try:
+            return self._retry.execute(attempt,
+                                       retry_on=(_RetryableError,),
+                                       key=key)
+        except _RetryableError as exc:
+            raise exc.inner from exc
+
+    def _next_key(self) -> Optional[str]:
+        """Idempotency key for one logical align call (None = no retry,
+        no dedup needed)."""
+        if self._retry is None:
+            return None
+        return f"{self._session}-{next(self._ids)}"
+
     def align(self, read: Read) -> Dict[str, Any]:
-        return self._request(encode_align(str(next(self._ids)), read))
+        key = self._next_key()
+        return self._request(
+            encode_align(str(next(self._ids)), read,
+                         idempotency_key=key), key=key or "")
 
     def align_pair(self, mate1: Read, mate2: Read,
                    pair_id: Optional[str] = None) -> Dict[str, Any]:
+        key = self._next_key()
         return self._request(encode_align_pair(
-            str(next(self._ids)), mate1, mate2, pair_id=pair_id))
+            str(next(self._ids)), mate1, mate2, pair_id=pair_id,
+            idempotency_key=key), key=key or "")
 
     def align_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send an arbitrary request object (debugging aid)."""
@@ -238,10 +448,14 @@ class ServiceClient:
             encode_control(str(next(self._ids)), TYPE_PING)).get("pong"))
 
     def close(self) -> None:
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
         try:
-            self._file.close()
+            if file is not None:
+                file.close()
         finally:
-            self._sock.close()
+            if sock is not None:
+                sock.close()
 
     def __enter__(self) -> "ServiceClient":
         return self

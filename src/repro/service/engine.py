@@ -123,26 +123,8 @@ class AlignmentEngine:
         }
 
 
-class FlakyEngine:
-    """Test/chaos wrapper: crashes on scheduled ``execute`` calls.
+# Chaos wrappers (FlakyEngine, FaultyEngine) live in repro.faults; the
+# FlakyEngine re-export keeps the historical import path working.
+from repro.faults.injectors import FlakyEngine  # noqa: E402  (re-export)
 
-    Wraps a real engine and raises on call numbers listed in
-    ``crash_on_calls`` (1-based), simulating a worker dying mid-batch.
-    Used by the crash-recovery tests and available for fault-injection
-    benchmarks; the server must replay the batch on a fresh engine
-    without dropping any accepted request.
-    """
-
-    def __init__(self, inner: AlignmentEngine,
-                 crash_on_calls: Sequence[int] = (1,)):
-        self.inner = inner
-        self.crash_on_calls = set(crash_on_calls)
-        self.calls = 0
-
-    def execute(self, requests: Sequence[AlignRequest]
-                ) -> List[Dict[str, Any]]:
-        self.calls += 1
-        if self.calls in self.crash_on_calls:
-            raise RuntimeError(
-                f"injected worker crash on call {self.calls}")
-        return self.inner.execute(requests)
+__all__ = ["AlignmentEngine", "EngineError", "FlakyEngine"]

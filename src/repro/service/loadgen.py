@@ -17,6 +17,14 @@ AsyncServiceClient` connection. Every request is accounted for: the
 report's ``dropped`` (requests that never got any response) must be zero
 on a healthy run, and rejections/timeouts are tallied per error code
 rather than hidden.
+
+With :attr:`LoadgenConfig.retry` set, traffic instead flows through a
+:class:`~repro.service.client.ResilientAsyncClient`: dropped
+connections reconnect, ``busy``/``overloaded`` responses back off and
+retry, and idempotency keys keep the retries exactly-once — this is the
+client the chaos harness (``repro chaos``) drives, asserting that even
+under injected faults ``dropped`` stays zero and the SAM output is
+byte-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -28,10 +36,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.faults.retry import RetryPolicy
 from repro.genome.pairs import PairedReadSimulator
 from repro.genome.reads import Read, ReadSimulator
 from repro.genome.reference import ReferenceGenome
-from repro.service.client import AsyncServiceClient, ServiceError
+from repro.service.client import (
+    AsyncServiceClient,
+    ResilientAsyncClient,
+    ServiceError,
+)
 from repro.service.metrics import percentile
 
 
@@ -112,6 +125,7 @@ class LoadgenConfig:
     rate: float = 200.0           # open-loop arrivals per second
     connect_timeout_s: float = 10.0
     wait_ready_s: float = 0.0     # retry the connect for this long
+    retry: Optional[RetryPolicy] = None  # per-request resilience
 
     def __post_init__(self) -> None:
         if self.concurrency <= 0:
@@ -136,6 +150,11 @@ class LoadgenReport:
     sam_lines: int = 0
     mapped: int = 0
     server_stats: Optional[Dict[str, Any]] = None
+    retried: int = 0              # attempts absorbed by the retry policy
+    #: Per-spec response payloads (spec order), populated only when
+    #: ``collect_responses=True`` — the chaos harness compares these
+    #: byte-for-byte against a fault-free run.
+    responses: Optional[List[Optional[Dict[str, Any]]]] = None
 
     @property
     def error_count(self) -> int:
@@ -170,6 +189,8 @@ class LoadgenReport:
             f"max {max(self.latencies_s) * 1e3 if self.latencies_s else 0:.2f}",
             f"sam lines:   {self.sam_lines} ({self.mapped} mapped requests)",
         ]
+        if self.retried:
+            lines.append(f"retried:     {self.retried} attempts absorbed")
         if self.errors:
             breakdown = ", ".join(f"{code}={n}" for code, n
                                   in sorted(self.errors.items()))
@@ -185,30 +206,69 @@ class LoadgenReport:
         return "\n".join(lines)
 
 
+#: Cadence of connect/readiness probes while waiting for the server.
+_CONNECT_PROBE_S = 0.2
+
+_CONNECT_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError)
+
+
+def _ready_policy(config: LoadgenConfig) -> RetryPolicy:
+    """Fixed-cadence probe schedule bounded by ``wait_ready_s``.
+
+    ``wait_ready_s`` is the hard deadline budget: the policy never
+    starts a sleep that would overrun it, and ``wait_ready_s == 0``
+    degenerates to a single attempt.
+    """
+    wait = max(config.wait_ready_s, 0.0)
+    return RetryPolicy(
+        max_attempts=int(wait / _CONNECT_PROBE_S) + 2,
+        base_delay_s=_CONNECT_PROBE_S, multiplier=1.0,
+        max_delay_s=_CONNECT_PROBE_S, deadline_s=wait, jitter=0.0)
+
+
 async def _connect_with_retry(endpoint: str,
                               config: LoadgenConfig) -> AsyncServiceClient:
-    deadline = time.monotonic() + max(config.wait_ready_s, 0.0)
-    while True:
+    async def attempt() -> AsyncServiceClient:
+        client = await AsyncServiceClient.connect_endpoint(
+            endpoint, timeout_s=config.connect_timeout_s)
         try:
-            client = await AsyncServiceClient.connect_endpoint(
-                endpoint, timeout_s=config.connect_timeout_s)
             await client.ping()
-            return client
-        except (ConnectionError, OSError, asyncio.TimeoutError):
-            if time.monotonic() >= deadline:
-                raise
-            await asyncio.sleep(0.2)
+        except BaseException:
+            await client.close()
+            raise
+        return client
+
+    return await _ready_policy(config).execute_async(
+        attempt, retry_on=_CONNECT_ERRORS, key="loadgen-connect")
+
+
+async def _make_client(endpoint: str, config: LoadgenConfig) -> Any:
+    """The traffic client: resilient when ``config.retry`` is set."""
+    if config.retry is None:
+        return await _connect_with_retry(endpoint, config)
+    client = ResilientAsyncClient(endpoint, retry=config.retry,
+                                  connect_timeout_s=config.connect_timeout_s)
+    try:
+        await _ready_policy(config).execute_async(
+            client.ping, retry_on=_CONNECT_ERRORS, key="loadgen-ready")
+    except BaseException:
+        await client.close()
+        raise
+    return client
 
 
 async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
                       config: Optional[LoadgenConfig] = None,
-                      collect_server_stats: bool = True) -> LoadgenReport:
+                      collect_server_stats: bool = True,
+                      collect_responses: bool = False) -> LoadgenReport:
     """Fire ``specs`` at ``endpoint`` per ``config``; returns the report."""
     config = config or LoadgenConfig()
-    client = await _connect_with_retry(endpoint, config)
+    client = await _make_client(endpoint, config)
     report = LoadgenReport(requests=len(specs), completed=0)
+    if collect_responses:
+        report.responses = [None] * len(specs)
 
-    async def issue(spec: RequestSpec) -> None:
+    async def issue(index: int, spec: RequestSpec) -> None:
         started = time.monotonic()
         span = obs.begin("client_request", "loadgen",
                          read_id=spec.reads[0].read_id,
@@ -223,7 +283,7 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
             report.errors[exc.code] = report.errors.get(exc.code, 0) + 1
             span.end(outcome=exc.code)
             return
-        except (ConnectionError, OSError):
+        except _CONNECT_ERRORS:
             report.errors["connection"] = \
                 report.errors.get("connection", 0) + 1
             span.end(outcome="connection")
@@ -233,6 +293,8 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
         report.sam_lines += len(response.get("sam", []))
         if response.get("mapped"):
             report.mapped += 1
+        if report.responses is not None:
+            report.responses[index] = response
         span.end(outcome="ok")
 
     started = time.monotonic()
@@ -245,18 +307,19 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
                     idx = next(cursor)
                     if idx >= len(specs):
                         return
-                    await issue(specs[idx])
+                    await issue(idx, specs[idx])
 
             workers = min(config.concurrency, len(specs))
             await asyncio.gather(*(worker() for _ in range(workers)))
         else:
             interval = 1.0 / config.rate
             tasks = []
-            for spec in specs:
-                tasks.append(asyncio.ensure_future(issue(spec)))
+            for idx, spec in enumerate(specs):
+                tasks.append(asyncio.ensure_future(issue(idx, spec)))
                 await asyncio.sleep(interval)
             await asyncio.gather(*tasks)
         report.duration_s = time.monotonic() - started
+        report.retried = getattr(client, "retries", 0)
         if collect_server_stats:
             try:
                 report.server_stats = await client.stats()
@@ -269,7 +332,10 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
 
 def run(endpoint: str, specs: Sequence[RequestSpec],
         config: Optional[LoadgenConfig] = None,
-        collect_server_stats: bool = True) -> LoadgenReport:
+        collect_server_stats: bool = True,
+        collect_responses: bool = False) -> LoadgenReport:
     """Synchronous front door (the CLI calls this)."""
-    return asyncio.run(run_loadgen(endpoint, specs, config=config,
-                                   collect_server_stats=collect_server_stats))
+    return asyncio.run(run_loadgen(
+        endpoint, specs, config=config,
+        collect_server_stats=collect_server_stats,
+        collect_responses=collect_responses))

@@ -28,10 +28,18 @@ Responses::
      "message": "..."}                                            # failure
 
 Error codes: ``overloaded`` (admission control rejected the request —
-back off and retry, the moral 429), ``timeout`` (the per-request deadline
-expired while queued or executing), ``bad_request`` (malformed JSON or
-fields), ``internal`` (execution failed after retries), ``shutting_down``
-(server is draining). SAM lines are produced by
+back off and retry, the moral 429), ``busy`` (the server is in degraded
+mode — its circuit breaker tripped on worker crashes — and is shedding;
+back off and retry), ``timeout`` (the per-request deadline expired while
+queued or executing), ``bad_request`` (malformed JSON or fields),
+``internal`` (execution failed after retries), ``shutting_down`` (server
+is draining).
+
+Align requests may carry an optional ``idem`` field (a client-chosen
+idempotency key). A retried request with the same key is answered from
+the server's completed-payload cache instead of being recomputed, so
+client retries after a dropped connection are exactly-once (see
+:mod:`repro.faults` and docs/RESILIENCE.md). SAM lines are produced by
 :func:`repro.align.sam.sam_record` on the very same pipeline objects the
 offline path writes, so service output is bit-identical to
 ``repro align --out``.
@@ -56,10 +64,15 @@ REQUEST_TYPES = ALIGN_TYPES + (TYPE_STATS, TYPE_PING)
 
 #: Error codes a response may carry.
 ERR_OVERLOADED = "overloaded"
+ERR_BUSY = "busy"
 ERR_TIMEOUT = "timeout"
 ERR_BAD_REQUEST = "bad_request"
 ERR_INTERNAL = "internal"
 ERR_SHUTTING_DOWN = "shutting_down"
+
+#: Codes a client may safely retry with backoff (the request was never
+#: executed, or an idempotency key makes re-execution a dedup hit).
+RETRYABLE_ERRORS = (ERR_OVERLOADED, ERR_BUSY)
 
 #: Defensive cap on one NDJSON line (64 MB would mean a pathological read).
 MAX_LINE_BYTES = 8 * 1024 * 1024
@@ -79,6 +92,7 @@ class AlignRequest:
     type: str
     reads: List[Read] = field(default_factory=list)
     pair_id: Optional[str] = None
+    idempotency_key: Optional[str] = None
 
     @property
     def is_pair(self) -> bool:
@@ -131,9 +145,13 @@ def decode_request(line: str) -> AlignRequest:
         raise ProtocolError(
             f"unknown request type {rtype!r}; expected one of "
             f"{sorted(REQUEST_TYPES)}")
+    idem = obj.get("idem")
+    if idem is not None and (not isinstance(idem, str) or not idem):
+        raise ProtocolError("idem must be a non-empty string")
     if rtype == TYPE_ALIGN:
         return AlignRequest(request_id=request_id, type=rtype,
-                            reads=[_decode_read(obj, "request")])
+                            reads=[_decode_read(obj, "request")],
+                            idempotency_key=idem)
     if rtype == TYPE_ALIGN_PAIR:
         pair_id = obj.get("pair_id")
         if pair_id is not None and not isinstance(pair_id, str):
@@ -142,7 +160,8 @@ def decode_request(line: str) -> AlignRequest:
         mate2 = _decode_read(obj.get("mate2"), "mate2")
         return AlignRequest(request_id=request_id, type=rtype,
                             reads=[mate1, mate2],
-                            pair_id=pair_id or mate1.read_id)
+                            pair_id=pair_id or mate1.read_id,
+                            idempotency_key=idem)
     return AlignRequest(request_id=request_id, type=rtype)
 
 
@@ -150,17 +169,22 @@ def decode_request(line: str) -> AlignRequest:
 # Request encoding (client side) and response framing (both sides)
 # --------------------------------------------------------------------- #
 
-def encode_align(request_id: str, read: Read) -> str:
+def encode_align(request_id: str, read: Read,
+                 idempotency_key: Optional[str] = None) -> str:
     """One NDJSON line for a single-read alignment request."""
-    obj = {"id": request_id, "type": TYPE_ALIGN, "read_id": read.read_id,
-           "sequence": read.sequence}
+    obj: Dict[str, Any] = {"id": request_id, "type": TYPE_ALIGN,
+                           "read_id": read.read_id,
+                           "sequence": read.sequence}
     if read.quality:
         obj["quality"] = read.quality
+    if idempotency_key is not None:
+        obj["idem"] = idempotency_key
     return json.dumps(obj, separators=(",", ":"))
 
 
 def encode_align_pair(request_id: str, mate1: Read, mate2: Read,
-                      pair_id: Optional[str] = None) -> str:
+                      pair_id: Optional[str] = None,
+                      idempotency_key: Optional[str] = None) -> str:
     """One NDJSON line for a paired-read alignment request."""
     def mate(read: Read) -> Dict[str, str]:
         obj = {"read_id": read.read_id, "sequence": read.sequence}
@@ -171,6 +195,8 @@ def encode_align_pair(request_id: str, mate1: Read, mate2: Read,
                            "mate1": mate(mate1), "mate2": mate(mate2)}
     if pair_id is not None:
         obj["pair_id"] = pair_id
+    if idempotency_key is not None:
+        obj["idem"] = idempotency_key
     return json.dumps(obj, separators=(",", ":"))
 
 

@@ -33,6 +33,21 @@ Robustness contract (pinned by tests):
 - **Graceful drain**: :meth:`AlignmentServer.shutdown` stops admitting,
   lets the workers drain every queued request, flushes the responses,
   and only then tears down.
+- **Degraded mode**: a :class:`~repro.faults.breaker.CircuitBreaker`
+  watches worker crashes; past the threshold the server sheds *new*
+  align requests with ``busy`` (already-accepted work still drains)
+  instead of collapsing, probes after a cooldown, and recovers.
+- **Idempotent retries**: an align request carrying an ``idem`` key is
+  deduplicated against a bounded cache of completed payloads, so a
+  client that lost a response to a dropped connection can retry without
+  recomputation or double-application.
+
+Fault injection: construct with a :class:`~repro.faults.plan.
+FaultInjector` and the server wraps every engine in a
+:class:`~repro.faults.injectors.FaultyEngine` (crash/latency faults at
+the ``engine`` site) and routes response writes through the
+``conn_write`` site (drops and partial writes).  No injector, no
+overhead — the hot paths check a single ``is not None``.
 """
 
 from __future__ import annotations
@@ -45,6 +60,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set
 
 from repro import obs
+from repro.faults.breaker import STATE_CODES, CircuitBreaker
+from repro.faults.injectors import FaultyEngine, IdempotencyCache
+from repro.faults.plan import CONN_DROP, SITE_CONN_WRITE, FaultInjector
 from repro.genome.reference import ReferenceGenome
 from repro.service.batcher import (
     DynamicBatcher,
@@ -55,6 +73,7 @@ from repro.service.engine import AlignmentEngine, EngineError
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
+    ERR_BUSY,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_SHUTTING_DOWN,
@@ -87,6 +106,11 @@ class ServerConfig:
     batch_extension: bool = True
     stats_interval_s: float = 10.0   # 0 disables the periodic log line
     max_retries: int = 2             # batch replays after a worker crash
+    breaker_threshold: int = 8       # worker crashes in window → degraded
+    breaker_window_s: float = 10.0   # sliding failure window
+    breaker_cooldown_s: float = 2.0  # open → half-open probe delay
+    breaker_probes: int = 1          # concurrent half-open probes
+    idempotency_capacity: int = 4096  # completed payloads kept for dedup
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -102,6 +126,21 @@ class ServerConfig:
                 f"request_timeout_s must be >= 0, got {self.request_timeout_s}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+        if self.breaker_window_s <= 0:
+            raise ValueError(
+                f"breaker_window_s must be positive, got {self.breaker_window_s}")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be >= 0, got {self.breaker_cooldown_s}")
+        if self.breaker_probes < 1:
+            raise ValueError(
+                f"breaker_probes must be >= 1, got {self.breaker_probes}")
+        if self.idempotency_capacity < 1:
+            raise ValueError(f"idempotency_capacity must be >= 1, "
+                             f"got {self.idempotency_capacity}")
 
 
 @dataclass
@@ -122,20 +161,40 @@ class AlignmentServer:
         engine_factory: builds one engine per worker; defaults to
             :class:`AlignmentEngine` over ``reference`` with the config's
             batching knobs. Tests inject flaky factories here.
+        fault_injector: optional seeded injector (see :mod:`repro.
+            faults`); wires crash/latency faults into every engine and
+            drop/partial-write faults into response writes.
     """
 
     def __init__(self, reference: ReferenceGenome,
                  config: Optional[ServerConfig] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 engine_factory: Optional[Callable[[], Any]] = None):
+                 engine_factory: Optional[Callable[[], Any]] = None,
+                 fault_injector: Optional[FaultInjector] = None):
         self.reference = reference
         self.config = config or ServerConfig()
         self.metrics = metrics or MetricsRegistry()
-        self._engine_factory = engine_factory or (
+        base_factory = engine_factory or (
             lambda: AlignmentEngine(
                 reference,
                 batch_extension=self.config.batch_extension,
                 max_batch=self.config.max_batch))
+        self._injector = fault_injector
+        if fault_injector is not None:
+            self._engine_factory: Callable[[], Any] = (
+                lambda: FaultyEngine(base_factory(), fault_injector))
+        else:
+            self._engine_factory = base_factory
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            window_s=self.config.breaker_window_s,
+            cooldown_s=self.config.breaker_cooldown_s,
+            half_open_probes=self.config.breaker_probes,
+            on_transition=self._on_breaker_transition)
+        self.metrics.set_gauge("breaker_state",
+                               STATE_CODES[self.breaker.state])
+        self._idempotency = IdempotencyCache(
+            self.config.idempotency_capacity)
         self._batcher: Optional[DynamicBatcher] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -289,6 +348,30 @@ class AlignmentServer:
         req_span = obs.begin("request", "service",
                              request_id=request.request_id,
                              type=request.type)
+        if request.idempotency_key is not None:
+            cached = self._idempotency.get(request.idempotency_key)
+            if cached is not None:
+                # A retry of work we already completed: answer from the
+                # dedup cache — never recompute, never double-apply.
+                self.metrics.inc("idempotent_hits_total")
+                obs.instant("idempotent_hit", "service",
+                            request_id=request.request_id)
+                req_span.end(outcome="idempotent_hit")
+                await self._write(conn, success_response(
+                    request.request_id, **cached))
+                return
+        if not self.breaker.allow():
+            # Degraded mode: shed instead of queueing onto a crashing
+            # engine pool. `busy` tells the client to back off + retry.
+            self.metrics.inc("shed_total")
+            self.metrics.inc("errors_total")
+            obs.instant("request_shed", "service")
+            req_span.end(outcome=ERR_BUSY)
+            await self._write(conn, error_response(
+                request.request_id, ERR_BUSY,
+                "degraded mode: worker crash rate tripped the circuit "
+                "breaker; back off and retry"))
+            return
         try:
             future = self._batcher.submit(request,
                                           span_id=req_span.span_id)
@@ -306,20 +389,25 @@ class AlignmentServer:
             return
         self.metrics.gauge("in_flight").inc()
         task = asyncio.ensure_future(
-            self._respond(conn, request.request_id, future,
+            self._respond(conn, request, future,
                           time.monotonic(), req_span))
         self._response_tasks.add(task)
         task.add_done_callback(self._response_tasks.discard)
 
-    async def _respond(self, conn: _Connection, request_id: str,
+    async def _respond(self, conn: _Connection, request: Any,
                        future: "asyncio.Future[Dict[str, Any]]",
                        submitted_at: float,
                        req_span: Any = obs.NULL_SPAN) -> None:
+        request_id = request.request_id
         timeout = self.config.request_timeout_s or None
         outcome = "ok"
         try:
             payload = await asyncio.wait_for(future, timeout)
             line = success_response(request_id, **payload)
+            if request.idempotency_key is not None:
+                # Record before the write: a response lost to a dropped
+                # connection must still dedup the client's retry.
+                self._idempotency.put(request.idempotency_key, payload)
             self.metrics.inc("responses_total")
         except asyncio.TimeoutError:
             self.metrics.inc("timeouts_total")
@@ -353,14 +441,44 @@ class AlignmentServer:
                             parent_id=parent.span_id or None)
 
     async def _write(self, conn: _Connection, line: str) -> None:
+        if conn.writer.is_closing():
+            # The transport is already gone (client hung up, or an
+            # injected drop tore it down); writing would only make the
+            # event loop log spurious socket.send() errors.
+            return
+        data = line.encode("utf-8") + b"\n"
+        if self._injector is not None:
+            event = self._injector.check(SITE_CONN_WRITE)
+            if event is not None and event.kind == CONN_DROP:
+                await self._drop_connection(conn, data, event.param)
+                return
         try:
             # Response lines must reach the socket whole and unsheared;
             # per-connection serialisation across drain() is the point.
             async with conn.lock:  # repro-lint: disable=lock-across-await
-                conn.writer.write(line.encode("utf-8") + b"\n")
+                conn.writer.write(data)
                 await conn.writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            # Client went away; its batch results are simply discarded.
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            # Client went away (or the transport was already torn down
+            # by an injected drop); batch results are simply discarded.
+            pass
+
+    async def _drop_connection(self, conn: _Connection, data: bytes,
+                               written_fraction: float) -> None:
+        """Injected ``conn_drop``: emit a prefix of the response (a torn
+        write; 0 = nothing) and kill the connection, so the client sees
+        exactly what a mid-write network failure looks like."""
+        self.metrics.inc("injected_conn_faults_total")
+        obs.instant("fault_injected", "faults", kind=CONN_DROP,
+                    partial=written_fraction)
+        try:
+            async with conn.lock:  # repro-lint: disable=lock-across-await
+                keep = int(len(data) * written_fraction)
+                if keep > 0:
+                    conn.writer.write(data[:keep])
+                    await conn.writer.drain()
+                conn.writer.close()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
             pass
 
     # ------------------------------------------------------------------ #
@@ -396,9 +514,11 @@ class AlignmentServer:
                             self._executor, self._engine_factory)
                     payloads = await loop.run_in_executor(
                         self._executor, engine.execute, requests)
+                    self.breaker.record_success()
                     break
                 except Exception as exc:
                     self.metrics.inc("worker_crashes_total")
+                    self.breaker.record_failure()
                     logger.warning(
                         "worker %d crashed on a %d-request batch "
                         "(attempt %d/%d): %s", worker_id, len(requests),
@@ -444,6 +564,15 @@ class AlignmentServer:
     # Observability
     # ------------------------------------------------------------------ #
 
+    def _on_breaker_transition(self, old_state: str,
+                               new_state: str) -> None:
+        self.metrics.set_gauge("breaker_state", STATE_CODES[new_state])
+        if new_state == "open":
+            self.metrics.inc("breaker_opens_total")
+        obs.instant("breaker_transition", "service",
+                    old=old_state, new=new_state)
+        logger.warning("circuit breaker %s -> %s", old_state, new_state)
+
     def stats_payload(self) -> Dict[str, Any]:
         """The ``stats`` response body: metrics + batcher + config."""
         assert self._batcher is not None
@@ -459,6 +588,9 @@ class AlignmentServer:
                 "batch_extension": cfg.batch_extension,
             },
             "batcher": self._batcher.stats.as_dict(),
+            "breaker": self.breaker.as_dict(),
+            "faults": (self._injector.fired_counts()
+                       if self._injector is not None else {}),
             "metrics": self.metrics.snapshot(),
         }
 
@@ -470,7 +602,8 @@ class AlignmentServer:
 
 async def run_server(reference: ReferenceGenome,
                      config: Optional[ServerConfig] = None,
-                     ready: Optional["asyncio.Event"] = None) -> None:
+                     ready: Optional["asyncio.Event"] = None,
+                     fault_injector: Optional[FaultInjector] = None) -> None:
     """Start a server and serve until cancelled; drains on the way out.
 
     The CLI entry point; also convenient for embedding in tests::
@@ -480,7 +613,8 @@ async def run_server(reference: ReferenceGenome,
         ...
         task.cancel()
     """
-    server = AlignmentServer(reference, config=config)
+    server = AlignmentServer(reference, config=config,
+                             fault_injector=fault_injector)
     await server.start()
     if ready is not None:
         ready.set()

@@ -1,0 +1,204 @@
+"""RetryPolicy: deterministic jitter, backoff shape, deadline budget."""
+
+import asyncio
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+
+
+class FakeClock:
+    """Manual clock + sleep pair so tests never actually wait."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, delay):
+        self.sleeps.append(delay)
+        self.now += delay
+
+    async def async_sleep(self, delay):
+        self.sleep(delay)
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="ok", exc=ConnectionError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"failure {self.calls}")
+        return self.value
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -1},
+        {"multiplier": 0.5},
+        {"max_delay_s": -1},
+        {"deadline_s": -1},
+        {"jitter": 1.5},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(-1)
+
+
+class TestSchedule:
+    def test_deterministic_per_seed_key_attempt(self):
+        policy = RetryPolicy(seed=11)
+        twin = RetryPolicy(seed=11)
+        assert policy.delays("req-1") == twin.delays("req-1")
+        assert policy.delay_for(2, "req-1") == twin.delay_for(2, "req-1")
+
+    def test_key_and_seed_decorrelate(self):
+        policy = RetryPolicy(seed=11)
+        assert policy.delays("a") != policy.delays("b")
+        assert policy.delays("a") != RetryPolicy(seed=12).delays("a")
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=10.0, jitter=0.5, seed=3)
+        for attempt in range(4):
+            raw = min(0.1 * (2.0 ** attempt), 10.0)
+            for key in ("x", "y", "z"):
+                delay = policy.delay_for(attempt, key)
+                assert raw * 0.5 <= delay <= raw
+
+    def test_no_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                             multiplier=2.0, max_delay_s=0.5, jitter=0.0)
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5]
+
+    def test_max_delay_caps(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=10.0,
+                             max_delay_s=2.0, jitter=0.0)
+        assert policy.delay_for(5) == 2.0
+
+
+class TestExecute:
+    def test_retries_then_succeeds(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        fn = Flaky(failures=2)
+        result = policy.execute(fn, clock=clock, sleep=clock.sleep)
+        assert result == "ok"
+        assert fn.calls == 3
+        assert clock.sleeps == [policy.delay_for(0), policy.delay_for(1)]
+
+    def test_exhaustion_reraises_last_error(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        fn = Flaky(failures=99)
+        with pytest.raises(ConnectionError, match="failure 3"):
+            policy.execute(fn, clock=clock, sleep=clock.sleep)
+        assert fn.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=5)
+        fn = Flaky(failures=99, exc=KeyError)
+        with pytest.raises(KeyError):
+            policy.execute(fn, retry_on=(ConnectionError,),
+                           clock=clock, sleep=clock.sleep)
+        assert fn.calls == 1
+        assert clock.sleeps == []
+
+    def test_deadline_never_overrun(self):
+        """The policy refuses to start a sleep crossing the budget."""
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.4,
+                             multiplier=1.0, max_delay_s=0.4,
+                             deadline_s=1.0, jitter=0.0)
+        fn = Flaky(failures=99)
+        with pytest.raises(ConnectionError):
+            policy.execute(fn, clock=clock, sleep=clock.sleep)
+        # 0.4 + 0.4 taken; a third sleep would end at 1.2 > 1.0.
+        assert clock.sleeps == [0.4, 0.4]
+        assert clock.now <= 1.0
+        assert fn.calls == 3
+
+    def test_zero_deadline_single_attempt(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                             deadline_s=0.0, jitter=0.0)
+        fn = Flaky(failures=99)
+        with pytest.raises(ConnectionError, match="failure 1"):
+            policy.execute(fn, clock=clock, sleep=clock.sleep)
+        assert fn.calls == 1
+
+    def test_on_retry_callback(self):
+        clock = FakeClock()
+        seen = []
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        fn = Flaky(failures=2)
+        policy.execute(fn, clock=clock, sleep=clock.sleep,
+                       on_retry=lambda attempt, exc: seen.append(
+                           (attempt, type(exc))))
+        assert seen == [(0, ConnectionError), (1, ConnectionError)]
+
+
+class TestExecuteAsync:
+    def test_async_retries_then_succeeds(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        flaky = Flaky(failures=2)
+
+        async def fn():
+            return flaky()
+
+        async def scenario():
+            return await policy.execute_async(
+                fn, clock=clock, sleep=clock.async_sleep)
+
+        assert asyncio.run(scenario()) == "ok"
+        assert flaky.calls == 3
+        assert clock.sleeps == [policy.delay_for(0), policy.delay_for(1)]
+
+    def test_async_deadline_never_overrun(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.4,
+                             multiplier=1.0, max_delay_s=0.4,
+                             deadline_s=1.0, jitter=0.0)
+        flaky = Flaky(failures=99)
+
+        async def fn():
+            return flaky()
+
+        async def scenario():
+            await policy.execute_async(fn, clock=clock,
+                                       sleep=clock.async_sleep)
+
+        with pytest.raises(ConnectionError):
+            asyncio.run(scenario())
+        assert clock.now <= 1.0
+        assert flaky.calls == 3
+
+    def test_async_non_retryable_propagates(self):
+        policy = RetryPolicy(max_attempts=5)
+        flaky = Flaky(failures=99, exc=KeyError)
+
+        async def fn():
+            return flaky()
+
+        async def scenario():
+            await policy.execute_async(fn, retry_on=(ConnectionError,))
+
+        with pytest.raises(KeyError):
+            asyncio.run(scenario())
+        assert flaky.calls == 1

@@ -198,3 +198,78 @@ class TestDomainMemoizers:
                                      seed=0).build(),
             {"seed": 0}, 5, error_model=ILLUMINA)
         assert len(reads) == 5
+
+
+def _raise_type_error(*args):
+    raise TypeError("consumer bug, not data corruption")
+
+
+class _BombPayload:
+    """Pickles fine; reconstruction raises TypeError (a programming
+    error in the consumer's type, not a torn file)."""
+
+    def __reduce__(self):
+        return (_raise_type_error, ())
+
+
+class TestCorruptionDiscipline:
+    """The blanket-except fix: data corruption is a counted miss plus an
+    eviction; programming errors propagate to the caller."""
+
+    def test_empty_file_is_corrupt_miss(self, cache):
+        cache.get_or_build("thing", {"n": 3}, lambda: "good")
+        path = cache.path_for("thing", {"n": 3})
+        with open(path, "wb"):
+            pass  # zero bytes: the torn write corrupt_file(0.0) models
+        value, hit = cache.load("thing", {"n": 3})
+        assert (value, hit) == (None, False)
+        assert cache.stats.corrupt == 1
+        assert not os.path.exists(path)
+
+    def test_programming_error_propagates(self, cache):
+        cache.store("thing", {"n": 3}, _BombPayload())
+        with pytest.raises(TypeError, match="consumer bug"):
+            cache.load("thing", {"n": 3})
+        # Not misclassified as corruption; the entry is left alone.
+        assert cache.stats.corrupt == 0
+        assert os.path.exists(cache.path_for("thing", {"n": 3}))
+
+    def test_injected_corruption_recovers(self, tmp_path):
+        from repro.faults.plan import (CACHE_CORRUPT, SITE_CACHE_LOAD,
+                                       FaultPlan, FaultSpec)
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(CACHE_CORRUPT, SITE_CACHE_LOAD, at_calls=(1,)),))
+        injector = plan.injector()
+        cache = ArtifactCache(tmp_path / "inj", fault_injector=injector)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return {"k": list(range(100))}
+
+        first, hit = cache.get_or_build("thing", {"n": 1}, build)
+        assert not hit
+        # This load crosses the cache_load site: the injected fault
+        # truncates the entry, which must read as a corrupt miss.
+        second, hit = cache.get_or_build("thing", {"n": 1}, build)
+        assert (second, hit) == (first, False)
+        assert cache.stats.corrupt == 1
+        assert len(builds) == 2
+        # The rebuilt entry is healthy again (site call 2: no fault).
+        third, hit = cache.get_or_build("thing", {"n": 1}, build)
+        assert (third, hit) == (first, True)
+
+    def test_miss_does_not_cross_injection_site(self, tmp_path):
+        """Only loads of *existing* entries cross cache_load — a cold
+        miss cannot consume a scheduled corruption event."""
+        from repro.faults.plan import (CACHE_CORRUPT, SITE_CACHE_LOAD,
+                                       FaultPlan, FaultSpec)
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(CACHE_CORRUPT, SITE_CACHE_LOAD, at_calls=(1,)),))
+        injector = plan.injector()
+        cache = ArtifactCache(tmp_path / "inj", fault_injector=injector)
+        cache.load("thing", {"n": 1})  # cold miss: no entry on disk
+        assert injector.calls(SITE_CACHE_LOAD) == 0
+        cache.store("thing", {"n": 1}, "v")
+        cache.load("thing", {"n": 1})
+        assert injector.calls(SITE_CACHE_LOAD) == 1

@@ -13,12 +13,14 @@ def run(coro):
 
 
 @contextlib.asynccontextmanager
-async def serving(reference, engine_factory=None, **config_overrides):
+async def serving(reference, engine_factory=None, fault_injector=None,
+                  **config_overrides):
     """A started server plus a connected client, torn down cleanly."""
     overrides = {"port": 0, "stats_interval_s": 0.0}
     overrides.update(config_overrides)
     server = AlignmentServer(reference, config=ServerConfig(**overrides),
-                             engine_factory=engine_factory)
+                             engine_factory=engine_factory,
+                             fault_injector=fault_injector)
     await server.start()
     client = await AsyncServiceClient.connect("127.0.0.1", server.port)
     try:

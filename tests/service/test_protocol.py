@@ -99,3 +99,26 @@ def test_malformed_response_rejected():
         decode_response("{}")
     with pytest.raises(ProtocolError):
         decode_response("garbage")
+
+
+def test_idempotency_key_round_trips():
+    read = Read(read_id="r1", sequence="ACGTACGT")
+    line = encode_align("7", read, idempotency_key="sess-42")
+    assert json.loads(line)["idem"] == "sess-42"
+    request = decode_request(line)
+    assert request.idempotency_key == "sess-42"
+    # Absent by default — the field costs nothing when unused.
+    bare = encode_align("8", read)
+    assert "idem" not in json.loads(bare)
+    assert decode_request(bare).idempotency_key is None
+
+
+def test_idempotency_key_validated():
+    read = Read(read_id="r1", sequence="ACGT")
+    payload = json.loads(encode_align("9", read))
+    payload["idem"] = ""
+    with pytest.raises(ProtocolError, match="idem"):
+        decode_request(json.dumps(payload))
+    payload["idem"] = 123
+    with pytest.raises(ProtocolError, match="idem"):
+        decode_request(json.dumps(payload))

@@ -222,3 +222,53 @@ def test_unix_socket_serving(tmp_path, service_reference, service_reads):
         await server.shutdown(drain=True)
 
     run(unix_scenario())
+
+
+def test_idempotent_retry_answered_from_cache(service_reference,
+                                              service_reads):
+    """The same idempotency key twice returns the same payload without
+    recomputation — the dedup that makes client retries exactly-once."""
+    async def scenario():
+        async with serving(service_reference) as (server, client):
+            first = await client.align(service_reads[0],
+                                       idempotency_key="retry-key-1")
+            second = await client.align(service_reads[0],
+                                        idempotency_key="retry-key-1")
+            assert second["sam"] == first["sam"]
+            snap = server.metrics.snapshot()
+            assert snap["counters"]["idempotent_hits_total"] == 1
+            # Only the first request ever reached the batcher.
+            assert server.stats_payload()["batcher"][
+                "dispatched_items"] == 1
+    run(scenario())
+
+
+def test_breaker_sheds_with_busy_and_recovers(service_reference,
+                                              service_reads):
+    """Past the crash threshold the server degrades to `busy` shedding
+    instead of queueing onto a dying engine pool, then recovers."""
+    class DoomedEngine:
+        def execute(self, requests):
+            raise RuntimeError("engine is on fire")
+
+    async def scenario():
+        async with serving(service_reference, engine_factory=DoomedEngine,
+                           workers=1, max_retries=0, breaker_threshold=1,
+                           breaker_cooldown_s=30.0) as (server, client):
+            with pytest.raises(ServiceError) as excinfo:
+                await client.align(service_reads[0])
+            assert excinfo.value.code == "internal"
+            assert server.breaker.state == "open"
+            with pytest.raises(ServiceError) as excinfo:
+                await client.align(service_reads[1])
+            assert excinfo.value.code == "busy"
+            snap = server.metrics.snapshot()
+            assert snap["counters"]["shed_total"] == 1
+            assert snap["counters"]["breaker_opens_total"] == 1
+            assert snap["gauges"]["breaker_state"] == 2
+            assert server.stats_payload()["breaker"]["state"] == "open"
+            # Control traffic is never shed — the server stays
+            # observable while degraded.
+            assert await client.ping()
+
+    run(scenario())
