@@ -3,7 +3,11 @@
 Subcommands (``python -m repro`` works identically)::
 
     python -m repro simulate  --length 100000 --reads 500 --out-prefix x
+    python -m repro index build   --reference x.fa --out x.idx
+    python -m repro index inspect x.idx
+    python -m repro index verify  x.idx
     python -m repro align     --reference x.fa --reads x.fq --out x.sam
+    python -m repro align     --reference x.fa --reads x.fq --index x.idx
     python -m repro align     --reference x.fa --reads x.fq --long
     python -m repro accelerate --dataset H.s. --reads 2000
     python -m repro accelerate --reference x.fa --reads-file x.fq
@@ -24,6 +28,13 @@ control, live metrics) and ``loadgen`` benchmarks it.  ``chaos`` runs
 serve + loadgen + the sharded runtime under a seeded fault plan and
 gates on the resilience invariants (see docs/RESILIENCE.md); ``serve
 --fault-plan`` arms the same injection on a long-lived server.
+
+``index build`` serializes the FM-index + reference into the versioned,
+checksummed store of :mod:`repro.seeding.store`; ``align --index`` and
+``serve --index`` then memory-map it zero-copy (one physical copy shared
+by every worker process/thread) instead of rebuilding it, with
+bit-identical output.  ``index verify`` re-hashes every array payload
+and exits nonzero on corruption.
 
 ``--trace-out FILE`` on ``align``/``accelerate``/``serve``/``loadgen``
 enables the :mod:`repro.obs` tracer and writes a Chrome ``trace_event``
@@ -92,6 +103,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.genome.io import read_reference
+    from repro.seeding.store import build_index_store
+
+    trace_out = _start_tracing(args)
+    reference = read_reference(args.reference)
+    store = build_index_store(reference, args.out,
+                              occ_interval=args.occ_interval,
+                              sa_sample=args.sa_sample,
+                              source=os.path.basename(args.reference))
+    size = os.path.getsize(args.out)
+    print(f"built {args.out} ({size:,} bytes over {len(reference):,} bp, "
+          f"occ_interval={args.occ_interval}, sa_sample={args.sa_sample})")
+    print(f"content hash: {store.content_hash}")
+    _write_trace(trace_out)
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.seeding.store import IndexStore, IndexStoreError
+
+    try:
+        store = IndexStore.open(args.path)
+    except IndexStoreError as exc:
+        print(f"FAIL: {type(exc).__name__}: {exc}")
+        return 1
+    print(json.dumps(store.describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_index_verify(args: argparse.Namespace) -> int:
+    from repro.seeding.store import IndexStore, IndexStoreError
+
+    try:
+        store = IndexStore.open(args.path, verify=True)
+    except IndexStoreError as exc:
+        print(f"FAIL: {type(exc).__name__}: {exc}")
+        return 1
+    print(f"ok: {args.path} (format v{store.format_version}, "
+          f"{store.meta['text_length']:,} bp, "
+          f"content {store.content_hash[:16]})")
+    return 0
+
+
+def _open_index_for(reference, index_path: str):
+    """Open an index store and insist it was built for ``reference``."""
+    from repro.seeding.store import IndexStore
+
+    store = IndexStore.open(index_path)
+    if not store.matches_reference(reference):
+        raise SystemExit(
+            f"FAIL: index {index_path} was built for a different "
+            f"reference (rebuild with: repro index build)")
+    return store
+
+
 def _cmd_align(args: argparse.Namespace) -> int:
     from repro.analysis.accuracy import evaluate
     from repro.genome.io import parse_fastq, read_reference
@@ -112,15 +181,22 @@ def _cmd_align(args: argparse.Namespace) -> int:
 
     from repro.align.sam import write_sam
 
+    if args.index:
+        _open_index_for(reference, args.index)  # fail fast on mismatch
     if args.parallelism > 1:
         from repro.runtime.sharded import ShardedRunner
         runner = ShardedRunner(parallelism=args.parallelism,
                                shard_size=args.shard_size)
         results = runner.align(reference, reads,
-                               batch_extension=args.batch_extension)
+                               batch_extension=args.batch_extension,
+                               index_path=args.index)
     else:
         from repro.align.pipeline import SoftwareAligner
-        aligner = SoftwareAligner(reference)
+        if args.index:
+            index = _open_index_for(reference, args.index).fmindex()
+            aligner = SoftwareAligner(reference, index=index)
+        else:
+            aligner = SoftwareAligner(reference)
         results = aligner.align_all(reads,
                                     batch_extension=args.batch_extension)
     report = evaluate(results, reference)
@@ -223,6 +299,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
     trace_out = _start_tracing(args)
     reference = read_reference(args.reference)
+    if args.index:
+        _open_index_for(reference, args.index)  # fail fast on mismatch
+        print(f"index store: {args.index} (mmap-attached per worker)",
+              flush=True)
     config = ServerConfig(
         host=args.host, port=args.port, unix_path=args.unix_socket,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
@@ -232,7 +312,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stats_interval_s=args.stats_interval,
         breaker_threshold=args.breaker_threshold,
         breaker_window_s=args.breaker_window,
-        breaker_cooldown_s=args.breaker_cooldown)
+        breaker_cooldown_s=args.breaker_cooldown,
+        index_path=args.index)
     fault_injector = None
     if args.fault_plan:
         from repro.faults.plan import named_plan
@@ -395,10 +476,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-prefix", required=True)
     p.set_defaults(func=_cmd_simulate)
 
+    p = sub.add_parser("index",
+                       help="build / inspect / verify the on-disk "
+                            "memory-mapped FM-index store")
+    index_sub = p.add_subparsers(dest="index_command", required=True)
+    p = index_sub.add_parser(
+        "build", help="serialize the FM-index of a FASTA reference")
+    p.add_argument("--reference", required=True, help="FASTA to index")
+    p.add_argument("--out", required=True, help="index store path (.idx)")
+    p.add_argument("--occ-interval", type=int, default=128,
+                   help="Occ checkpoint spacing (paper: 128)")
+    p.add_argument("--sa-sample", type=int, default=1,
+                   help="keep every Nth suffix-array entry (1 = full SA)")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace of the build")
+    p.set_defaults(func=_cmd_index_build)
+    p = index_sub.add_parser(
+        "inspect", help="print a store's header and array table as JSON")
+    p.add_argument("path", help="index store path")
+    p.set_defaults(func=_cmd_index_inspect)
+    p = index_sub.add_parser(
+        "verify", help="re-hash every array payload; nonzero on corruption")
+    p.add_argument("path", help="index store path")
+    p.set_defaults(func=_cmd_index_verify)
+
     p = sub.add_parser("align", help="align FASTQ reads to a FASTA reference")
     p.add_argument("--reference", required=True)
     p.add_argument("--reads", required=True)
     p.add_argument("--out", help="SAM output path")
+    p.add_argument("--index",
+                   help="prebuilt index store (repro index build); "
+                        "memory-mapped instead of rebuilding the FM-index")
     p.add_argument("--long", action="store_true",
                    help="use the long-read (chain-then-fill) pipeline")
     p.add_argument("--parallelism", type=int, default=1,
@@ -440,6 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve",
                        help="run the online alignment service")
     p.add_argument("--reference", required=True, help="FASTA to serve")
+    p.add_argument("--index",
+                   help="prebuilt index store (repro index build); each "
+                        "worker memory-maps it instead of rebuilding")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7878,
                    help="TCP port (0 = ephemeral)")
@@ -588,6 +699,13 @@ def _validate(parser: argparse.ArgumentParser,
         if args.connect and args.stats_json:
             parser.error("obs export takes --connect or --stats-json, "
                          "not both")
+    if (getattr(args, "command", None) == "index"
+            and getattr(args, "index_command", None) == "build"):
+        if args.occ_interval < 1:
+            parser.error(
+                f"--occ-interval must be >= 1, got {args.occ_interval}")
+        if args.sa_sample < 1:
+            parser.error(f"--sa-sample must be >= 1, got {args.sa_sample}")
     if getattr(args, "command", None) == "serve":
         for name in ("max_batch", "queue_depth", "workers"):
             value = getattr(args, name)

@@ -22,7 +22,11 @@ injection worth having:
    run's output.
 5. **Cache self-healing** — an injected torn cache entry is detected,
    evicted, counted, and rebuilt to the original artifact.
-6. **Coverage** — every fault kind the plan declares actually fired.
+6. **Index-store self-healing** — a torn on-disk FM-index store is
+   detected by its checksummed header, rebuilt, and the recovered index
+   produces byte-identical SAM (a corrupted index can never silently
+   misalign reads).
+7. **Coverage** — every fault kind the plan declares actually fired.
 
 Everything is seeded; the same invocation is the same run.  The CI
 ``chaos-smoke`` job gates on :attr:`ChaosReport.passed`.
@@ -194,6 +198,48 @@ def _cache_phase(injector: Optional[FaultInjector]
         return True, cache.stats.corrupt, ""
 
 
+def _index_phase(reference: Any, reads: Any) -> Tuple[bool, str]:
+    """Tear the on-disk index store; recovery must be bit-identical.
+
+    Uses :func:`~repro.faults.injectors.corrupt_file` directly rather
+    than the run's shared injector: the injector's scheduled
+    ``cache_corrupt`` events belong to the cache phase, and consuming
+    one here would silently change that phase's expected schedule.
+    """
+    import os
+
+    from repro.align.pipeline import SoftwareAligner
+    from repro.align.sam import sam_record
+    from repro.faults.injectors import corrupt_file
+    from repro.seeding.store import (
+        IndexStoreError,
+        attach_or_build,
+        build_index_store,
+    )
+
+    def render(index: Any) -> List[str]:
+        aligner = SoftwareAligner(reference, index=index)
+        return [sam_record(r, reference) for r in aligner.align_all(reads)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-index-") as tmp:
+        path = os.path.join(tmp, "chaos.idx")
+        store = build_index_store(reference, path)
+        expected_hash = store.content_hash
+        baseline = render(store.fmindex())
+        corrupt_file(path, keep_fraction=0.5)  # torn write
+        rebuilt, mmap_hit, error = attach_or_build(path, reference)
+        if mmap_hit:
+            return False, "torn index store attached as an mmap hit"
+        if not isinstance(error, IndexStoreError):
+            return False, f"corruption not detected (error={error!r})"
+        if rebuilt.content_hash != expected_hash:
+            return False, "rebuilt store's content hash diverged"
+        recovered = render(rebuilt.fmindex())
+        if recovered != baseline:
+            return False, "recovered index produced non-identical SAM"
+        return True, ""
+
+
 # --------------------------------------------------------------------- #
 # The harness
 # --------------------------------------------------------------------- #
@@ -321,6 +367,12 @@ def run_chaos(plan_name: str = "ci-default", seed: int = 7,
         detail or ("" if cache_ok else
                    f"corrupt counter {corrupt}, injected corruption: "
                    f"{injected_corruption}")))
+
+    with obs.span("chaos_index", "chaos"):
+        index_ok, index_detail = _index_phase(
+            reference, shard_reads[:_HARNESS_SHARD_SIZE])
+    report.invariants.append(Invariant(
+        "index_corruption_recovers", index_ok, index_detail))
 
     # Coverage is only *guaranteed* for kinds with exact at_calls
     # schedules; rate-based specs (the soak plan) fire probabilistically

@@ -41,6 +41,7 @@ from repro.runtime.batch import ExtensionJob, smith_waterman_batch
 from repro.runtime.cache import ArtifactCache, CacheStats, open_cache
 from repro.runtime.artifacts import (
     cached_fm_index,
+    cached_index_store,
     cached_read_set,
     cached_reference,
     cached_synthetic_workload,
@@ -65,6 +66,7 @@ __all__ = [
     "SweepResult",
     "WorkerLostError",
     "cached_fm_index",
+    "cached_index_store",
     "cached_read_set",
     "cached_reference",
     "cached_synthetic_workload",

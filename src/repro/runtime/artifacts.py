@@ -32,28 +32,69 @@ def cached_reference(cache: Optional[ArtifactCache],
     return genome
 
 
+def cached_index_store(cache: ArtifactCache,
+                       reference: ReferenceGenome,
+                       reference_params: Dict[str, Any],
+                       occ_interval: int = 128,
+                       sa_sample: int = 1):
+    """Resolve the on-disk index store for ``reference`` by content hash.
+
+    The store file lives in the cache directory under a digest of the
+    genome's generating parameters + index parameters + the store's
+    :data:`~repro.seeding.store.FORMAT_VERSION` (a format bump addresses a
+    fresh path, so stale-format files simply stop being used).  A warm
+    resolve is a zero-copy ``np.memmap`` attach counted as a cache hit; a
+    missing or corrupt file is rebuilt and counted as a miss (+ corrupt
+    when a typed :class:`~repro.seeding.store.IndexStoreError` forced the
+    rebuild), matching the pickle entries' accounting.
+
+    Returns the opened :class:`~repro.seeding.store.IndexStore`.
+    """
+    from repro.seeding.store import FORMAT_VERSION, attach_or_build
+
+    params = {"reference": reference_params,
+              "occ_interval": occ_interval,
+              "sa_sample": sa_sample,
+              "format_version": FORMAT_VERSION}
+    path = cache.path_for("index_store", params, suffix=".idx")
+    store, mmap_hit, error = attach_or_build(
+        path, reference, occ_interval=occ_interval, sa_sample=sa_sample,
+        source="artifact-cache")
+    if error is not None:
+        cache.stats.corrupt += 1
+    if mmap_hit:
+        cache.stats.hits += 1
+    else:
+        cache.stats.misses += 1
+        cache.stats.stores += 1
+    return store
+
+
 def cached_fm_index(cache: Optional[ArtifactCache],
                     reference: ReferenceGenome,
                     reference_params: Dict[str, Any],
                     occ_interval: int = 128):
-    """Build (or reload) the bidirectional FM-index of ``reference``.
+    """Build (or mmap-attach) the bidirectional FM-index of ``reference``.
 
     ``reference_params`` is the generating-parameter dict of the genome
     (:meth:`SyntheticReference.params`); index construction parameters are
     appended so the same genome can carry indexes at several checkpoint
     spacings.
+
+    With a cache, the index is resolved through
+    :func:`cached_index_store`: the warm path memory-maps the raw arrays
+    instead of unpickling an object graph, so every process addressing the
+    same store shares one physical copy and attach cost is independent of
+    genome size.  Queries are bit-identical either way.
     """
     from repro.seeding.bidirectional import BidirectionalFMIndex
 
-    def build():
+    if cache is None:
         return BidirectionalFMIndex(reference.concatenated(),
                                     occ_interval=occ_interval)
-
-    if cache is None:
-        return build()
-    params = {"reference": reference_params, "occ_interval": occ_interval}
-    index, _ = cache.get_or_build("fm_index", params, build)
-    return index
+    store = cached_index_store(cache, reference, reference_params,
+                               occ_interval=occ_interval)
+    return store.fmindex()
 
 
 def cached_read_set(cache: Optional[ArtifactCache],

@@ -131,16 +131,22 @@ class ArtifactCache:
                              sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
-    def path_for(self, kind: str, params: Dict[str, Any]) -> str:
-        """On-disk path of the entry for ``(kind, params)``."""
+    def path_for(self, kind: str, params: Dict[str, Any],
+                 suffix: str = ".pkl") -> str:
+        """On-disk path of the entry for ``(kind, params)``.
+
+        ``suffix`` distinguishes storage formats sharing the cache
+        directory: ``.pkl`` for pickled envelopes, ``.idx`` for the raw
+        memory-mapped index stores of :mod:`repro.seeding.store`.
+        """
         return os.path.join(self.cache_dir,
-                            f"{kind}-{self.key(kind, params)}.pkl")
+                            f"{kind}-{self.key(kind, params)}{suffix}")
 
     def entries(self) -> Dict[str, int]:
         """Map of cached file name -> size in bytes (for inspection)."""
         out: Dict[str, int] = {}
         for name in sorted(os.listdir(self.cache_dir)):
-            if name.endswith(".pkl"):
+            if name.endswith(".pkl") or name.endswith(".idx"):
                 out[name] = os.path.getsize(
                     os.path.join(self.cache_dir, name))
         return out

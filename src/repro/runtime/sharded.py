@@ -184,10 +184,23 @@ _WORKER_OPTIONS: Dict[str, Any] = {}
 
 
 def _init_align_worker(reference, aligner_kwargs: Dict[str, Any],
-                       batch_extension: bool, max_batch: int) -> None:
+                       batch_extension: bool, max_batch: int,
+                       index_path: Optional[str] = None) -> None:
+    """Pool initializer: build one aligner per worker process.
+
+    With ``index_path`` the worker memory-maps the prebuilt index store
+    (microseconds, one shared physical copy across every worker on the
+    box) instead of rebuilding the FM-index from scratch — the difference
+    benchmarked by ``test_bench_index_load.py``.
+    """
     from repro.align.pipeline import SoftwareAligner
 
     global _WORKER_ALIGNER, _WORKER_OPTIONS
+    aligner_kwargs = dict(aligner_kwargs)
+    if index_path is not None and "index" not in aligner_kwargs:
+        from repro.seeding.store import IndexStore
+
+        aligner_kwargs["index"] = IndexStore.open(index_path).fmindex()
     _WORKER_ALIGNER = SoftwareAligner(reference, **aligner_kwargs)
     _WORKER_OPTIONS = {"batch_extension": batch_extension,
                        "max_batch": max_batch}
@@ -458,13 +471,19 @@ class ShardedRunner:
     def align(self, reference, reads: Sequence[Any],
               aligner_kwargs: Optional[Dict[str, Any]] = None,
               batch_extension: bool = False,
-              max_batch: int = 64) -> List[Any]:
+              max_batch: int = 64,
+              index_path: Optional[str] = None) -> List[Any]:
         """Align ``reads`` against ``reference`` across shards.
 
         Returns ``ReadAlignment`` results in global read order with global
         read indices, ready for ``repro.align.sam.write_sam`` — identical
         output for any worker count, because each read's alignment depends
         only on the read itself and the shared reference.
+
+        ``index_path`` names a prebuilt index store (see
+        :mod:`repro.seeding.store`): every worker then attaches the
+        memory-mapped index — one physical copy machine-wide — instead of
+        rebuilding the FM-index per process, with bit-identical output.
         """
         from repro.align.pipeline import SoftwareAligner
 
@@ -474,7 +493,13 @@ class ShardedRunner:
         with obs.span("sharded_align", "runtime", reads=len(reads),
                       shards=len(bounds), parallelism=self.parallelism):
             if self.parallelism == 1 or len(bounds) <= 1:
-                aligner = SoftwareAligner(reference, **aligner_kwargs)
+                serial_kwargs = dict(aligner_kwargs)
+                if index_path is not None and "index" not in serial_kwargs:
+                    from repro.seeding.store import IndexStore
+
+                    serial_kwargs["index"] = \
+                        IndexStore.open(index_path).fmindex()
+                aligner = SoftwareAligner(reference, **serial_kwargs)
                 return aligner.align_all(reads,
                                          batch_extension=batch_extension,
                                          max_batch=max_batch)
@@ -484,7 +509,7 @@ class ShardedRunner:
                 _align_shard_guarded, payloads,
                 initializer=_init_align_worker,
                 initargs=(reference, aligner_kwargs,
-                          batch_extension, max_batch))
+                          batch_extension, max_batch, index_path))
             shard_results.sort(key=lambda item: item[0])
             merged: List[Any] = []
             for _, results in shard_results:

@@ -27,15 +27,53 @@ from repro.seeding.chaining import (
     filter_anchors,
     top_chains,
 )
+from repro.seeding.store import (
+    FORMAT_VERSION,
+    IndexChecksumError,
+    IndexFormatError,
+    IndexStore,
+    IndexStoreError,
+    IndexVersionError,
+    attach_or_build,
+    build_index_store,
+    write_index_store,
+)
 
 __all__ = [
-    "SENTINEL", "bwt", "bwt_from_suffix_array", "extended_suffix_array",
-    "inverse_bwt", "suffix_array",
-    "AccessStats", "FMIndex", "SAInterval",
-    "BidirectionalFMIndex", "BiInterval",
-    "SMEM", "find_smems", "smems_covering",
-    "HashAccessStats", "KmerHashIndex",
-    "Minimizer", "MinimizerHit", "MinimizerIndex", "hash64", "minimizers",
-    "Anchor", "Chain", "chain_anchors", "chain_anchors_dp",
-    "filter_anchors", "top_chains",
+    "SENTINEL",
+    "bwt",
+    "bwt_from_suffix_array",
+    "extended_suffix_array",
+    "inverse_bwt",
+    "suffix_array",
+    "AccessStats",
+    "FMIndex",
+    "SAInterval",
+    "BidirectionalFMIndex",
+    "BiInterval",
+    "SMEM",
+    "find_smems",
+    "smems_covering",
+    "HashAccessStats",
+    "KmerHashIndex",
+    "Minimizer",
+    "MinimizerHit",
+    "MinimizerIndex",
+    "hash64",
+    "minimizers",
+    "Anchor",
+    "Chain",
+    "chain_anchors",
+    "chain_anchors_dp",
+    "filter_anchors",
+    "top_chains",
+    "FORMAT_VERSION",
+    "IndexChecksumError",
+    "IndexFormatError",
+    "IndexStore",
+    "IndexStoreError",
+    "IndexVersionError",
+    "attach_or_build",
+    "build_index_store",
+    "write_index_store",
 ]

@@ -52,14 +52,32 @@ class BidirectionalFMIndex:
     Args:
         text: DNA string or uint8 code array.
         occ_interval: checkpoint spacing shared by both underlying indexes.
+        sa_sample: suffix-array sampling rate shared by both indexes.
     """
 
-    def __init__(self, text, occ_interval: int = 64):
+    def __init__(self, text, occ_interval: int = 64, sa_sample: int = 1):
         codes = text if isinstance(text, np.ndarray) else seq.encode(text)
         codes = np.asarray(codes, dtype=np.uint8)
         self.length = int(codes.size)
-        self.forward = FMIndex(codes, occ_interval=occ_interval)
-        self.backward = FMIndex(codes[::-1].copy(), occ_interval=occ_interval)
+        self.forward = FMIndex(codes, occ_interval=occ_interval, sa_sample=sa_sample)
+        self.backward = FMIndex(codes[::-1].copy(), occ_interval=occ_interval, sa_sample=sa_sample)
+
+    @classmethod
+    def from_indexes(cls, forward: FMIndex, backward: FMIndex) -> "BidirectionalFMIndex":
+        """Wrap two prebuilt component indexes (text and reversed text).
+
+        This is the zero-copy attach path used by
+        :class:`repro.seeding.store.IndexStore`: the components arrive as
+        memmap-backed :meth:`FMIndex.from_arrays` instances and no suffix
+        array is constructed here.
+        """
+        if forward.length != backward.length:
+            raise ValueError(f"component lengths differ: {forward.length} != {backward.length}")
+        index = cls.__new__(cls)
+        index.length = forward.length
+        index.forward = forward
+        index.backward = backward
+        return index
 
     def full_interval(self) -> BiInterval:
         """The empty-pattern interval covering every suffix."""
@@ -80,8 +98,7 @@ class BidirectionalFMIndex:
         return BiInterval(result.l, result.k, result.s)
 
     @staticmethod
-    def _extend(index: FMIndex, bi: BiInterval, code: int,
-                mirrored: bool) -> BiInterval:
+    def _extend(index: FMIndex, bi: BiInterval, code: int, mirrored: bool) -> BiInterval:
         """Core extension: two Occ-block fetches, then arithmetic.
 
         ``index`` supplies Occ for the side being narrowed by search;
@@ -100,8 +117,7 @@ class BidirectionalFMIndex:
 
     def search(self, pattern) -> BiInterval:
         """Bidirectional interval of an exact pattern (built backward)."""
-        codes = (pattern if isinstance(pattern, np.ndarray)
-                 else seq.encode(pattern))
+        codes = pattern if isinstance(pattern, np.ndarray) else seq.encode(pattern)
         bi = self.full_interval()
         for code in reversed(np.asarray(codes, dtype=np.uint8)):
             bi = self.extend_backward(bi, int(code))
@@ -109,16 +125,14 @@ class BidirectionalFMIndex:
                 return bi
         return bi
 
-    def locate(self, bi: BiInterval,
-               max_hits: Optional[int] = None) -> List[int]:
+    def locate(self, bi: BiInterval, max_hits: Optional[int] = None) -> List[int]:
         """Text positions of the pattern's occurrences (forward coords)."""
         return self.forward.locate(bi.forward_interval(), max_hits=max_hits)
 
     @property
     def occ_accesses(self) -> int:
         """Total Occ-block fetches across both component indexes."""
-        return (self.forward.stats.occ_accesses
-                + self.backward.stats.occ_accesses)
+        return self.forward.stats.occ_accesses + self.backward.stats.occ_accesses
 
     def reset_stats(self) -> None:
         self.forward.stats.reset()

@@ -38,7 +38,7 @@ def suffix_array(codes: np.ndarray) -> np.ndarray:
     while True:
         second = np.full(n, -1, dtype=np.int64)
         if k < n:
-            second[:n - k] = rank[k:]
+            second[: n - k] = rank[k:]
         order = np.lexsort((second, rank))
         key1 = rank[order]
         key2 = second[order]
@@ -73,9 +73,7 @@ def bwt_from_suffix_array(codes: np.ndarray, sa_ext: np.ndarray) -> np.ndarray:
     codes = np.asarray(codes, dtype=np.uint8)
     n = codes.size
     if sa_ext.size != n + 1:
-        raise ValueError(
-            f"extended suffix array length {sa_ext.size} != text length + 1 "
-            f"({n + 1})")
+        raise ValueError(f"suffix array length {sa_ext.size} != text length + 1 ({n + 1})")
     bwt = np.empty(n + 1, dtype=np.uint8)
     prev = sa_ext - 1
     zero_rows = sa_ext == 0

@@ -31,8 +31,7 @@ class Anchor:
 
     def __post_init__(self) -> None:
         if self.read_end <= self.read_start:
-            raise ValueError(
-                f"empty anchor span [{self.read_start}, {self.read_end})")
+            raise ValueError(f"empty anchor span [{self.read_start}, {self.read_end})")
 
     @property
     def length(self) -> int:
@@ -94,8 +93,9 @@ def filter_anchors(anchors: Sequence[Anchor], min_length: int) -> List[Anchor]:
     return [a for a in anchors if a.length >= min_length]
 
 
-def chain_anchors(anchors: Sequence[Anchor], max_gap: int = 100,
-                  max_diagonal_diff: int = 25) -> List[Chain]:
+def chain_anchors(
+    anchors: Sequence[Anchor], max_gap: int = 100, max_diagonal_diff: int = 25
+) -> List[Chain]:
     """Greedily chain co-linear anchors (Fig 1: Seed 2 + Seed 3 → Seed 2+3).
 
     Anchors on the same strand whose diagonals differ by at most
@@ -107,11 +107,9 @@ def chain_anchors(anchors: Sequence[Anchor], max_gap: int = 100,
     if max_gap < 0:
         raise ValueError(f"max_gap must be >= 0, got {max_gap}")
     if max_diagonal_diff < 0:
-        raise ValueError(
-            f"max_diagonal_diff must be >= 0, got {max_diagonal_diff}")
+        raise ValueError(f"max_diagonal_diff must be >= 0, got {max_diagonal_diff}")
 
-    ordered = sorted(anchors,
-                     key=lambda a: (a.reverse, a.ref_start, a.read_start))
+    ordered = sorted(anchors, key=lambda a: (a.reverse, a.ref_start, a.read_start))
     chains: List[List[Anchor]] = []
     for anchor in ordered:
         merged = False
@@ -123,8 +121,10 @@ def chain_anchors(anchors: Sequence[Anchor], max_gap: int = 100,
                 # Later anchors only move right; no earlier group can match
                 # either once we've walked past the gap horizon.
                 break
-            if abs(anchor.diagonal - last.diagonal) <= max_diagonal_diff \
-                    and anchor.read_start >= last.read_start:
+            if (
+                abs(anchor.diagonal - last.diagonal) <= max_diagonal_diff
+                and anchor.read_start >= last.read_start
+            ):
                 group.append(anchor)
                 merged = True
                 break
@@ -141,8 +141,7 @@ def top_chains(chains: Sequence[Chain], limit: int) -> List[Chain]:
     return ranked[:limit]
 
 
-def _chain_gap_penalty(q_gap: int, r_gap: int,
-                       gap_scale: float = 0.05) -> float:
+def _chain_gap_penalty(q_gap: int, r_gap: int, gap_scale: float = 0.05) -> float:
     """minimap2-style pairing penalty: diagonal drift plus log gap term."""
     drift = abs(q_gap - r_gap)
     gap = max(q_gap, r_gap)
@@ -152,9 +151,13 @@ def _chain_gap_penalty(q_gap: int, r_gap: int,
     return penalty
 
 
-def chain_anchors_dp(anchors: Sequence[Anchor], max_gap: int = 500,
-                     lookback: int = 50, gap_scale: float = 0.05,
-                     min_score: float = 1.0) -> List[Chain]:
+def chain_anchors_dp(
+    anchors: Sequence[Anchor],
+    max_gap: int = 500,
+    lookback: int = 50,
+    gap_scale: float = 0.05,
+    min_score: float = 1.0,
+) -> List[Chain]:
     """Optimal co-linear chaining by dynamic programming (minimap2-style).
 
     Scores each anchor pair by the anchor weight minus a penalty for
@@ -170,8 +173,7 @@ def chain_anchors_dp(anchors: Sequence[Anchor], max_gap: int = 500,
         raise ValueError(f"max_gap must be >= 0, got {max_gap}")
     if lookback <= 0:
         raise ValueError(f"lookback must be positive, got {lookback}")
-    ordered = sorted(anchors,
-                     key=lambda a: (a.reverse, a.ref_start, a.read_start))
+    ordered = sorted(anchors, key=lambda a: (a.reverse, a.ref_start, a.read_start))
     n = len(ordered)
     score = [float(a.length) for a in ordered]
     parent = [-1] * n
@@ -187,8 +189,7 @@ def chain_anchors_dp(anchors: Sequence[Anchor], max_gap: int = 500,
                 continue  # overlapping or out of order
             if max(q_gap, r_gap) > max_gap:
                 continue
-            candidate = score[j] + a.length \
-                - _chain_gap_penalty(q_gap, r_gap, gap_scale)
+            candidate = score[j] + a.length - _chain_gap_penalty(q_gap, r_gap, gap_scale)
             if candidate > score[i]:
                 score[i] = candidate
                 parent[i] = j

@@ -11,7 +11,7 @@ share one code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -101,9 +101,9 @@ class FMIndex:
         self._occ_ckpt = np.zeros((n_ckpt, seq.ALPHABET_SIZE), dtype=np.int64)
         running = np.zeros(seq.ALPHABET_SIZE, dtype=np.int64)
         for ck in range(1, n_ckpt):
-            block = self._bwt[(ck - 1) * occ_interval:ck * occ_interval]
-            running += np.bincount(block[block != SENTINEL],
-                                   minlength=seq.ALPHABET_SIZE)
+            lo = (ck - 1) * occ_interval
+            block = self._bwt[lo : lo + occ_interval]
+            running += np.bincount(block[block != SENTINEL], minlength=seq.ALPHABET_SIZE)
             self._occ_ckpt[ck] = running
 
         # Sampled suffix array, keyed by SA row; None marks unsampled rows.
@@ -113,6 +113,50 @@ class FMIndex:
         else:
             self._sa = sa_ext
             self._sa_mask = (sa_ext % sa_sample == 0) | (sa_ext == self.length)
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy (de)serialization — the index-store attach path
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(
+        cls,
+        bwt: np.ndarray,
+        cum: np.ndarray,
+        occ_ckpt: np.ndarray,
+        sa: np.ndarray,
+        sa_mask: Optional[np.ndarray],
+        length: int,
+        occ_interval: int,
+        sa_sample: int,
+    ) -> "FMIndex":
+        """Assemble an index directly from prebuilt arrays, no construction.
+
+        The arrays are used as-is (typically read-only ``np.memmap`` views from
+        :class:`repro.seeding.store.IndexStore`), so this runs in microseconds
+        regardless of genome size — the whole point of the on-disk store.
+        Queries against the result are bit-identical to a freshly built index.
+        """
+        if bwt.size != length + 1:
+            raise ValueError(f"BWT has {bwt.size} symbols for a text of length {length}")
+        index = cls.__new__(cls)
+        index.length = int(length)
+        index.occ_interval = int(occ_interval)
+        index.sa_sample = int(sa_sample)
+        index.stats = AccessStats()
+        index._bwt = bwt
+        index._cum = cum
+        index._occ_ckpt = occ_ckpt
+        index._sa = sa
+        index._sa_mask = sa_mask
+        return index
+
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """The raw arrays that fully determine this index (for serialization)."""
+        out = {"bwt": self._bwt, "cum": self._cum, "occ_ckpt": self._occ_ckpt, "sa": self._sa}
+        if self._sa_mask is not None:
+            out["sa_mask"] = self._sa_mask
+        return out
 
     # ------------------------------------------------------------------ #
     # Core FM operations
@@ -127,7 +171,8 @@ class FMIndex:
         self.stats.occ_accesses += 1
         ck = row // self.occ_interval
         count = int(self._occ_ckpt[ck, code])
-        block = self._bwt[ck * self.occ_interval:row]
+        start = ck * self.occ_interval
+        block = self._bwt[start:row]
         return count + int(np.count_nonzero(block == code))
 
     def occ_all(self, row: int) -> np.ndarray:
@@ -142,10 +187,10 @@ class FMIndex:
         self.stats.occ_accesses += 1
         ck = row // self.occ_interval
         counts = self._occ_ckpt[ck].copy()
-        block = self._bwt[ck * self.occ_interval:row]
+        start = ck * self.occ_interval
+        block = self._bwt[start:row]
         if block.size:
-            counts += np.bincount(block[block != SENTINEL],
-                                  minlength=seq.ALPHABET_SIZE)
+            counts += np.bincount(block[block != SENTINEL], minlength=seq.ALPHABET_SIZE)
         return counts
 
     @property
@@ -194,8 +239,7 @@ class FMIndex:
             length += 1
         return length, interval
 
-    def locate(self, interval: SAInterval,
-               max_hits: Optional[int] = None) -> List[int]:
+    def locate(self, interval: SAInterval, max_hits: Optional[int] = None) -> List[int]:
         """Text positions of the suffixes in ``interval``, sorted ascending.
 
         With a sampled SA, unsampled rows are resolved by LF-walking to the

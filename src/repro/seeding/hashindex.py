@@ -57,8 +57,7 @@ class KmerHashIndex:
         codes = text if isinstance(text, np.ndarray) else seq.encode(text)
         codes = np.asarray(codes, dtype=np.uint8)
         if codes.size < k:
-            raise ValueError(
-                f"text of length {codes.size} shorter than k={k}")
+            raise ValueError(f"text of length {codes.size} shorter than k={k}")
         self.k = k
         self.length = int(codes.size)
         self.stats = HashAccessStats()
@@ -70,8 +69,8 @@ class KmerHashIndex:
         #: position table: k-mer start positions grouped by key.
         self._positions = order.astype(np.int32)
         #: pointer table: bucket start offsets, one per possible key + 1.
-        self._pointers = np.zeros(4 ** k + 1, dtype=np.int32)
-        counts = np.bincount(keys, minlength=4 ** k)
+        self._pointers = np.zeros(4**k + 1, dtype=np.int32)
+        counts = np.bincount(keys, minlength=4**k)
         np.cumsum(counts, out=self._pointers[1:])
 
     @staticmethod
@@ -80,7 +79,7 @@ class KmerHashIndex:
         n = codes.size - k + 1
         keys = np.zeros(n, dtype=np.int64)
         for offset in range(k):
-            keys = keys * 4 + codes[offset:offset + n].astype(np.int64)
+            keys = keys * 4 + codes[offset : offset + n].astype(np.int64)
         return keys
 
     def encode_kmer(self, kmer) -> int:
@@ -88,8 +87,7 @@ class KmerHashIndex:
         codes = kmer if isinstance(kmer, np.ndarray) else seq.encode(kmer)
         codes = np.asarray(codes, dtype=np.uint8)
         if codes.size != self.k:
-            raise ValueError(
-                f"expected a {self.k}-mer, got length {codes.size}")
+            raise ValueError(f"expected a {self.k}-mer, got length {codes.size}")
         key = 0
         for code in codes:
             key = key * 4 + int(code)
@@ -113,8 +111,7 @@ class KmerHashIndex:
         self.stats.pointer_accesses += 2
         return int(self._pointers[key + 1] - self._pointers[key])
 
-    def seeds_for_read(self, read, stride: int = 1,
-                       max_hits_per_kmer: Optional[int] = 64):
+    def seeds_for_read(self, read, stride: int = 1, max_hits_per_kmer: Optional[int] = 64):
         """Yield ``(read_pos, ref_pos)`` anchor pairs for a read.
 
         This is the hash-based seeding loop Darwin's SUs run: every
@@ -124,7 +121,7 @@ class KmerHashIndex:
         codes = read if isinstance(read, np.ndarray) else seq.encode(read)
         codes = np.asarray(codes, dtype=np.uint8)
         for read_pos in range(0, codes.size - self.k + 1, stride):
-            kmer = codes[read_pos:read_pos + self.k]
+            kmer = codes[read_pos : read_pos + self.k]
             for ref_pos in self.lookup(kmer, max_hits=max_hits_per_kmer):
                 yield read_pos, ref_pos
 

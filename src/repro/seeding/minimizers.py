@@ -85,8 +85,7 @@ def minimizers(sequence, k: int = 15, w: int = 10) -> List[Minimizer]:
         raise ValueError(f"k must be in 1..28, got {k}")
     if w <= 0:
         raise ValueError(f"w must be positive, got {w}")
-    codes = sequence if isinstance(sequence, np.ndarray) \
-        else seq.encode(sequence)
+    codes = sequence if isinstance(sequence, np.ndarray) else seq.encode(sequence)
     codes = np.asarray(codes, dtype=np.uint8)
     kmers = list(_canonical_kmers(codes, k))
     if not kmers:
@@ -94,11 +93,10 @@ def minimizers(sequence, k: int = 15, w: int = 10) -> List[Minimizer]:
     out: List[Minimizer] = []
     last: Optional[Tuple[int, int, bool]] = None
     for start in range(max(1, len(kmers) - w + 1)):
-        window = kmers[start:start + w]
+        window = kmers[start : start + w]
         best = min(window, key=lambda t: (t[0], t[1]))
         if best != last:
-            out.append(Minimizer(hash_value=best[0], position=best[1],
-                                 reverse=best[2]))
+            out.append(Minimizer(hash_value=best[0], position=best[1], reverse=best[2]))
             last = best
     return out
 
@@ -115,8 +113,7 @@ class MinimizerHit:
 class MinimizerIndex:
     """Minimizer hash table over a reference text (minimap2's index)."""
 
-    def __init__(self, text, k: int = 15, w: int = 10,
-                 max_occurrences: int = 128):
+    def __init__(self, text, k: int = 15, w: int = 10, max_occurrences: int = 128):
         if max_occurrences <= 0:
             raise ValueError("max_occurrences must be positive")
         self.k = k
@@ -126,8 +123,7 @@ class MinimizerIndex:
         self.length = int(np.asarray(codes).size)
         self._table: Dict[int, List[Tuple[int, bool]]] = {}
         for mz in minimizers(codes, k=k, w=w):
-            self._table.setdefault(mz.hash_value, []).append(
-                (mz.position, mz.reverse))
+            self._table.setdefault(mz.hash_value, []).append((mz.position, mz.reverse))
 
     def __len__(self) -> int:
         """Number of distinct minimizer keys."""
@@ -149,10 +145,11 @@ class MinimizerIndex:
         out: List[MinimizerHit] = []
         for mz in minimizers(query, k=self.k, w=self.w):
             for ref_pos, ref_rev in self.lookup(mz.hash_value):
-                out.append(MinimizerHit(
-                    query_pos=mz.position,
-                    ref_pos=ref_pos,
-                    reverse=mz.reverse != ref_rev))
+                out.append(
+                    MinimizerHit(
+                        query_pos=mz.position, ref_pos=ref_pos, reverse=mz.reverse != ref_rev
+                    )
+                )
         out.sort(key=lambda h: (h.reverse, h.ref_pos, h.query_pos))
         return out
 

@@ -45,8 +45,9 @@ class SMEM:
         return self.interval.s
 
 
-def smems_covering(index: BidirectionalFMIndex, codes: np.ndarray,
-                   pivot: int, min_length: int = 1) -> Tuple[List[SMEM], int]:
+def smems_covering(
+    index: BidirectionalFMIndex, codes: np.ndarray, pivot: int, min_length: int = 1
+) -> Tuple[List[SMEM], int]:
     """SMEMs of ``codes`` that cover position ``pivot``.
 
     Returns ``(smems, next_pivot)`` where ``next_pivot`` is the end of the
@@ -91,8 +92,9 @@ def smems_covering(index: BidirectionalFMIndex, codes: np.ndarray,
         last_width = -1
         recorded_here = False
         for interval, end in prev:
-            extended = (index.extend_backward(interval, int(codes[i]))
-                        if i >= 0 else BiInterval(0, 0, 0))
+            extended = (
+                index.extend_backward(interval, int(codes[i])) if i >= 0 else BiInterval(0, 0, 0)
+            )
             if extended.empty:
                 if not recorded_here:
                     recorded_here = True
@@ -109,9 +111,9 @@ def smems_covering(index: BidirectionalFMIndex, codes: np.ndarray,
     return matches, longest_end
 
 
-def find_smems(index: BidirectionalFMIndex, read,
-               min_length: int = 19,
-               max_occurrences: Optional[int] = None) -> List[SMEM]:
+def find_smems(
+    index: BidirectionalFMIndex, read, min_length: int = 19, max_occurrences: Optional[int] = None
+) -> List[SMEM]:
     """All SMEMs of a read, BWA-MEM pivot-jumping enumeration.
 
     Args:
@@ -126,8 +128,7 @@ def find_smems(index: BidirectionalFMIndex, read,
     out: List[SMEM] = []
     pivot = 0
     while pivot < codes.size:
-        found, next_pivot = smems_covering(index, codes, pivot,
-                                           min_length=min_length)
+        found, next_pivot = smems_covering(index, codes, pivot, min_length=min_length)
         out.extend(found)
         pivot = max(next_pivot, pivot + 1)
     out.sort(key=lambda m: (m.read_start, m.read_end))
@@ -144,8 +145,9 @@ def _drop_contained(matches: List[SMEM]) -> List[SMEM]:
     for match in matches:  # sorted by (start, end)
         if match.read_end <= best_end:
             continue
-        while kept and kept[-1].read_start == match.read_start \
-                and kept[-1].read_end <= match.read_end:
+        while (
+            kept and kept[-1].read_start == match.read_start and kept[-1].read_end <= match.read_end
+        ):
             kept.pop()
         kept.append(match)
         best_end = max(best_end, match.read_end)

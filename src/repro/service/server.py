@@ -111,6 +111,7 @@ class ServerConfig:
     breaker_cooldown_s: float = 2.0  # open → half-open probe delay
     breaker_probes: int = 1          # concurrent half-open probes
     idempotency_capacity: int = 4096  # completed payloads kept for dedup
+    index_path: Optional[str] = None  # prebuilt mmap index store (repro index build)
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -174,11 +175,7 @@ class AlignmentServer:
         self.reference = reference
         self.config = config or ServerConfig()
         self.metrics = metrics or MetricsRegistry()
-        base_factory = engine_factory or (
-            lambda: AlignmentEngine(
-                reference,
-                batch_extension=self.config.batch_extension,
-                max_batch=self.config.max_batch))
+        base_factory = engine_factory or self._default_engine_factory
         self._injector = fault_injector
         if fault_injector is not None:
             self._engine_factory: Callable[[], Any] = (
@@ -203,6 +200,30 @@ class AlignmentServer:
         self._response_tasks: Set[asyncio.Task] = set()
         self._started_at = 0.0
         self._shutting_down = False
+
+    def _default_engine_factory(self) -> AlignmentEngine:
+        """One engine per worker; mmap-attach the index when configured.
+
+        With ``config.index_path`` every engine opens its *own*
+        :class:`~repro.seeding.store.IndexStore` over the same file —
+        separate Python objects (no shared mutable access stats across
+        worker threads) but one physical copy of the arrays in the page
+        cache, and cold-start drops from two suffix-array builds to a few
+        ``mmap`` calls.  A torn or tampered store raises a typed
+        :class:`~repro.seeding.store.IndexStoreError` here instead of
+        serving misaligned reads.
+        """
+        aligner_kwargs: Optional[Dict[str, Any]] = None
+        if self.config.index_path is not None:
+            from repro.seeding.store import IndexStore
+
+            store = IndexStore.open(self.config.index_path)
+            aligner_kwargs = {"index": store.fmindex()}
+        return AlignmentEngine(
+            self.reference,
+            batch_extension=self.config.batch_extension,
+            max_batch=self.config.max_batch,
+            aligner_kwargs=aligner_kwargs)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

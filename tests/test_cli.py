@@ -51,6 +51,73 @@ class TestAlign:
         assert "long-read mode" in capsys.readouterr().out
 
 
+class TestIndexCommands:
+    @pytest.fixture(scope="class")
+    def index_file(self, dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("idx") / "toy.idx"
+        code = main(["index", "build", "--reference", f"{dataset}.fa",
+                     "--out", str(path)])
+        assert code == 0
+        return path
+
+    def test_build_reports_hash(self, dataset, tmp_path, capsys):
+        out = tmp_path / "fresh.idx"
+        code = main(["index", "build", "--reference", f"{dataset}.fa",
+                     "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "built" in stdout and "content hash:" in stdout
+        assert out.exists()
+
+    def test_verify_passes_on_healthy_store(self, index_file, capsys):
+        code = main(["index", "verify", str(index_file)])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("ok:")
+
+    def test_verify_fails_on_truncation(self, index_file, tmp_path,
+                                        capsys):
+        import shutil
+        victim = tmp_path / "torn.idx"
+        shutil.copy(index_file, victim)
+        with open(victim, "r+b") as handle:
+            handle.truncate(victim.stat().st_size // 2)
+        code = main(["index", "verify", str(victim)])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_inspect_emits_json(self, index_file, capsys):
+        import json
+        code = main(["index", "inspect", str(index_file)])
+        assert code == 0
+        desc = json.loads(capsys.readouterr().out)
+        assert desc["meta"]["text_length"] == 20_000
+        assert any(spec["name"] == "fwd_bwt" for spec in desc["arrays"])
+
+    def test_align_with_index_matches_plain(self, dataset, index_file,
+                                            tmp_path, capsys):
+        plain = tmp_path / "plain.sam"
+        mapped = tmp_path / "mapped.sam"
+        assert main(["align", "--reference", f"{dataset}.fa",
+                     "--reads", f"{dataset}.fq",
+                     "--out", str(plain)]) == 0
+        assert main(["align", "--reference", f"{dataset}.fa",
+                     "--reads", f"{dataset}.fq", "--index",
+                     str(index_file), "--out", str(mapped)]) == 0
+        capsys.readouterr()
+        assert plain.read_text() == mapped.read_text()
+
+    def test_align_rejects_foreign_index(self, dataset, tmp_path):
+        other = tmp_path / "other"
+        main(["simulate", "--length", "5000", "--reads", "1",
+              "--out-prefix", str(other)])
+        foreign = tmp_path / "other.idx"
+        assert main(["index", "build", "--reference", f"{other}.fa",
+                     "--out", str(foreign)]) == 0
+        with pytest.raises(SystemExit, match="different"):
+            main(["align", "--reference", f"{dataset}.fa",
+                  "--reads", f"{dataset}.fq", "--index", str(foreign)])
+
+
 class TestAccelerate:
     def test_synthetic(self, capsys):
         code = main(["accelerate", "--dataset", "C.e.", "--reads", "150"])
