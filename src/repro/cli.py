@@ -14,6 +14,7 @@ Subcommands (``python -m repro`` works identically)::
     python -m repro experiments fig11 fig13 --quick
     python -m repro experiments --parallelism 4 --cache-dir .cache/
     python -m repro serve     --reference x.fa --port 7878
+    python -m repro cluster   --reference x.fa --replicas 3 --port 7900
     python -m repro loadgen   --connect 127.0.0.1:7878 --reference x.fa
     python -m repro chaos     --fault-plan ci-default --seed 7
     python -m repro obs export --connect 127.0.0.1:7878
@@ -345,6 +346,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+    import signal
+    import tempfile
+
+    from repro.cluster import ClusterGateway, ClusterSupervisor, \
+        GatewayConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    trace_out = _start_tracing(args)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-cluster-")
+    supervisor = ClusterSupervisor(
+        reference_path=args.reference, workdir=workdir,
+        shards=args.shards, replicas=args.replicas,
+        index_path=args.index, workers=args.workers,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms)
+    config = GatewayConfig(
+        host=args.host, port=args.port, unix_path=args.unix_socket,
+        hedge_delay_ms=args.hedge_delay_ms,
+        health_interval_s=args.health_interval,
+        request_timeout_s=args.request_timeout_ms / 1000.0)
+
+    async def serve() -> None:
+        gateway = ClusterGateway(topology, config=config)
+        await gateway.start()
+        supervisor.write_state(gateway_endpoint=gateway.endpoint)
+        print(f"cluster state: {supervisor.state_path}", flush=True)
+        print(f"serving on {gateway.endpoint}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-UNIX event loops
+                signal.signal(sig, lambda *_: stop.set())
+        serve_task = asyncio.ensure_future(gateway.serve_forever())
+        await stop.wait()
+        print("shutting down: draining gateway...", flush=True)
+        serve_task.cancel()
+        await gateway.shutdown()
+
+    try:
+        topology = supervisor.start()
+        print(f"spawned {len(topology.backends)} backends "
+              f"({topology.shards} shard(s) x {topology.replicas} "
+              f"replica(s)) in {workdir}", flush=True)
+        asyncio.run(serve())
+    finally:
+        supervisor.stop(graceful=True)
+    _write_trace(trace_out)
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service import loadgen
 
@@ -390,7 +447,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     report = run_chaos(plan_name=args.fault_plan, seed=args.seed,
                        requests=args.requests,
                        pair_fraction=args.pair_fraction,
-                       parallelism=args.parallelism)
+                       parallelism=args.parallelism,
+                       cluster_backends=args.cluster_backends)
     print(report.format())
     _write_trace(trace_out)
     return 0 if report.passed else 1
@@ -586,6 +644,45 @@ def build_parser() -> argparse.ArgumentParser:
                         "spans at shutdown")
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser("cluster",
+                       help="run a gateway + backend fleet (scatter/"
+                            "gather, hedging, health-checked membership)")
+    p.add_argument("--reference", required=True, help="FASTA to serve")
+    p.add_argument("--index",
+                   help="prebuilt full-reference index store; backends "
+                        "mmap-attach it (replicated mode only)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the reference over N shard groups "
+                        "(scatter/gather when > 1)")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="backends per shard group")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7900,
+                   help="gateway TCP port (0 = ephemeral)")
+    p.add_argument("--unix-socket",
+                   help="gateway UNIX socket instead of TCP")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine worker threads per backend")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="per-backend batch size bound")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="per-backend batch formation wait")
+    p.add_argument("--hedge-delay-ms", type=float, default=50.0,
+                   help="launch a hedged replica request after this "
+                        "long without a response (0 disables)")
+    p.add_argument("--health-interval", type=float, default=0.5,
+                   help="seconds between backend health pings "
+                        "(0 disables eject/readmit)")
+    p.add_argument("--request-timeout-ms", type=float, default=30_000.0,
+                   help="gateway per-request deadline (0 disables)")
+    p.add_argument("--workdir",
+                   help="scratch dir for shard FASTAs/indexes/logs/"
+                        "cluster.json (default: a fresh temp dir)")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace of route/hedge/gather "
+                        "spans at shutdown")
+    p.set_defaults(func=_cmd_cluster)
+
     p = sub.add_parser("loadgen",
                        help="benchmark a running alignment service")
     p.add_argument("--connect", required=True,
@@ -631,6 +728,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of requests that are mate pairs")
     p.add_argument("--parallelism", type=int, default=2,
                    help="worker processes for the sharded phase")
+    p.add_argument("--cluster-backends", type=int, default=3,
+                   help="replicated gateway backends for the backend-"
+                        "kill phase (0 skips the cluster phase)")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome trace of the whole chaos run")
     p.set_defaults(func=_cmd_chaos)
@@ -692,6 +792,18 @@ def _validate(parser: argparse.ArgumentParser,
         if not 0.0 <= args.pair_fraction <= 1.0:
             parser.error(f"--pair-fraction must be in [0, 1], "
                          f"got {args.pair_fraction}")
+        if args.cluster_backends < 0:
+            parser.error(f"--cluster-backends must be >= 0, "
+                         f"got {args.cluster_backends}")
+    if getattr(args, "command", None) == "cluster":
+        for name in ("shards", "replicas", "workers", "max_batch"):
+            value = getattr(args, name)
+            if value < 1:
+                flag = "--" + name.replace("_", "-")
+                parser.error(f"{flag} must be >= 1, got {value}")
+        if args.index and args.shards > 1:
+            parser.error("--index applies to replicated mode only; "
+                         "sharded mode builds per-shard stores itself")
     if (getattr(args, "command", None) == "obs"
             and getattr(args, "obs_command", None) == "export"):
         if not args.connect and not args.stats_json:

@@ -1,0 +1,70 @@
+"""repro.cluster: a sharded-index gateway tier over alignment servers.
+
+A single ``repro serve`` process is the throughput ceiling of the
+serving stack; this package scales it out the same way NvWa's scheduler
+scales out its units — by putting a scheduler in front of a pool and
+keeping every member busy.  The pieces:
+
+- :mod:`~repro.cluster.ring` — consistent hashing (stable routing,
+  minimal remap on membership change);
+- :mod:`~repro.cluster.topology` — shards × replicas, deterministic
+  chromosome → shard assignment;
+- :mod:`~repro.cluster.merge` — deterministic scatter/gather merge of
+  per-shard align responses;
+- :mod:`~repro.cluster.gateway` — the NDJSON front door: routing,
+  failover, hedging, health-checked membership, per-backend breakers,
+  idempotency dedup;
+- :mod:`~repro.cluster.supervisor` — backend fleet as real processes
+  (spawn on ephemeral ports, state file, SIGTERM drain, SIGKILL for
+  chaos).
+
+See docs/CLUSTER.md for topology, routing, and failure semantics.
+"""
+
+from repro.cluster.gateway import (
+    BackendHandle,
+    ClusterGateway,
+    GatewayConfig,
+)
+from repro.cluster.merge import (
+    MergeError,
+    gather_complete,
+    merge_align_payloads,
+    merge_stats_payloads,
+)
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.cluster.supervisor import (
+    BackendProcess,
+    ClusterSupervisor,
+    SupervisorError,
+    read_state,
+)
+from repro.cluster.topology import (
+    BackendSpec,
+    ClusterTopology,
+    shard_assignment,
+    shard_for_chromosome,
+    shard_reference,
+)
+
+__all__ = [
+    "BackendHandle",
+    "BackendProcess",
+    "BackendSpec",
+    "ClusterGateway",
+    "ClusterSupervisor",
+    "ClusterTopology",
+    "DEFAULT_VNODES",
+    "GatewayConfig",
+    "HashRing",
+    "MergeError",
+    "SupervisorError",
+    "gather_complete",
+    "merge_align_payloads",
+    "merge_stats_payloads",
+    "read_state",
+    "shard_assignment",
+    "shard_for_chromosome",
+    "shard_reference",
+    "stable_hash",
+]

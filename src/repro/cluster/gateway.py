@@ -1,0 +1,765 @@
+"""The cluster gateway: one NDJSON front door over N backends.
+
+Wiring (one process, one event loop)::
+
+    clients ──decode──▶ route ──────────────▶ BackendHandle(s)
+       ▲                 │  replicated: one     (lazy AsyncServiceClient
+       │                 │  replica via the      + CircuitBreaker +
+       │                 │  hash ring, with      health state)
+       │                 │  failover + hedging
+       │                 │  sharded: scatter to
+       │                 ▼  every shard group
+       └──merged responses── gather/merge
+
+The gateway speaks the *same* NDJSON protocol as a single
+:class:`~repro.service.server.AlignmentServer`, so every existing
+client — ``ServiceClient``, ``ResilientAsyncClient``, the loadgen —
+points at a cluster unchanged.  Requests route by consistent-hashing
+the read id (pair id for pairs) onto a replica; sharded clusters
+scatter each align request to every shard group and merge under
+:func:`repro.cluster.merge.merge_align_payloads`.
+
+Resilience is composed from :mod:`repro.faults`, one layer per failure
+mode:
+
+- a per-backend :class:`~repro.faults.breaker.CircuitBreaker` stops
+  routing onto a backend that keeps failing (fast local decision);
+- the health loop pings every backend and **ejects** one after
+  ``health_failures`` consecutive misses (it leaves the hash ring, so
+  new keys remap away) and **readmits** it after ``health_successes``
+  consecutive answers;
+- connection errors fail over to the next replica in the ring's
+  deterministic preference order;
+- a **hedge** fires to the next replica when the primary is slower
+  than ``hedge_delay_ms``; first answer wins, losers are cancelled;
+- the gateway's own :class:`~repro.faults.injectors.IdempotencyCache`
+  dedups client retries (store-before-write), and every backend call
+  carries a per-shard idempotency key derived from the client's, so a
+  backend killed mid-batch and a client retry can never double-compute
+  into the response stream.
+
+Instrumentation: ``route``/``hedge``/``gather`` :mod:`repro.obs` spans
+per request, per-backend counters/gauges in a
+:class:`~repro.service.metrics.MetricsRegistry`, and a ``stats``
+response aggregating every backend snapshot via
+:meth:`MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Set
+
+from repro import obs
+from repro.cluster.merge import merge_align_payloads
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.topology import ClusterTopology
+from repro.faults.breaker import STATE_CODES, CircuitBreaker
+from repro.faults.injectors import IdempotencyCache
+from repro.service.client import AsyncServiceClient, ServiceError
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_LINE_BYTES,
+    RETRYABLE_ERRORS,
+    TYPE_ALIGN,
+    TYPE_ALIGN_PAIR,
+    TYPE_PING,
+    TYPE_STATS,
+    AlignRequest,
+    ProtocolError,
+    decode_request,
+    error_response,
+    success_response,
+)
+
+logger = logging.getLogger("repro.cluster")
+
+#: Response fields that are transport framing, not payload.
+_FRAMING_KEYS = ("id", "ok")
+
+
+@dataclass
+class GatewayConfig:
+    """Every gateway knob in one place (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0 = ephemeral; read gateway.port
+    unix_path: Optional[str] = None
+    vnodes: int = DEFAULT_VNODES     # ring points per backend
+    hedge_delay_ms: float = 50.0     # 0 disables hedging
+    hedge_max: int = 1               # extra in-flight hedges per request
+    connect_timeout_s: float = 10.0
+    request_timeout_s: float = 30.0  # 0 disables
+    health_interval_s: float = 0.5   # 0 disables the health loop
+    health_timeout_s: float = 2.0    # per-ping deadline
+    health_failures: int = 3         # consecutive misses → eject
+    health_successes: int = 2        # consecutive answers → readmit
+    breaker_threshold: int = 5
+    breaker_window_s: float = 10.0
+    breaker_cooldown_s: float = 1.0
+    breaker_probes: int = 1
+    idempotency_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.hedge_delay_ms < 0:
+            raise ValueError(
+                f"hedge_delay_ms must be >= 0, got {self.hedge_delay_ms}")
+        if self.hedge_max < 0:
+            raise ValueError(
+                f"hedge_max must be >= 0, got {self.hedge_max}")
+        if self.health_failures < 1:
+            raise ValueError(
+                f"health_failures must be >= 1, got {self.health_failures}")
+        if self.health_successes < 1:
+            raise ValueError(f"health_successes must be >= 1, "
+                             f"got {self.health_successes}")
+        if self.request_timeout_s < 0:
+            raise ValueError(f"request_timeout_s must be >= 0, "
+                             f"got {self.request_timeout_s}")
+        if self.idempotency_capacity < 1:
+            raise ValueError(f"idempotency_capacity must be >= 1, "
+                             f"got {self.idempotency_capacity}")
+
+
+class BackendHandle:
+    """One backend as the gateway sees it: connection + breaker + health.
+
+    The handle holds a lazily-opened :class:`AsyncServiceClient` (one
+    multiplexed connection per backend) and recreates it after
+    connection errors.  Unlike :class:`~repro.service.client.
+    ResilientAsyncClient` it does **no** internal retry — the gateway
+    owns failover and hedging, and a handle that retried on its own
+    would hide exactly the failures the router must see.
+    """
+
+    def __init__(self, backend_id: str, endpoint: str, shard: int,
+                 config: GatewayConfig):
+        self.backend_id = backend_id
+        self.endpoint = endpoint
+        self.shard = shard
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            window_s=config.breaker_window_s,
+            cooldown_s=config.breaker_cooldown_s,
+            half_open_probes=config.breaker_probes)
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self._connect_timeout_s = config.connect_timeout_s
+        self._client: Optional[AsyncServiceClient] = None
+        self._lock = asyncio.Lock()
+
+    async def get(self) -> AsyncServiceClient:
+        # Holding the lock across connect() is the contract: concurrent
+        # requests hitting a dead connection must converge on one
+        # replacement, not race to open their own.
+        async with self._lock:  # repro-lint: disable=lock-across-await
+            if self._client is None:
+                self._client = await AsyncServiceClient.connect_endpoint(
+                    self.endpoint, timeout_s=self._connect_timeout_s)
+            return self._client
+
+    async def invalidate(self,
+                         client: Optional[AsyncServiceClient]) -> None:
+        async with self._lock:
+            if client is None or self._client is client:
+                client, self._client = self._client, None
+        if client is not None:
+            try:
+                await client.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def close(self) -> None:
+        await self.invalidate(None)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "endpoint": self.endpoint,
+            "shard": self.shard,
+            "healthy": self.healthy,
+            "breaker": self.breaker.as_dict(),
+        }
+
+
+class _BackendUnavailable(Exception):
+    """This attempt failed in a way the router may absorb (next replica)."""
+
+
+class ClusterGateway:
+    """NDJSON gateway scattering/routing over a cluster of backends.
+
+    Args:
+        topology: cluster shape with every backend's bound endpoint
+            filled in (see :meth:`~repro.cluster.topology.
+            ClusterTopology.with_endpoints`).
+        config: gateway knobs.
+        metrics: optional shared registry (a fresh one by default).
+    """
+
+    def __init__(self, topology: ClusterTopology,
+                 config: Optional[GatewayConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        for spec in topology.backends:
+            if not spec.endpoint:
+                raise ValueError(
+                    f"backend {spec.backend_id} has no endpoint; "
+                    f"call topology.with_endpoints() first")
+        self.topology = topology
+        self.config = config or GatewayConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.handles: Dict[str, BackendHandle] = {
+            spec.backend_id: BackendHandle(
+                spec.backend_id, spec.endpoint, spec.shard, self.config)
+            for spec in topology.backends}
+        # One ring per shard group; membership tracks health.
+        self._rings: Dict[int, HashRing] = {
+            shard: HashRing(
+                [spec.backend_id for spec in topology.shard_group(shard)],
+                vnodes=self.config.vnodes)
+            for shard in range(topology.shards)}
+        self._idempotency = IdempotencyCache(
+            self.config.idempotency_capacity)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._response_tasks: Set[asyncio.Task] = set()
+        self._started_at = 0.0
+        self._shutting_down = False
+        self._session = uuid.uuid4().hex[:12]
+        self._conn_ids = itertools.count(1)
+        for backend_id in self.handles:
+            self.metrics.set_gauge(f"backend_{backend_id}_healthy", 1)
+            self.metrics.set_gauge(f"backend_{backend_id}_breaker_state",
+                                   STATE_CODES["closed"])
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> Optional[int]:
+        if self._server is None or self.config.unix_path is not None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def endpoint(self) -> str:
+        if self.config.unix_path is not None:
+            return f"unix:{self.config.unix_path}"
+        return f"{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        cfg = self.config
+        if cfg.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=cfg.unix_path,
+                limit=MAX_LINE_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=cfg.host, port=cfg.port,
+                limit=MAX_LINE_BYTES)
+        if cfg.health_interval_s > 0:
+            self._health_task = asyncio.ensure_future(self._health_loop())
+        self._started_at = time.monotonic()
+        logger.info(
+            "cluster gateway on %s (%dx%d backends, hedge=%.0fms)",
+            self.endpoint, self.topology.shards, self.topology.replicas,
+            cfg.hedge_delay_ms)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight requests, close backends."""
+        if self._server is None:
+            return
+        self._shutting_down = True
+        self._server.close()
+        await self._server.wait_closed()
+        if self._response_tasks:
+            await asyncio.gather(*list(self._response_tasks),
+                                 return_exceptions=True)
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        for handle in self.handles.values():
+            await handle.close()
+        logger.info("gateway drained and stopped: %s",
+                    self.metrics.format_line())
+        self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling (same protocol discipline as AlignmentServer)
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        conn_id = next(self._conn_ids)
+        self.metrics.inc("connections_total")
+        self.metrics.gauge("connections").inc()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, lock, error_response(
+                        None, ERR_BAD_REQUEST, "request line too long"))
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                await self._dispatch(writer, lock, line, conn_id)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.metrics.gauge("connections").dec()
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _dispatch(self, writer: asyncio.StreamWriter,
+                        lock: asyncio.Lock, line: str,
+                        conn_id: int) -> None:
+        self.metrics.inc("requests_total")
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.metrics.inc("bad_requests_total")
+            self.metrics.inc("errors_total")
+            await self._write(writer, lock,
+                              error_response(None, ERR_BAD_REQUEST,
+                                             str(exc)))
+            return
+        if request.type == TYPE_PING:
+            await self._write(writer, lock, success_response(
+                request.request_id, pong=True))
+            return
+        if request.type == TYPE_STATS:
+            task = asyncio.ensure_future(
+                self._respond_stats(writer, lock, request))
+            self._track(task)
+            return
+        if self._shutting_down:
+            self.metrics.inc("errors_total")
+            await self._write(writer, lock, error_response(
+                request.request_id, ERR_SHUTTING_DOWN,
+                "gateway draining"))
+            return
+        self.metrics.inc("pair_requests_total"
+                         if request.type == TYPE_ALIGN_PAIR
+                         else "align_requests_total")
+        self.metrics.gauge("in_flight").inc()
+        task = asyncio.ensure_future(
+            self._respond_align(writer, lock, request, conn_id,
+                                time.monotonic()))
+        self._track(task)
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._response_tasks.add(task)
+        task.add_done_callback(self._response_tasks.discard)
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     lock: asyncio.Lock, line: str) -> None:
+        if writer.is_closing():
+            return
+        try:
+            # Response lines must hit the socket whole; serializing
+            # across drain() per connection is the point.
+            async with lock:  # repro-lint: disable=lock-across-await
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Align routing
+    # ------------------------------------------------------------------ #
+
+    async def _respond_align(self, writer: asyncio.StreamWriter,
+                             lock: asyncio.Lock, request: AlignRequest,
+                             conn_id: int,
+                             submitted_at: float) -> None:
+        req_span = obs.begin("gw_request", "cluster",
+                             request_id=request.request_id,
+                             type=request.type)
+        outcome = "ok"
+        try:
+            if request.idempotency_key is not None:
+                cached = self._idempotency.get(request.idempotency_key)
+                if cached is not None:
+                    self.metrics.inc("idempotent_hits_total")
+                    obs.instant("idempotent_hit", "cluster",
+                                request_id=request.request_id)
+                    req_span.end(outcome="idempotent_hit")
+                    await self._write(writer, lock, success_response(
+                        request.request_id, **cached))
+                    return  # the finally still settles in_flight/latency
+            timeout = self.config.request_timeout_s or None
+            try:
+                payload = await asyncio.wait_for(
+                    self._route(request, conn_id), timeout)
+                if request.idempotency_key is not None:
+                    # Store before the write: a response lost to a
+                    # dropped client connection must still dedup the
+                    # retry (exactly-once across the whole tier).
+                    self._idempotency.put(request.idempotency_key,
+                                          payload)
+                self.metrics.inc("responses_total")
+                line = success_response(request.request_id, **payload)
+            except asyncio.TimeoutError:
+                self.metrics.inc("timeouts_total")
+                self.metrics.inc("errors_total")
+                outcome = ERR_TIMEOUT
+                line = error_response(
+                    request.request_id, ERR_TIMEOUT,
+                    f"deadline of {self.config.request_timeout_s}s "
+                    f"exceeded at the gateway")
+            except ServiceError as exc:
+                self.metrics.inc("errors_total")
+                outcome = exc.code
+                line = error_response(request.request_id, exc.code,
+                                      str(exc))
+            except _BackendUnavailable as exc:
+                # Every candidate replica failed: shed retryably — the
+                # client's RetryPolicy backs off while health/breakers
+                # recover, exactly like a single server in degraded
+                # mode.
+                self.metrics.inc("unroutable_total")
+                self.metrics.inc("errors_total")
+                outcome = ERR_BUSY
+                line = error_response(
+                    request.request_id, ERR_BUSY,
+                    f"no routable backend: {exc}")
+            except Exception as exc:  # never leave a request unanswered
+                self.metrics.inc("errors_total")
+                outcome = ERR_INTERNAL
+                logger.exception("gateway routing failed for %s",
+                                 request.request_id)
+                line = error_response(request.request_id, ERR_INTERNAL,
+                                      str(exc))
+        finally:
+            self.metrics.gauge("in_flight").dec()
+            self.metrics.observe("latency_s",
+                                 time.monotonic() - submitted_at)
+        req_span.end(outcome=outcome)
+        await self._write(writer, lock, line)
+
+    def _routing_key(self, request: AlignRequest) -> str:
+        if request.type == TYPE_ALIGN_PAIR:
+            return request.pair_id or request.reads[0].read_id
+        return request.reads[0].read_id
+
+    def _idem_base(self, request: AlignRequest, conn_id: int) -> str:
+        # Derive backend keys from the client's key when present so a
+        # client retry deduplicates on the backends too; otherwise a
+        # gateway-unique base (hedges/failovers of one logical request
+        # still share it).  The connection id matters: request ids are
+        # only unique per client connection, so a key without it would
+        # collide across connections and replay a stranger's cached
+        # response from a backend's idempotency cache.
+        if request.idempotency_key is not None:
+            return f"gw-{request.idempotency_key}"
+        return f"gw-{self._session}-c{conn_id}-{request.request_id}"
+
+    def _candidates(self, shard: int, key: str) -> List[BackendHandle]:
+        """Healthy replicas of ``shard`` in deterministic preference
+        order; falls back to the full (possibly unhealthy) group when
+        everything is ejected — stale health info must degrade to *an
+        attempt*, not an instant failure."""
+        ring = self._rings[shard]
+        if len(ring):
+            ids = ring.preference(key)
+        else:
+            ids = [spec.backend_id
+                   for spec in self.topology.shard_group(shard)]
+        return [self.handles[bid] for bid in ids]
+
+    async def _route(self, request: AlignRequest,
+                     conn_id: int) -> Dict[str, Any]:
+        key = self._routing_key(request)
+        idem_base = self._idem_base(request, conn_id)
+        if not self.topology.sharded:
+            with obs.span("route", "cluster", key=key, shard=0):
+                return await self._call_group(0, key, request,
+                                              f"{idem_base}#s0")
+        # Scatter to every shard group, gather, merge deterministically.
+        self.metrics.inc("scatters_total")
+        with obs.span("gather", "cluster", key=key,
+                      shards=self.topology.shards):
+            results = await asyncio.gather(
+                *(self._call_group(shard, key, request,
+                                   f"{idem_base}#s{shard}")
+                  for shard in range(self.topology.shards)))
+        return merge_align_payloads(list(enumerate(results)))
+
+    async def _call_group(self, shard: int, key: str,
+                          request: AlignRequest,
+                          idem_key: str) -> Dict[str, Any]:
+        """One logical call against ``shard``'s replica group:
+        preference-ordered failover plus hedging, first answer wins."""
+        candidates = self._candidates(shard, key)
+
+        def call_factory(handle: BackendHandle
+                         ) -> Awaitable[Dict[str, Any]]:
+            return self._call_backend(handle, request, idem_key)
+
+        with obs.span("route", "cluster", key=key, shard=shard,
+                      primary=candidates[0].backend_id):
+            return await self._race(candidates, call_factory)
+
+    async def _call_backend(self, handle: BackendHandle,
+                            request: AlignRequest,
+                            idem_key: str) -> Dict[str, Any]:
+        """One attempt on one backend; raises :class:`_BackendUnavailable`
+        for anything the router should absorb by moving on."""
+        bid = handle.backend_id
+        if not handle.breaker.allow():
+            self.metrics.inc(f"backend_{bid}_sheds_total")
+            raise _BackendUnavailable(f"{bid}: circuit breaker open")
+        self.metrics.inc(f"backend_{bid}_requests_total")
+        client: Optional[AsyncServiceClient] = None
+        try:
+            client = await handle.get()
+            if request.type == TYPE_ALIGN:
+                obj = await client.align(request.reads[0],
+                                         idempotency_key=idem_key)
+            else:
+                obj = await client.align_pair(
+                    request.reads[0], request.reads[1],
+                    pair_id=request.pair_id, idempotency_key=idem_key)
+        except ServiceError as exc:
+            if exc.code in RETRYABLE_ERRORS:
+                # The backend is shedding (busy/overloaded): a replica
+                # may have capacity, so this is absorbable — but it
+                # still counts against the backend's breaker so a
+                # persistently-shedding backend stops being picked.
+                handle.breaker.record_failure()
+                self.metrics.inc(f"backend_{bid}_errors_total")
+                raise _BackendUnavailable(f"{bid}: {exc.code}") from exc
+            raise
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            handle.breaker.record_failure()
+            self.metrics.inc(f"backend_{bid}_errors_total")
+            await handle.invalidate(client)
+            raise _BackendUnavailable(f"{bid}: {exc}") from exc
+        handle.breaker.record_success()
+        self._sync_breaker_gauge(handle)
+        return {k: v for k, v in obj.items() if k not in _FRAMING_KEYS}
+
+    async def _race(self, candidates: List[BackendHandle],
+                    call_factory: Callable[[BackendHandle],
+                                           Awaitable[Dict[str, Any]]]
+                    ) -> Dict[str, Any]:
+        """Failover + hedging over ``candidates`` (preference order).
+
+        The primary launches immediately.  A **hedge** launches the next
+        candidate when nothing has answered within ``hedge_delay_ms``
+        (up to ``hedge_max`` extra in flight); a **failover** launches
+        the next candidate when an attempt fails.  The first success
+        wins and every other in-flight attempt is cancelled — their
+        client-side futures are dropped, so a slow loser can never
+        deliver a second payload into the response path.
+        """
+        cfg = self.config
+        hedge_delay = (cfg.hedge_delay_ms / 1000.0
+                       if cfg.hedge_delay_ms > 0 else None)
+        pending: Set[asyncio.Task] = set()
+        reasons: Dict[asyncio.Task, str] = {}
+        launched = 0
+        failures = 0
+        last_error: Optional[_BackendUnavailable] = None
+
+        def launch(reason: str) -> None:
+            nonlocal launched
+            task = asyncio.ensure_future(
+                call_factory(candidates[launched]))
+            reasons[task] = reason
+            pending.add(task)
+            launched += 1
+
+        try:
+            launch("primary")
+            while True:
+                if not pending:
+                    if launched >= len(candidates):
+                        raise last_error or _BackendUnavailable(
+                            "no candidates")
+                    self.metrics.inc("failovers_total")
+                    launch("failover")
+                    continue
+                # One hedge may be in flight per recorded failure plus
+                # the configured hedge budget; failovers after a failure
+                # are always allowed (handled above when pending drains).
+                may_hedge = (hedge_delay is not None
+                             and launched < len(candidates)
+                             and launched < failures + 1 + cfg.hedge_max)
+                done, pending = await asyncio.wait(
+                    pending, timeout=hedge_delay if may_hedge else None,
+                    return_when=asyncio.FIRST_COMPLETED)
+                if not done:
+                    # Everything in flight is slow: hedge to the next
+                    # replica in preference order.
+                    self.metrics.inc("hedges_total")
+                    obs.instant("hedge", "cluster",
+                                backend=candidates[launched].backend_id,
+                                in_flight=len(pending))
+                    launch("hedge")
+                    continue
+                winner = next(
+                    (t for t in done if t.exception() is None), None)
+                if winner is not None:
+                    for task in done:
+                        if task is not winner:
+                            task.exception()  # consumed: loser's error
+                    if reasons[winner] == "hedge":
+                        self.metrics.inc("hedge_wins_total")
+                    return winner.result()
+                non_retryable: Optional[BaseException] = None
+                for task in done:
+                    exc = task.exception()
+                    if isinstance(exc, _BackendUnavailable):
+                        failures += 1
+                        last_error = exc
+                    elif non_retryable is None and exc is not None:
+                        non_retryable = exc
+                if non_retryable is not None:
+                    raise non_retryable
+        finally:
+            # Cancel the losers (and failed stragglers): exactly one
+            # payload per logical request leaves this function, and a
+            # slow loser's in-flight backend call dies with its task.
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # Health loop
+    # ------------------------------------------------------------------ #
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            await asyncio.gather(
+                *(self._health_check(handle)
+                  for handle in self.handles.values()))
+
+    async def _health_check(self, handle: BackendHandle) -> None:
+        client: Optional[AsyncServiceClient] = None
+        try:
+            client = await asyncio.wait_for(
+                handle.get(), self.config.health_timeout_s)
+            await asyncio.wait_for(client.ping(),
+                                   self.config.health_timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ServiceError):
+            handle.consecutive_successes = 0
+            handle.consecutive_failures += 1
+            await handle.invalidate(client)
+            if (handle.healthy and handle.consecutive_failures
+                    >= self.config.health_failures):
+                self._eject(handle)
+            return
+        handle.consecutive_failures = 0
+        handle.consecutive_successes += 1
+        if (not handle.healthy and handle.consecutive_successes
+                >= self.config.health_successes):
+            self._readmit(handle)
+        self._sync_breaker_gauge(handle)
+
+    def _eject(self, handle: BackendHandle) -> None:
+        handle.healthy = False
+        ring = self._rings[handle.shard]
+        if handle.backend_id in ring:
+            ring.remove(handle.backend_id)
+        self.metrics.inc("backend_ejects_total")
+        self.metrics.set_gauge(f"backend_{handle.backend_id}_healthy", 0)
+        obs.instant("backend_eject", "cluster",
+                    backend=handle.backend_id, shard=handle.shard)
+        logger.warning("ejected backend %s (%d consecutive ping "
+                       "failures)", handle.backend_id,
+                       handle.consecutive_failures)
+
+    def _readmit(self, handle: BackendHandle) -> None:
+        handle.healthy = True
+        ring = self._rings[handle.shard]
+        if handle.backend_id not in ring:
+            ring.add(handle.backend_id)
+        self.metrics.inc("backend_readmits_total")
+        self.metrics.set_gauge(f"backend_{handle.backend_id}_healthy", 1)
+        obs.instant("backend_readmit", "cluster",
+                    backend=handle.backend_id, shard=handle.shard)
+        logger.info("readmitted backend %s", handle.backend_id)
+
+    def _sync_breaker_gauge(self, handle: BackendHandle) -> None:
+        self.metrics.set_gauge(
+            f"backend_{handle.backend_id}_breaker_state",
+            STATE_CODES[handle.breaker.state])
+
+    # ------------------------------------------------------------------ #
+    # Stats aggregation
+    # ------------------------------------------------------------------ #
+
+    async def _respond_stats(self, writer: asyncio.StreamWriter,
+                             lock: asyncio.Lock,
+                             request: AlignRequest) -> None:
+        stats = await self.stats_payload()
+        await self._write(writer, lock,
+                          success_response(request.request_id,
+                                           stats=stats))
+
+    async def _backend_stats(self, handle: BackendHandle
+                             ) -> Optional[Dict[str, Any]]:
+        try:
+            client = await handle.get()
+            return await asyncio.wait_for(
+                client.stats(), self.config.health_timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ServiceError):
+            return None
+
+    async def stats_payload(self) -> Dict[str, Any]:
+        """Cluster-wide ``stats``: gateway + per-backend + merged view."""
+        per_backend = await asyncio.gather(
+            *(self._backend_stats(handle)
+              for handle in self.handles.values()))
+        backends: Dict[str, Any] = {}
+        snapshots: List[Dict[str, Any]] = []
+        for handle, stats in zip(self.handles.values(), per_backend):
+            entry = handle.as_dict()
+            entry["reachable"] = stats is not None
+            if stats is not None:
+                entry["stats"] = stats
+                snapshots.append(stats.get("metrics", {}))
+            backends[handle.backend_id] = entry
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "topology": self.topology.describe(),
+            "gateway": self.metrics.snapshot(),
+            "backends": backends,
+            "cluster_metrics": MetricsRegistry.merge(snapshots),
+        }

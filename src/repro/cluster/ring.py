@@ -1,0 +1,134 @@
+"""Consistent hashing for backend selection.
+
+The gateway routes each request onto one backend out of a replica group;
+the mapping must be (a) deterministic — the same read id always lands on
+the same backend, so caches and idempotency state stay warm — and
+(b) stable under membership change — ejecting one backend must remap
+only the keys that backend owned, not reshuffle the whole keyspace the
+way ``hash(key) % n`` would.
+
+Classic consistent hashing: every member owns ``vnodes`` points on a
+2^64 ring (SHA-256-derived, so placement is identical across processes
+and Python versions — builtin ``hash`` is salted per process and must
+never be used here).  A key routes to the first member point clockwise
+from the key's own point.  :meth:`HashRing.preference` walks further
+clockwise to yield a deterministic failover/hedging order over the
+*distinct* members, which is how the gateway picks hedge replicas.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+#: Virtual nodes per member: enough that 2-8 members split the keyspace
+#: within a few percent of even, small enough that ring rebuilds on
+#: membership change stay trivially cheap.
+DEFAULT_VNODES = 64
+
+_RING_BITS = 64
+_RING_MASK = (1 << _RING_BITS) - 1
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key`` (SHA-256 prefix)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _RING_MASK
+
+
+class HashRing:
+    """A consistent-hash ring over named members.
+
+    Membership edits rebuild the sorted point list (O(members * vnodes
+    * log)); routing is a binary search.  The ring holds plain member
+    names — the gateway layers health and breaker state on top and
+    passes in only the members it currently considers routable.
+    """
+
+    def __init__(self, members: Sequence[str] = (),
+                 vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._members: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def members(self) -> List[str]:
+        """Current members, in insertion order."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            raise ValueError(f"member {member!r} already on the ring")
+        self._members.append(member)
+        for vnode in range(self.vnodes):
+            point = stable_hash(f"{member}#{vnode}")
+            self._points.append((point, member))
+        self._rebuild()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            raise KeyError(f"member {member!r} not on the ring")
+        self._members.remove(member)
+        self._points = [(p, m) for p, m in self._points if m != member]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._keys = [point for point, _ in self._points]
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, key: str) -> str:
+        """The member owning ``key`` (first ring point clockwise)."""
+        if not self._members:
+            raise LookupError("ring has no members")
+        index = bisect.bisect_right(self._keys, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def preference(self, key: str, count: int = 0) -> List[str]:
+        """Distinct members in clockwise order from ``key``'s point.
+
+        The first entry is :meth:`route`'s answer; the rest are the
+        deterministic failover/hedge order.  ``count`` truncates (0 =
+        all members).
+        """
+        if not self._members:
+            raise LookupError("ring has no members")
+        want = len(self._members) if count <= 0 else min(count,
+                                                         len(self._members))
+        start = bisect.bisect_right(self._keys, stable_hash(key))
+        seen: Dict[str, None] = {}
+        for step in range(len(self._points)):
+            _, member = self._points[(start + step) % len(self._points)]
+            if member not in seen:
+                seen[member] = None
+                if len(seen) == want:
+                    break
+        return list(seen)
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Keys per member for ``keys`` (balance diagnostics/tests)."""
+        counts = {member: 0 for member in self._members}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

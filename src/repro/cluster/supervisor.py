@@ -1,0 +1,306 @@
+"""Process supervision for `repro cluster`: spawn, watch, drain, kill.
+
+The supervisor owns the backend fleet as real OS processes — each one a
+stock ``python -m repro serve`` on an ephemeral port — because the whole
+point of the tier is surviving backend *death*, and only a separate
+process can actually be SIGKILLed.  The gateway runs in the supervisor's
+own process (one event loop, no extra hop for the front door).
+
+Startup sequence per backend:
+
+1. materialize the backend's serving inputs in ``workdir`` — replicated
+   mode reuses the full reference (and index store) for every backend;
+   sharded mode writes one FASTA per shard via :func:`~repro.cluster.
+   topology.shard_reference` and builds/attaches a per-shard index
+   store, so every replica of a shard mmap-attaches one physical copy;
+2. spawn ``repro serve --port 0`` with stdout tee'd to
+   ``workdir/<backend_id>.log``;
+3. poll the log for the ``serving on HOST:PORT`` line (the server
+   prints it exactly once, after binding) to learn the endpoint.
+
+The state file (``workdir/cluster.json``) records every backend's pid +
+endpoint so out-of-process tooling — the CI chaos step, an operator —
+can SIGKILL a specific backend mid-load without asking the supervisor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.topology import ClusterTopology, shard_reference
+from repro.genome.io import read_reference, write_fasta
+from repro.genome.reference import ReferenceGenome
+
+_ENDPOINT_RE = re.compile(r"serving on ([\w./:-]+:\d+|unix:\S+)")
+
+#: How long a spawned backend may take to print its endpoint.
+DEFAULT_SPAWN_TIMEOUT_S = 60.0
+
+
+class SupervisorError(RuntimeError):
+    """A backend failed to spawn, bind, or announce its endpoint."""
+
+
+@dataclass
+class BackendProcess:
+    """One spawned backend: identity + OS process + serving endpoint."""
+
+    backend_id: str
+    shard: int
+    replica: int
+    process: subprocess.Popen
+    log_path: str
+    endpoint: str = ""
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+@dataclass
+class ClusterSupervisor:
+    """Spawns and supervises the backend fleet for one cluster.
+
+    Args:
+        reference_path: FASTA every backend (or shard) serves.
+        workdir: scratch directory for shard FASTAs, index stores,
+            backend logs, and the state file.
+        shards / replicas: cluster shape (see :mod:`~repro.cluster.
+            topology`).
+        index_path: prebuilt full-reference index store; used directly
+            in replicated mode, ignored in sharded mode (shards need
+            per-shard stores, built here).
+        build_indexes: build/attach per-backend index stores so workers
+            mmap instead of rebuilding (sharded mode always builds its
+            shard stores; this also covers replicated mode when no
+            ``index_path`` was given).
+        workers / max_batch / max_wait_ms: forwarded to each backend.
+        spawn_timeout_s: per-backend deadline for the endpoint line.
+    """
+
+    reference_path: str
+    workdir: str
+    shards: int = 1
+    replicas: int = 3
+    index_path: Optional[str] = None
+    build_indexes: bool = True
+    workers: int = 2
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    spawn_timeout_s: float = DEFAULT_SPAWN_TIMEOUT_S
+    backends: List[BackendProcess] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.topology = ClusterTopology(shards=self.shards,
+                                        replicas=self.replicas)
+        self._reference: Optional[ReferenceGenome] = None
+
+    @property
+    def reference(self) -> ReferenceGenome:
+        if self._reference is None:
+            self._reference = read_reference(self.reference_path)
+        return self._reference
+
+    # ------------------------------------------------------------------ #
+    # Materializing per-shard inputs
+    # ------------------------------------------------------------------ #
+
+    def _shard_inputs(self, shard: int) -> Dict[str, Optional[str]]:
+        """The ``--reference``/``--index`` paths backend(s) of ``shard``
+        serve, materializing shard FASTAs and index stores on demand."""
+        if self.topology.shards == 1:
+            index = self.index_path
+            if index is None and self.build_indexes:
+                index = os.path.join(self.workdir, "replica.idx")
+                self._ensure_store(index, self.reference)
+            return {"reference": self.reference_path, "index": index}
+        fasta = os.path.join(self.workdir, f"shard{shard}.fa")
+        sub = shard_reference(self.reference, self.topology.shards, shard)
+        if not os.path.exists(fasta):
+            write_fasta(sub, fasta)
+        index: Optional[str] = None
+        if self.build_indexes:
+            index = os.path.join(self.workdir, f"shard{shard}.idx")
+            self._ensure_store(index, sub)
+        return {"reference": fasta, "index": index}
+
+    @staticmethod
+    def _ensure_store(path: str, reference: ReferenceGenome) -> None:
+        from repro.seeding.store import attach_or_build
+
+        attach_or_build(path, reference,
+                        source=os.path.basename(path))
+
+    # ------------------------------------------------------------------ #
+    # Spawning
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> ClusterTopology:
+        """Spawn every backend; the topology with endpoints filled in."""
+        if self.backends:
+            raise SupervisorError("cluster already started")
+        os.makedirs(self.workdir, exist_ok=True)
+        inputs = {shard: self._shard_inputs(shard)
+                  for shard in range(self.topology.shards)}
+        try:
+            for spec in self.topology.backends:
+                self.backends.append(
+                    self._spawn(spec.backend_id, spec.shard, spec.replica,
+                                inputs[spec.shard]))
+            deadline = time.monotonic() + self.spawn_timeout_s
+            for backend in self.backends:
+                backend.endpoint = self._await_endpoint(backend, deadline)
+        except Exception:
+            self.stop(graceful=False)
+            raise
+        endpoints = {b.backend_id: b.endpoint for b in self.backends}
+        self.topology = self.topology.with_endpoints(endpoints)
+        self.write_state()
+        return self.topology
+
+    def _spawn(self, backend_id: str, shard: int, replica: int,
+               inputs: Dict[str, Optional[str]]) -> BackendProcess:
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--reference", str(inputs["reference"]),
+               "--port", "0",
+               "--workers", str(self.workers),
+               "--max-batch", str(self.max_batch),
+               "--max-wait-ms", str(self.max_wait_ms),
+               "--stats-interval", "0"]
+        if inputs["index"]:
+            cmd += ["--index", str(inputs["index"])]
+        log_path = os.path.join(self.workdir, f"{backend_id}.log")
+        # The child must import the same repro package we are running,
+        # whether or not the parent was launched with PYTHONPATH set.
+        import repro
+
+        pkg_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (pkg_root + os.pathsep + existing
+                             if existing else pkg_root)
+        log = open(log_path, "wb")
+        try:
+            process = subprocess.Popen(cmd, stdout=log,
+                                       stderr=subprocess.STDOUT,
+                                       stdin=subprocess.DEVNULL,
+                                       env=env)
+        finally:
+            # The child holds its own descriptor; ours would only leak.
+            log.close()
+        return BackendProcess(backend_id=backend_id, shard=shard,
+                              replica=replica, process=process,
+                              log_path=log_path)
+
+    def _await_endpoint(self, backend: BackendProcess,
+                        deadline: float) -> str:
+        """Poll the backend's log for its ``serving on`` line."""
+        while time.monotonic() < deadline:
+            if not backend.alive:
+                raise SupervisorError(
+                    f"backend {backend.backend_id} exited with "
+                    f"{backend.process.returncode} before binding "
+                    f"(see {backend.log_path})")
+            try:
+                with open(backend.log_path, "r", encoding="utf-8",
+                          errors="replace") as handle:
+                    match = _ENDPOINT_RE.search(handle.read())
+            except FileNotFoundError:
+                match = None
+            if match:
+                return match.group(1)
+            time.sleep(0.05)
+        raise SupervisorError(
+            f"backend {backend.backend_id} did not announce an endpoint "
+            f"within {self.spawn_timeout_s}s (see {backend.log_path})")
+
+    # ------------------------------------------------------------------ #
+    # State + control
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state_path(self) -> str:
+        return os.path.join(self.workdir, "cluster.json")
+
+    def write_state(self, gateway_endpoint: str = "",
+                    gateway_pid: Optional[int] = None) -> str:
+        """Write ``cluster.json`` so external tooling can find/kill us."""
+        state: Dict[str, Any] = {
+            "gateway": {"endpoint": gateway_endpoint,
+                        "pid": gateway_pid or os.getpid()},
+            "shards": self.topology.shards,
+            "replicas": self.topology.replicas,
+            "backends": [
+                {"id": b.backend_id, "shard": b.shard,
+                 "replica": b.replica, "pid": b.pid,
+                 "endpoint": b.endpoint, "log": b.log_path}
+                for b in self.backends
+            ],
+        }
+        tmp = self.state_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=2)
+        os.replace(tmp, self.state_path)
+        return self.state_path
+
+    def backend(self, backend_id: str) -> BackendProcess:
+        for backend in self.backends:
+            if backend.backend_id == backend_id:
+                return backend
+        raise KeyError(f"no backend {backend_id!r}")
+
+    def dead_backends(self) -> List[str]:
+        return [b.backend_id for b in self.backends if not b.alive]
+
+    def kill(self, backend_id: str) -> None:
+        """SIGKILL one backend (chaos/CI: simulate sudden death)."""
+        backend = self.backend(backend_id)
+        if backend.alive:
+            backend.process.kill()
+            backend.process.wait()
+
+    def stop(self, graceful: bool = True,
+             drain_timeout_s: float = 15.0) -> None:
+        """Stop the fleet: SIGTERM (backends drain) then SIGKILL."""
+        for backend in self.backends:
+            if not backend.alive:
+                continue
+            try:
+                backend.process.send_signal(
+                    signal.SIGTERM if graceful else signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                continue
+        deadline = time.monotonic() + (drain_timeout_s if graceful
+                                       else 2.0)
+        for backend in self.backends:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                backend.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                backend.process.kill()
+                backend.process.wait()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop(graceful=True)
+
+
+def read_state(path: str) -> Dict[str, Any]:
+    """Load a supervisor state file (``cluster.json``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

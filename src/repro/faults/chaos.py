@@ -173,6 +173,81 @@ def _sharded_phase(reference: Any, reads: Any,
     return [sam_record(result, reference) for result in results]
 
 
+async def _cluster_run(topology: Any, supervisor: Any, specs: Any,
+                       seed: int, requests: int,
+                       victim: str) -> Tuple[Any, Dict[str, Any], int]:
+    """Gateway + loadgen with a mid-load SIGKILL of ``victim``.
+
+    Returns the loadgen report, the gateway's metrics snapshot, and how
+    many responses had completed when the kill landed (the invariant
+    requires the kill to hit *mid*-load, not after it).
+    """
+    from repro.cluster.gateway import ClusterGateway, GatewayConfig
+    from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+    config = GatewayConfig(host="127.0.0.1", port=0,
+                           hedge_delay_ms=100.0,
+                           health_interval_s=0.2,
+                           health_failures=2,
+                           breaker_cooldown_s=0.5)
+    gateway = ClusterGateway(topology, config=config)
+    await gateway.start()
+    try:
+        retry = RetryPolicy(max_attempts=6, base_delay_s=0.02,
+                            multiplier=2.0, max_delay_s=0.2,
+                            jitter=0.5, seed=seed)
+        lg_config = LoadgenConfig(concurrency=_HARNESS_MAX_BATCH,
+                                  wait_ready_s=5.0, retry=retry)
+        lg_task = asyncio.ensure_future(run_loadgen(
+            gateway.endpoint, specs, config=lg_config,
+            collect_server_stats=False, collect_responses=True))
+        responses = gateway.metrics.counter("responses_total")
+        target = max(1, requests // 3)
+        while responses.value < target and not lg_task.done():
+            await asyncio.sleep(0.005)
+        killed_at = responses.value
+        supervisor.kill(victim)
+        obs.instant("backend_sigkill", "chaos", backend=victim,
+                    responses_at_kill=killed_at)
+        report = await lg_task
+        stats = gateway.metrics.snapshot()
+    finally:
+        await gateway.shutdown()
+    return report, stats, killed_at
+
+
+def _cluster_phase(reference: Any, specs: Any, seed: int, requests: int,
+                   backends: int) -> Tuple[Any, Dict[str, Any], int]:
+    """Replicated cluster (real backend processes) with one SIGKILLed.
+
+    Replicated mode is the right shape for this invariant: every
+    backend holds the full index, so the survivors' answers are
+    bit-identical to the single-server baseline by construction and the
+    only question — the one being asked — is whether the *tier* loses
+    or duplicates responses when a member dies without warning.
+    """
+    import os
+
+    from repro.cluster.supervisor import ClusterSupervisor
+    from repro.genome.io import write_fasta
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-cluster-") as tmp:
+        ref_path = os.path.join(tmp, "ref.fa")
+        write_fasta(reference, ref_path)
+        supervisor = ClusterSupervisor(reference_path=ref_path,
+                                       workdir=tmp, shards=1,
+                                       replicas=backends,
+                                       workers=_HARNESS_WORKERS,
+                                       max_batch=_HARNESS_MAX_BATCH)
+        try:
+            topology = supervisor.start()
+            victim = topology.backends[0].backend_id
+            return asyncio.run(_cluster_run(topology, supervisor, specs,
+                                            seed, requests, victim))
+        finally:
+            supervisor.stop(graceful=True)
+
+
 def _cache_phase(injector: Optional[FaultInjector]
                  ) -> Tuple[bool, int, str]:
     """Store, corrupt-on-load, rebuild; ``(recovered, corrupt, detail)``."""
@@ -253,9 +328,10 @@ def _check_schedule_determinism(plan_name: str, seed: int) -> Invariant:
         "" if ok else "same (plan, seed) previewed different schedules")
 
 
-def _compare_sam(baseline: Any, chaos: Any) -> Invariant:
+def _compare_sam(baseline: Any, chaos: Any,
+                 name: str = "sam_identical") -> Invariant:
     if baseline.responses is None or chaos.responses is None:
-        return Invariant("sam_identical", False, "responses not collected")
+        return Invariant(name, False, "responses not collected")
     mismatches = []
     for idx, (base, alt) in enumerate(zip(baseline.responses,
                                           chaos.responses)):
@@ -265,7 +341,7 @@ def _compare_sam(baseline: Any, chaos: Any) -> Invariant:
             mismatches.append(idx)
     ok = not mismatches
     return Invariant(
-        "sam_identical", ok,
+        name, ok,
         "" if ok else f"requests {mismatches[:5]} diverged "
                       f"({len(mismatches)} total)")
 
@@ -274,6 +350,7 @@ def run_chaos(plan_name: str = "ci-default", seed: int = 7,
               requests: int = 24, pair_fraction: float = 0.25,
               read_length: int = 101, reference_length: int = 20_000,
               parallelism: int = 2,
+              cluster_backends: int = 0,
               plan: Optional[FaultPlan] = None) -> ChaosReport:
     """Execute the full chaos acceptance run; see the module docstring.
 
@@ -284,6 +361,13 @@ def run_chaos(plan_name: str = "ci-default", seed: int = 7,
         pair_fraction: fraction of requests that are mate pairs.
         read_length / reference_length: workload shape.
         parallelism: worker processes for the sharded phase.
+        cluster_backends: when > 0, additionally run the same workload
+            through a replicated ``repro.cluster`` gateway over this
+            many *real* backend processes, SIGKILL one mid-load, and
+            gate the ``backend_kill_zero_loss`` invariant (zero
+            lost/duplicated responses, SAM byte-identical to the
+            fault-free single-server baseline).  0 skips the phase —
+            the in-process default for tier-1 tests; the CLI arms it.
         plan: a pre-built plan overriding ``plan_name``/``seed`` (the
             tests inject custom plans here).
     """
@@ -339,6 +423,37 @@ def run_chaos(plan_name: str = "ci-default", seed: int = 7,
         "no_lost_or_duplicated_responses", lost_ok,
         "" if lost_ok else ChaosReport._summary(report.chaos)))
     report.invariants.append(_compare_sam(baseline_report, chaos_report))
+
+    if cluster_backends > 0:
+        with obs.span("chaos_cluster", "chaos",
+                      backends=cluster_backends, requests=requests):
+            cluster_report, gw_stats, killed_at = _cluster_phase(
+                reference, specs, plan.seed, requests, cluster_backends)
+        report.chaos["cluster"] = _run_summary(cluster_report)
+        report.chaos["cluster"]["responses_at_kill"] = killed_at
+        report.chaos["cluster"]["failovers"] = (
+            gw_stats.get("counters", {}).get("failovers_total", 0))
+        full = (cluster_report.responses is not None
+                and all(r is not None for r in cluster_report.responses))
+        zero_loss = (cluster_report.dropped == 0
+                     and cluster_report.error_count == 0
+                     and cluster_report.completed == requests
+                     and full)
+        mid_load = killed_at < requests
+        sam_inv = _compare_sam(baseline_report, cluster_report,
+                               name="backend_kill_zero_loss")
+        details = []
+        if not zero_loss:
+            details.append(ChaosReport._summary(report.chaos["cluster"]))
+        if not mid_load:
+            details.append(f"SIGKILL landed after the load finished "
+                           f"({killed_at}/{requests} responses)")
+        if not sam_inv.ok:
+            details.append(sam_inv.detail or "SAM diverged from the "
+                                             "single-server baseline")
+        ok = zero_loss and mid_load and sam_inv.ok
+        report.invariants.append(Invariant(
+            "backend_kill_zero_loss", ok, "; ".join(details)))
 
     with obs.span("chaos_sharded", "chaos", reads=len(shard_reads)):
         base_sam = _sharded_phase(reference, shard_reads, None,

@@ -219,6 +219,22 @@ class _RetryableError(Exception):
         self.inner = inner
 
 
+def _attach_meta(obj: Dict[str, Any], attempts: int) -> Dict[str, Any]:
+    """Record how hard the client worked for this response.
+
+    Retries used to be invisible to callers — a response that took five
+    attempts looked identical to a first-try success, so load tests and
+    operators could not tell a healthy server from one being papered
+    over by client persistence.  Every align response now carries::
+
+        "meta": {"attempts": <total tries>, "retries": <tries - 1>}
+    """
+    meta = obj.setdefault("meta", {})
+    meta["attempts"] = attempts
+    meta["retries"] = attempts - 1
+    return obj
+
+
 class ResilientAsyncClient:
     """An async client that survives connection drops and shed load.
 
@@ -276,8 +292,12 @@ class ResilientAsyncClient:
         return f"{self._session}-{next(self._keys)}"
 
     async def _call(self, method: str, *args: Any,
-                    key: str, **kwargs: Any) -> Dict[str, Any]:
-        async def attempt() -> Dict[str, Any]:
+                    key: str, **kwargs: Any) -> Tuple[Any, int]:
+        """Run one logical request; ``(result, attempts_used)``."""
+        attempts = [0]
+
+        async def attempt() -> Any:
+            attempts[0] += 1
             client = await self._get()
             try:
                 return await getattr(client, method)(*args, **kwargs)
@@ -294,31 +314,36 @@ class ResilientAsyncClient:
             self.retries += 1
 
         try:
-            return await self.retry.execute_async(
+            result = await self.retry.execute_async(
                 attempt, retry_on=(_RetryableError,), key=key,
                 on_retry=on_retry)
         except _RetryableError as exc:
             raise exc.inner from exc
+        return result, attempts[0]
 
     # ------------------------------------------------------------------ #
 
     async def align(self, read: Read) -> Dict[str, Any]:
         key = self._next_key()
-        return await self._call("align", read, key=key,
-                                idempotency_key=key)
+        obj, attempts = await self._call("align", read, key=key,
+                                         idempotency_key=key)
+        return _attach_meta(obj, attempts)
 
     async def align_pair(self, mate1: Read, mate2: Read,
                          pair_id: Optional[str] = None) -> Dict[str, Any]:
         key = self._next_key()
-        return await self._call("align_pair", mate1, mate2,
-                                pair_id=pair_id, key=key,
-                                idempotency_key=key)
+        obj, attempts = await self._call("align_pair", mate1, mate2,
+                                         pair_id=pair_id, key=key,
+                                         idempotency_key=key)
+        return _attach_meta(obj, attempts)
 
     async def ping(self) -> bool:
-        return bool(await self._call("ping", key=self._next_key()))
+        result, _ = await self._call("ping", key=self._next_key())
+        return bool(result)
 
     async def stats(self) -> Dict[str, Any]:
-        return await self._call("stats", key=self._next_key())
+        result, _ = await self._call("stats", key=self._next_key())
+        return result
 
     async def close(self) -> None:
         async with self._lock:
@@ -387,13 +412,12 @@ class ServiceClient:
                                obj.get("message", ""))
         return obj
 
-    def _request(self, line: str, key: str = "") -> Dict[str, Any]:
-        if self._retry is None:
-            if self._file is None:
-                self._connect()
-            return self._send(line)
+    def _request(self, line: str, key: str = "",
+                 attach_meta: bool = False) -> Dict[str, Any]:
+        attempts = [0]
 
         def attempt() -> Dict[str, Any]:
+            attempts[0] += 1
             if self._file is None:
                 self._connect()
             try:
@@ -407,11 +431,20 @@ class ServiceClient:
                 raise _RetryableError(exc) from exc
 
         try:
-            return self._retry.execute(attempt,
-                                       retry_on=(_RetryableError,),
-                                       key=key)
+            if self._retry is None:
+                attempts[0] = 1
+                if self._file is None:
+                    self._connect()
+                obj = self._send(line)
+            else:
+                obj = self._retry.execute(attempt,
+                                          retry_on=(_RetryableError,),
+                                          key=key)
         except _RetryableError as exc:
             raise exc.inner from exc
+        if attach_meta:
+            _attach_meta(obj, attempts[0])
+        return obj
 
     def _next_key(self) -> Optional[str]:
         """Idempotency key for one logical align call (None = no retry,
@@ -424,14 +457,15 @@ class ServiceClient:
         key = self._next_key()
         return self._request(
             encode_align(str(next(self._ids)), read,
-                         idempotency_key=key), key=key or "")
+                         idempotency_key=key), key=key or "",
+            attach_meta=True)
 
     def align_pair(self, mate1: Read, mate2: Read,
                    pair_id: Optional[str] = None) -> Dict[str, Any]:
         key = self._next_key()
         return self._request(encode_align_pair(
             str(next(self._ids)), mate1, mate2, pair_id=pair_id,
-            idempotency_key=key), key=key or "")
+            idempotency_key=key), key=key or "", attach_meta=True)
 
     def align_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send an arbitrary request object (debugging aid)."""

@@ -96,6 +96,8 @@ class AlignmentEngine:
                         payloads[idx] = {
                             "sam": [sam_record(result, self.reference)],
                             "mapped": result.aligned,
+                            "score": (result.best.score
+                                      if result.best is not None else None),
                         }
 
             for idx, req in enumerate(requests):
@@ -113,6 +115,9 @@ class AlignmentEngine:
         pair = ReadPair(pair_id=request.pair_id or request.reads[0].read_id,
                         mate1=request.reads[0], mate2=request.reads[1])
         outcome = self.paired.align_pair(pair)
+        scores = [result.best.score
+                  for result in (outcome.result1, outcome.result2)
+                  if result.best is not None]
         return {
             "sam": [sam_record(outcome.result1, self.reference),
                     sam_record(outcome.result2, self.reference)],
@@ -120,6 +125,7 @@ class AlignmentEngine:
             "proper": outcome.proper,
             "insert_size": outcome.insert_size,
             "rescued_mate": outcome.rescued_mate,
+            "score": sum(scores) if scores else None,
         }
 
 

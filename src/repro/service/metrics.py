@@ -239,6 +239,61 @@ class MetricsRegistry:
             "histograms": {name: h.summary() for name, h in histograms},
         }
 
+    @staticmethod
+    def merge(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        """Aggregate per-backend :meth:`snapshot` dicts into one view.
+
+        The cluster gateway collects one snapshot per backend and needs
+        a single exposition for the whole tier.  Semantics per
+        instrument kind:
+
+        - **counters** and **gauges** sum (requests served by the
+          cluster = sum over backends; total in-flight likewise).
+        - **histograms**: ``count``/``sum``/``max`` merge exactly
+          (sum/sum/max) and ``mean`` is recomputed from the merged
+          totals.  Percentiles cannot be merged exactly from summaries —
+          the raw samples stayed on the backends — so ``p50``/``p95``/
+          ``p99`` are the **count-weighted average** of the per-backend
+          percentiles.  That is the standard scrape-side approximation:
+          exact when backends have identical latency distributions, and
+          bounded by the min/max of the per-backend values otherwise.
+
+        Returns a dict shaped exactly like :meth:`snapshot`, so it
+        feeds straight into :func:`repro.obs.prom.prometheus_text`.
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        partials: Dict[str, List[Dict[str, float]]] = {}
+        for snap in snapshots:
+            for name, value in (snap.get("counters") or {}).items():  # type: ignore[union-attr]
+                counters[name] = counters.get(name, 0) + value
+            for name, value in (snap.get("gauges") or {}).items():  # type: ignore[union-attr]
+                gauges[name] = gauges.get(name, 0) + value
+            for name, summ in (snap.get("histograms") or {}).items():  # type: ignore[union-attr]
+                partials.setdefault(name, []).append(summ)
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name, summaries in partials.items():
+            count = sum(s["count"] for s in summaries)
+            total = sum(s["sum"] for s in summaries)
+            merged: Dict[str, float] = {
+                "count": count,
+                "sum": round(total, 6),
+                "mean": round(total / count if count else 0.0, 6),
+                "max": round(max(s["max"] for s in summaries), 6),
+            }
+            for q in ("p50", "p95", "p99"):
+                if count:
+                    weighted = sum(s[q] * s["count"] for s in summaries)
+                    merged[q] = round(weighted / count, 6)
+                else:
+                    merged[q] = 0.0
+            histograms[name] = merged
+        return {
+            "counters": {k: counters[k] for k in sorted(counters)},
+            "gauges": {k: gauges[k] for k in sorted(gauges)},
+            "histograms": {k: histograms[k] for k in sorted(histograms)},
+        }
+
     def prometheus_text(self, prefix: Optional[str] = None) -> str:
         """This registry's snapshot in Prometheus text exposition format."""
         from repro.obs.prom import DEFAULT_PREFIX, prometheus_text

@@ -1,0 +1,22 @@
+"""Shared fixtures for the cluster tests: a small reference + reads."""
+
+import pytest
+
+from repro.genome.reads import ErrorModel, ReadSimulator
+from repro.genome.reference import SyntheticReference
+
+
+@pytest.fixture(scope="session")
+def cluster_reference():
+    """Four chromosomes so sharded topologies have something to split;
+    no repeat families so every read has one unambiguous home."""
+    return SyntheticReference(length=24_000, chromosomes=4, seed=11,
+                              repeat_families=[]).build()
+
+
+@pytest.fixture(scope="session")
+def cluster_reads(cluster_reference):
+    error = ErrorModel(substitution_rate=0.002, insertion_rate=0.0002,
+                       deletion_rate=0.0002)
+    return ReadSimulator(cluster_reference, read_length=80,
+                         error_model=error, seed=7).simulate(16)

@@ -1,0 +1,26 @@
+"""The chaos harness's backend-kill invariant, end to end.
+
+This is the run CI's cluster-smoke gates on: a replicated gateway
+cluster under load, one backend SIGKILLed mid-batch, and the invariant
+that zero responses are lost and the SAM stream stays byte-identical to
+the fault-free single-server baseline.
+"""
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+def test_backend_kill_zero_loss():
+    report = run_chaos(plan_name="none", seed=7, requests=24,
+                       parallelism=1, cluster_backends=2)
+    invariant = {inv.name: inv for inv in report.invariants}[
+        "backend_kill_zero_loss"]
+    assert invariant.ok, invariant.detail
+    cluster = report.chaos["cluster"]
+    assert cluster["completed"] == 24
+    assert cluster["dropped"] == 0 and cluster["errors"] == 0
+    # The kill landed mid-load, not after the run drained.
+    assert 0 < cluster["responses_at_kill"] < 24

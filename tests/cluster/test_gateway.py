@@ -1,0 +1,266 @@
+"""Gateway behavior against in-process backends: routing, failover,
+health-driven membership, hedging, scatter/gather, idempotency."""
+
+import asyncio
+import contextlib
+import time
+
+from repro.cluster.gateway import ClusterGateway, GatewayConfig
+from repro.cluster.ring import HashRing
+from repro.cluster.topology import ClusterTopology, shard_reference
+from repro.service.client import AsyncServiceClient
+from repro.service.engine import AlignmentEngine
+from repro.service.server import AlignmentServer, ServerConfig
+from tests.service.helpers import run
+
+
+class SlowEngine:
+    """Delays every batch so hedging races are deterministic."""
+
+    def __init__(self, inner, delay_s):
+        self.inner = inner
+        self.delay_s = delay_s
+
+    def execute(self, requests):
+        time.sleep(self.delay_s)
+        return self.inner.execute(requests)
+
+
+@contextlib.asynccontextmanager
+async def cluster(reference, shards=1, replicas=2, engine_factories=None,
+                  **gateway_overrides):
+    """Backends as in-process AlignmentServers + a started gateway +
+    a client connected to the gateway's front door."""
+    topo = ClusterTopology(shards=shards, replicas=replicas)
+    servers = {}
+    for spec in topo.backends:
+        ref = (reference if shards == 1
+               else shard_reference(reference, shards, spec.shard))
+        factory = (engine_factories or {}).get(spec.backend_id)
+        server = AlignmentServer(
+            ref, config=ServerConfig(port=0, stats_interval_s=0.0,
+                                     workers=1),
+            engine_factory=factory)
+        await server.start()
+        servers[spec.backend_id] = server
+    topo = topo.with_endpoints({bid: f"127.0.0.1:{server.port}"
+                                for bid, server in servers.items()})
+    overrides = {"port": 0, "health_interval_s": 0.0,
+                 "hedge_delay_ms": 0.0}
+    overrides.update(gateway_overrides)
+    gateway = ClusterGateway(topo, config=GatewayConfig(**overrides))
+    await gateway.start()
+    client = await AsyncServiceClient.connect("127.0.0.1", gateway.port)
+    try:
+        yield gateway, servers, client
+    finally:
+        await client.close()
+        await gateway.shutdown()
+        for server in servers.values():
+            await server.shutdown(drain=True)
+
+
+def counters(gateway):
+    return gateway.metrics.snapshot()["counters"]
+
+
+def gauges(gateway):
+    return gateway.metrics.snapshot()["gauges"]
+
+
+async def single_server_sam(reference, reads):
+    """What one full-reference server answers — the cluster's truth."""
+    server = AlignmentServer(reference, config=ServerConfig(
+        port=0, stats_interval_s=0.0, workers=1))
+    await server.start()
+    client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+    try:
+        return {read.read_id: (await client.align(read))["sam"]
+                for read in reads}
+    finally:
+        await client.close()
+        await server.shutdown(drain=True)
+
+
+def test_replicated_routing_and_protocol(cluster_reference, cluster_reads):
+    async def scenario():
+        truth = await single_server_sam(cluster_reference, cluster_reads)
+        async with cluster(cluster_reference, replicas=2) as \
+                (gateway, servers, client):
+            assert await client.ping()
+            for read in cluster_reads:
+                assert (await client.align(read))["sam"] == \
+                    truth[read.read_id]
+            snap = counters(gateway)
+            assert snap["responses_total"] == len(cluster_reads)
+            # Consistent hashing spread work over both replicas.
+            assert snap["backend_s0r0_requests_total"] > 0
+            assert snap["backend_s0r1_requests_total"] > 0
+            stats = await client.stats()
+            assert stats["topology"]["replicas"] == 2
+            assert set(stats["backends"]) == {"s0r0", "s0r1"}
+            assert "cluster_metrics" in stats
+            # Malformed line → bad_request error, connection stays up.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port)
+            writer.write(b"not json\n")
+            await writer.drain()
+            assert '"bad_request"' in (await reader.readline()).decode()
+            writer.close()
+    run(scenario())
+
+
+def test_failover_when_backend_dies(cluster_reference, cluster_reads):
+    async def scenario():
+        truth = await single_server_sam(cluster_reference, cluster_reads)
+        async with cluster(cluster_reference, replicas=2) as \
+                (gateway, servers, client):
+            ring = HashRing(["s0r0", "s0r1"])
+            # Kill whichever replica is primary for the first read; the
+            # gateway must fail the call over to the survivor.
+            victim = ring.route(cluster_reads[0].read_id)
+            await servers[victim].shutdown(drain=False)
+            for read in cluster_reads:
+                assert (await client.align(read))["sam"] == \
+                    truth[read.read_id]
+            snap = counters(gateway)
+            assert snap["failovers_total"] > 0
+            assert snap["responses_total"] == len(cluster_reads)
+    run(scenario())
+
+
+def test_health_loop_ejects_and_readmits(cluster_reference, cluster_reads):
+    async def scenario():
+        async with cluster(cluster_reference, replicas=2,
+                           health_interval_s=0.05, health_timeout_s=0.5,
+                           health_failures=2, health_successes=2) as \
+                (gateway, servers, client):
+            port = servers["s0r1"].port
+            await servers["s0r1"].shutdown(drain=False)
+
+            async def wait_healthy(value, deadline_s=10.0):
+                deadline = time.monotonic() + deadline_s
+                while time.monotonic() < deadline:
+                    if gauges(gateway)["backend_s0r1_healthy"] == value:
+                        return
+                    await asyncio.sleep(0.05)
+                raise AssertionError(
+                    f"s0r1 never became healthy={value}: "
+                    f"{gauges(gateway)}")
+
+            await wait_healthy(0)
+            assert counters(gateway)["backend_ejects_total"] == 1
+            # Every request now routes to the survivor.
+            for read in cluster_reads[:4]:
+                assert "sam" in await client.align(read)
+            # Revive the backend on its old endpoint → readmitted.
+            servers["s0r1"] = AlignmentServer(
+                cluster_reference, config=ServerConfig(
+                    port=port, stats_interval_s=0.0, workers=1))
+            await servers["s0r1"].start()
+            await wait_healthy(1)
+            assert counters(gateway)["backend_readmits_total"] == 1
+    run(scenario())
+
+
+def test_hedge_wins_and_loser_is_not_double_counted(
+        cluster_reference, cluster_reads):
+    async def scenario():
+        read = cluster_reads[0]
+        primary = HashRing(["s0r0", "s0r1"]).route(read.read_id)
+        slow = {primary: (lambda: SlowEngine(
+            AlignmentEngine(cluster_reference), 1.0))}
+        async with cluster(cluster_reference, replicas=2,
+                           engine_factories=slow,
+                           hedge_delay_ms=50.0) as \
+                (gateway, servers, client):
+            started = time.monotonic()
+            response = await client.align(read, idempotency_key="k1")
+            elapsed = time.monotonic() - started
+            assert "sam" in response
+            # The hedge answered well before the slow primary could.
+            assert elapsed < 0.9
+            snap = counters(gateway)
+            assert snap["hedges_total"] == 1
+            assert snap["hedge_wins_total"] == 1
+            assert snap["responses_total"] == 1
+            assert snap[f"backend_{primary}_requests_total"] == 1
+            # Wait past the slow engine's delay: the cancelled loser
+            # must not surface as a second response or idempotent hit.
+            await asyncio.sleep(1.2)
+            snap = counters(gateway)
+            assert snap["responses_total"] == 1
+            assert snap.get("idempotent_hits_total", 0) == 0
+            # A client retry with the same key hits the gateway's
+            # cache and returns the identical payload.
+            again = await client.align(read, idempotency_key="k1")
+            assert again["sam"] == response["sam"]
+            assert counters(gateway)["idempotent_hits_total"] == 1
+    run(scenario())
+
+
+def test_sharded_scatter_gather_matches_single_server(
+        cluster_reference, cluster_reads):
+    async def scenario():
+        truth = await single_server_sam(cluster_reference, cluster_reads)
+        async with cluster(cluster_reference, shards=2, replicas=1) as \
+                (gateway, servers, client):
+            for read in cluster_reads:
+                assert (await client.align(read))["sam"] == \
+                    truth[read.read_id]
+            snap = counters(gateway)
+            assert snap["scatters_total"] == len(cluster_reads)
+            assert snap["backend_s0r0_requests_total"] == \
+                len(cluster_reads)
+            assert snap["backend_s1r0_requests_total"] == \
+                len(cluster_reads)
+    run(scenario())
+
+
+def test_request_ids_do_not_collide_across_connections(
+        cluster_reference, cluster_reads):
+    """Regression: backend idempotency keys derived from (session,
+    request_id) alone replayed one connection's responses to another,
+    cross-wiring SAM records between clients."""
+    async def scenario():
+        async with cluster(cluster_reference, replicas=2) as \
+                (gateway, servers, client):
+            await client.align(cluster_reads[0])  # request id 1 here
+            other = await AsyncServiceClient.connect(
+                "127.0.0.1", gateway.port)
+            try:
+                # First request on a fresh connection reuses id 1; it
+                # must get ITS read's alignment, not a cached replay.
+                response = await other.align(cluster_reads[1])
+            finally:
+                await other.close()
+            assert response["sam"][0].split("\t")[0] == \
+                cluster_reads[1].read_id
+    run(scenario())
+
+
+def test_gateway_pair_alignment(cluster_reference):
+    from repro.genome.pairs import PairedReadSimulator
+
+    pairs = PairedReadSimulator(cluster_reference, read_length=80,
+                                seed=9).simulate(3)
+
+    async def scenario():
+        async with cluster(cluster_reference, replicas=2) as \
+                (gateway, servers, client):
+            for pair in pairs:
+                response = await client.align_pair(pair.mate1, pair.mate2)
+                assert len(response["sam"]) == 2
+            assert counters(gateway)["pair_requests_total"] == len(pairs)
+    run(scenario())
+
+
+def test_gateway_config_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        GatewayConfig(hedge_delay_ms=-1)
+    with pytest.raises(ValueError):
+        GatewayConfig(hedge_max=-1)
+    with pytest.raises(ValueError):
+        GatewayConfig(health_failures=0)

@@ -1,0 +1,88 @@
+"""Scatter/gather merge rule: mapped desc, score desc, shard asc."""
+
+import pytest
+
+from repro.cluster.merge import (
+    MergeError,
+    gather_complete,
+    merge_align_payloads,
+    merge_stats_payloads,
+)
+
+
+def payload(mapped, score, tag):
+    return {"mapped": mapped, "score": score, "sam": [tag]}
+
+
+def test_mapped_beats_unmapped_regardless_of_score():
+    merged = merge_align_payloads([
+        (0, payload(False, 99.0, "unmapped")),
+        (1, payload(True, 1.0, "mapped")),
+    ])
+    assert merged["sam"] == ["mapped"]
+    assert merged["shard"] == 1
+
+
+def test_higher_score_wins():
+    merged = merge_align_payloads([
+        (0, payload(True, 40.0, "low")),
+        (1, payload(True, 75.0, "high")),
+        (2, payload(True, 60.0, "mid")),
+    ])
+    assert merged["sam"] == ["high"] and merged["shard"] == 1
+
+
+def test_score_tie_breaks_to_lowest_shard():
+    candidates = [
+        (2, payload(True, 50.0, "shard2")),
+        (1, payload(True, 50.0, "shard1")),
+    ]
+    merged = merge_align_payloads(candidates)
+    assert merged["shard"] == 1
+    # Order of arrival must not matter.
+    assert merge_align_payloads(list(reversed(candidates))) == merged
+
+
+def test_missing_score_sorts_below_any_present_score():
+    merged = merge_align_payloads([
+        (0, {"mapped": True, "sam": ["scoreless"]}),
+        (1, payload(True, 0.0, "scored")),
+    ])
+    assert merged["sam"] == ["scored"]
+
+
+def test_winner_passes_through_verbatim():
+    rich = {"mapped": True, "score": 9.0, "sam": ["line"],
+            "pair": {"proper": True}}
+    merged = merge_align_payloads([(0, rich), (1, payload(False, None,
+                                                          "no"))])
+    assert merged["pair"] == {"proper": True}
+    assert merged["shard"] == 0
+    # The input payload is not mutated.
+    assert "shard" not in rich
+
+
+def test_merge_rejects_empty_and_duplicate_shards():
+    with pytest.raises(MergeError):
+        merge_align_payloads([])
+    with pytest.raises(MergeError):
+        merge_align_payloads([(0, payload(True, 1, "a")),
+                              (0, payload(True, 2, "b"))])
+
+
+def test_gather_complete():
+    got = [(0, {}), (2, {})]
+    assert gather_complete(got, 3) == [1]
+    assert gather_complete(got, 2) == [1]
+    assert gather_complete([(0, {}), (1, {})], 2) == []
+
+
+def test_merge_stats_sums_numeric_scalars_only():
+    merged = merge_stats_payloads({
+        "s0r0": {"requests": 10, "uptime_s": 1.5, "ok": True,
+                 "name": "a", "nested": {"x": 1}},
+        "s0r1": {"requests": 5, "uptime_s": 2.5, "ok": False},
+    }, gateway={"requests": 3})
+    assert merged["cluster"] == {"requests": 15, "uptime_s": 4.0}
+    assert set(merged["backends"]) == {"s0r0", "s0r1"}
+    assert merged["gateway"] == {"requests": 3}

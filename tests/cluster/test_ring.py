@@ -1,0 +1,88 @@
+"""Consistent-hash ring: determinism, balance, minimal remap."""
+
+import hashlib
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+
+KEYS = [f"read_{i}" for i in range(400)]
+
+
+def test_stable_hash_is_sha256_derived_not_process_salted():
+    digest = hashlib.sha256(b"read_0").digest()
+    expected = int.from_bytes(digest[:8], "big")
+    assert stable_hash("read_0") == expected
+    # Re-deriving gives the same answer (unlike builtin hash() across
+    # interpreter runs).
+    assert stable_hash("read_0") == stable_hash("read_0")
+
+
+def test_route_is_deterministic_across_instances():
+    a = HashRing(["s0r0", "s0r1", "s0r2"])
+    b = HashRing(["s0r2", "s0r0", "s0r1"])  # insertion order irrelevant
+    assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+
+def test_vnodes_validation_and_empty_ring():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.route("x")
+    with pytest.raises(LookupError):
+        ring.preference("x")
+
+
+def test_membership_edits():
+    ring = HashRing(["a", "b"])
+    assert len(ring) == 2 and "a" in ring
+    with pytest.raises(ValueError):
+        ring.add("a")
+    with pytest.raises(KeyError):
+        ring.remove("zzz")
+    ring.remove("a")
+    assert ring.members == ["b"]
+    assert all(ring.route(k) == "b" for k in KEYS[:20])
+
+
+def test_preference_is_distinct_and_starts_at_route():
+    ring = HashRing(["a", "b", "c", "d"])
+    for key in KEYS[:50]:
+        order = ring.preference(key)
+        assert order[0] == ring.route(key)
+        assert sorted(order) == ["a", "b", "c", "d"]  # all, no dups
+    assert len(ring.preference(KEYS[0], count=2)) == 2
+
+
+def test_removal_remaps_only_the_removed_members_keys():
+    ring = HashRing(["a", "b", "c", "d"])
+    before = {k: ring.route(k) for k in KEYS}
+    ring.remove("b")
+    after = {k: ring.route(k) for k in KEYS}
+    moved = [k for k in KEYS if before[k] != after[k]]
+    # Exactly the keys "b" owned moved; everyone else stayed put.
+    assert moved == [k for k in KEYS if before[k] == "b"]
+    # And the displaced keys follow the documented failover order: the
+    # next distinct member clockwise.
+    ring_all = HashRing(["a", "b", "c", "d"])
+    for key in moved:
+        assert after[key] == ring_all.preference(key)[1]
+
+
+def test_re_adding_restores_original_routing():
+    ring = HashRing(["a", "b", "c"])
+    before = {k: ring.route(k) for k in KEYS}
+    ring.remove("c")
+    ring.add("c")
+    assert {k: ring.route(k) for k in KEYS} == before
+
+
+def test_spread_is_roughly_even():
+    ring = HashRing(["a", "b", "c", "d"], vnodes=DEFAULT_VNODES)
+    counts = ring.spread(KEYS)
+    assert sum(counts.values()) == len(KEYS)
+    # 400 keys over 4 members: each should land within a loose band of
+    # the 100-key ideal (vnode placement keeps skew small, not zero).
+    for member, count in counts.items():
+        assert 40 <= count <= 180, (member, counts)

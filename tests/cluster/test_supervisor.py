@@ -1,0 +1,102 @@
+"""Supervisor end-to-end: real backend processes, state file, SIGKILL."""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.cluster import (
+    ClusterGateway,
+    ClusterSupervisor,
+    GatewayConfig,
+    SupervisorError,
+    read_state,
+)
+from repro.genome.io import write_fasta
+from tests.service.helpers import run
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+
+@pytest.fixture
+def reference_path(cluster_reference, tmp_path):
+    path = str(tmp_path / "ref.fa")
+    write_fasta(cluster_reference, path)
+    return path
+
+
+def test_spawn_serve_state_and_drain(reference_path, tmp_path,
+                                     cluster_reads):
+    supervisor = ClusterSupervisor(
+        reference_path=reference_path, workdir=str(tmp_path / "work"),
+        shards=1, replicas=2, workers=1)
+    with supervisor:
+        topology = supervisor.start()
+        assert len(supervisor.backends) == 2
+        assert all(b.alive for b in supervisor.backends)
+        assert all(spec.endpoint for spec in topology.backends)
+        state = read_state(supervisor.state_path)
+        assert {b["id"] for b in state["backends"]} == {"s0r0", "s0r1"}
+        assert all(b["pid"] > 0 and b["endpoint"]
+                   for b in state["backends"])
+
+        async def scenario():
+            gateway = ClusterGateway(topology, config=GatewayConfig(
+                port=0, health_interval_s=0.0, hedge_delay_ms=0.0))
+            await gateway.start()
+            from repro.service.client import AsyncServiceClient
+            client = await AsyncServiceClient.connect(
+                "127.0.0.1", gateway.port)
+            try:
+                for read in cluster_reads[:4]:
+                    assert "sam" in await client.align(read)
+            finally:
+                await client.close()
+                await gateway.shutdown()
+        run(scenario())
+
+        # Logs captured per backend.
+        for backend in supervisor.backends:
+            assert os.path.exists(backend.log_path)
+            with open(backend.log_path, encoding="utf-8") as handle:
+                assert "serving on" in handle.read()
+    # Context exit drained the fleet.
+    assert supervisor.dead_backends() == ["s0r0", "s0r1"]
+
+
+def test_kill_is_immediate_and_tracked(reference_path, tmp_path):
+    supervisor = ClusterSupervisor(
+        reference_path=reference_path, workdir=str(tmp_path / "work"),
+        shards=1, replicas=2, workers=1)
+    with supervisor:
+        supervisor.start()
+        supervisor.kill("s0r0")
+        assert supervisor.dead_backends() == ["s0r0"]
+        assert supervisor.backend("s0r1").alive
+        with pytest.raises(KeyError):
+            supervisor.backend("nope")
+
+
+def test_sharded_supervisor_builds_per_shard_stores(reference_path,
+                                                    tmp_path):
+    workdir = str(tmp_path / "work")
+    supervisor = ClusterSupervisor(
+        reference_path=reference_path, workdir=workdir,
+        shards=2, replicas=1, workers=1)
+    with supervisor:
+        supervisor.start()
+        for shard in range(2):
+            assert os.path.exists(os.path.join(workdir,
+                                               f"shard{shard}.fa"))
+            assert os.path.exists(os.path.join(workdir,
+                                               f"shard{shard}.idx"))
+
+
+def test_double_start_rejected(reference_path, tmp_path):
+    supervisor = ClusterSupervisor(
+        reference_path=reference_path, workdir=str(tmp_path / "work"),
+        shards=1, replicas=1, workers=1)
+    with supervisor:
+        supervisor.start()
+        with pytest.raises(SupervisorError):
+            supervisor.start()

@@ -1,0 +1,79 @@
+"""Topology shape, chromosome bin-packing, and shard references."""
+
+import pytest
+
+from repro.cluster.topology import (
+    ClusterTopology,
+    shard_assignment,
+    shard_for_chromosome,
+    shard_reference,
+)
+
+
+def test_topology_generates_backend_specs():
+    topo = ClusterTopology(shards=2, replicas=2)
+    assert [spec.backend_id for spec in topo.backends] == \
+        ["s0r0", "s0r1", "s1r0", "s1r1"]
+    assert topo.sharded
+    assert [s.backend_id for s in topo.shard_group(1)] == ["s1r0", "s1r1"]
+    assert topo.backend("s0r1").replica == 1
+    with pytest.raises(IndexError):
+        topo.shard_group(2)
+    with pytest.raises(KeyError):
+        topo.backend("nope")
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        ClusterTopology(shards=0)
+    with pytest.raises(ValueError):
+        ClusterTopology(replicas=0)
+    assert not ClusterTopology(shards=1, replicas=3).sharded
+
+
+def test_with_endpoints_preserves_shape():
+    topo = ClusterTopology(shards=1, replicas=2)
+    bound = topo.with_endpoints({"s0r0": "127.0.0.1:1", "s0r1": "u:2"})
+    assert bound.backend("s0r0").endpoint == "127.0.0.1:1"
+    assert bound.backend("s0r1").endpoint == "u:2"
+    # Original is untouched (frozen dataclasses all the way down).
+    assert topo.backend("s0r0").endpoint == ""
+    desc = bound.describe()
+    assert desc["shards"] == 1 and len(desc["backends"]) == 2
+
+
+def test_shard_assignment_covers_and_balances(cluster_reference):
+    buckets = shard_assignment(cluster_reference, 2)
+    names = sorted(n for bucket in buckets for n in bucket)
+    assert names == sorted(c.name for c in cluster_reference.chromosomes)
+    assert all(bucket for bucket in buckets)
+    # Greedy longest-first keeps the split within 2x of even here.
+    sizes = [sum(len(cluster_reference.chromosome(n)) for n in bucket)
+             for bucket in buckets]
+    assert max(sizes) <= 2 * min(sizes)
+
+
+def test_shard_assignment_is_deterministic(cluster_reference):
+    first = shard_assignment(cluster_reference, 3)
+    assert all(shard_assignment(cluster_reference, 3) == first
+               for _ in range(3))
+
+
+def test_shard_assignment_rejects_too_many_shards(cluster_reference):
+    with pytest.raises(ValueError):
+        shard_assignment(cluster_reference,
+                         len(cluster_reference.chromosomes) + 1)
+    with pytest.raises(ValueError):
+        shard_assignment(cluster_reference, 0)
+
+
+def test_shard_reference_preserves_names_and_sequences(cluster_reference):
+    for shard in range(2):
+        sub = shard_reference(cluster_reference, 2, shard)
+        for chrom in sub.chromosomes:
+            original = cluster_reference.chromosome(chrom.name)
+            assert chrom.sequence == original.sequence
+            assert shard_for_chromosome(cluster_reference, 2,
+                                        chrom.name) == shard
+    with pytest.raises(KeyError):
+        shard_for_chromosome(cluster_reference, 2, "chrX")

@@ -192,3 +192,69 @@ class TestThreadSafety:
         hist = registry.histogram("latency_s")
         assert hist.count == expected
         assert hist.total == pytest.approx(expected * 0.5)
+
+
+class TestMerge:
+    """MetricsRegistry.merge: per-backend snapshots -> one cluster view."""
+
+    @staticmethod
+    def registry_with(counter=0, gauge=0, observations=()):
+        registry = MetricsRegistry()
+        if counter:
+            registry.inc("requests_total", counter)
+        if gauge:
+            registry.set_gauge("in_flight", gauge)
+        for value in observations:
+            registry.observe("latency_s", value)
+        return registry
+
+    def test_counters_and_gauges_sum(self):
+        snaps = [self.registry_with(counter=3, gauge=1).snapshot(),
+                 self.registry_with(counter=4, gauge=2).snapshot()]
+        merged = MetricsRegistry.merge(snaps)
+        assert merged["counters"]["requests_total"] == 7
+        assert merged["gauges"]["in_flight"] == 3
+
+    def test_histogram_count_sum_max_are_exact(self):
+        a = self.registry_with(observations=[0.1, 0.2, 0.3]).snapshot()
+        b = self.registry_with(observations=[0.4, 0.5]).snapshot()
+        hist = MetricsRegistry.merge([a, b])["histograms"]["latency_s"]
+        assert hist["count"] == 5
+        assert hist["sum"] == pytest.approx(1.5)
+        assert hist["max"] == pytest.approx(0.5)
+        assert hist["mean"] == pytest.approx(0.3)
+
+    def test_histogram_percentiles_are_count_weighted(self):
+        # Backend A saw 9 fast requests, backend B one slow one.  The
+        # merged p50 must lean toward A's, not split the difference.
+        a = self.registry_with(observations=[0.01] * 9).snapshot()
+        b = self.registry_with(observations=[1.0]).snapshot()
+        merged = MetricsRegistry.merge([a, b])["histograms"]["latency_s"]
+        unweighted = (a["histograms"]["latency_s"]["p50"]
+                      + b["histograms"]["latency_s"]["p50"]) / 2
+        expected = (9 * a["histograms"]["latency_s"]["p50"]
+                    + 1 * b["histograms"]["latency_s"]["p50"]) / 10
+        assert merged["p50"] == pytest.approx(expected)
+        assert merged["p50"] < unweighted
+
+    def test_merge_tolerates_disjoint_names_and_empty_input(self):
+        a = MetricsRegistry()
+        a.inc("only_a")
+        b = MetricsRegistry()
+        b.inc("only_b")
+        b.observe("h", 1.0)
+        merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"only_a": 1, "only_b": 1}
+        assert merged["histograms"]["h"]["count"] == 1
+        empty = MetricsRegistry.merge([])
+        assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merged_snapshot_renders_as_prometheus_text(self):
+        from repro.obs import prometheus_text
+
+        merged = MetricsRegistry.merge(
+            [self.registry_with(counter=2,
+                                observations=[0.25]).snapshot()])
+        text = prometheus_text(merged)
+        assert "requests_total 2" in text
+        assert "latency_s" in text

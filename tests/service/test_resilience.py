@@ -222,3 +222,79 @@ def test_blocking_client_reconnects_under_policy(service_reference,
             await server.shutdown(drain=True)
 
     run(scenario())
+
+
+def test_response_meta_reports_retry_attempts(service_reference,
+                                              service_reads):
+    """Regression: align/align_pair responses must surface how many
+    attempts the client burned — the only way callers (and the chaos
+    report) can attribute latency to retries without scraping logs."""
+    async def scenario():
+        injector = drop_plan(1).injector()
+        async with serving(service_reference,
+                           fault_injector=injector) as (server, _):
+            client = ResilientAsyncClient(
+                f"127.0.0.1:{server.port}",
+                retry=RetryPolicy(max_attempts=5, base_delay_s=0.01,
+                                  max_delay_s=0.05, seed=3))
+            try:
+                retried = await client.align(service_reads[0])
+                clean = await client.align(service_reads[1])
+            finally:
+                await client.close()
+            # First request ate the injected drop: >= 2 attempts.
+            assert retried["meta"]["attempts"] >= 2
+            assert retried["meta"]["retries"] == \
+                retried["meta"]["attempts"] - 1
+            # Clean request: exactly one attempt, zero retries.
+            assert clean["meta"] == {"attempts": 1, "retries": 0}
+
+    run(scenario())
+
+
+def test_blocking_client_meta_attempts(service_reference, service_reads):
+    """Same contract for the blocking ServiceClient, with and without a
+    retry policy."""
+    async def scenario():
+        injector = drop_plan(1).injector()
+        server = AlignmentServer(
+            service_reference,
+            config=ServerConfig(port=0, stats_interval_s=0),
+            fault_injector=injector)
+        await server.start()
+        try:
+            from repro.service.client import ServiceClient
+
+            def drive():
+                with ServiceClient(
+                        "127.0.0.1", server.port, timeout_s=5.0,
+                        retry_policy=RetryPolicy(
+                            max_attempts=5, base_delay_s=0.01,
+                            max_delay_s=0.05, seed=2)) as client:
+                    first = client.align(service_reads[0])
+                    second = client.align(service_reads[1])
+                # No-retry client still reports its single attempt.
+                with ServiceClient("127.0.0.1", server.port,
+                                   timeout_s=5.0) as plain:
+                    third = plain.align(service_reads[2])
+                return first, second, third
+
+            first, second, third = await asyncio.get_event_loop() \
+                .run_in_executor(None, drive)
+            assert first["meta"]["attempts"] >= 2
+            assert second["meta"] == {"attempts": 1, "retries": 0}
+            assert third["meta"] == {"attempts": 1, "retries": 0}
+            # stats/ping payloads stay meta-free: they are pass-through
+            # server state, not per-request outcomes.
+
+            def probe():
+                with ServiceClient("127.0.0.1", server.port,
+                                   timeout_s=5.0) as client:
+                    return client.stats()
+            stats = await asyncio.get_event_loop().run_in_executor(
+                None, probe)
+            assert "meta" not in stats
+        finally:
+            await server.shutdown(drain=True)
+
+    run(scenario())
