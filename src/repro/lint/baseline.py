@@ -67,6 +67,16 @@ class Baseline:
         path.write_text(json.dumps(payload, indent=2) + "\n",
                         encoding="utf-8")
 
+    def diff(self, previous: "Baseline") -> Tuple[int, int]:
+        """Ratchet delta against an older baseline: (added, removed)
+        fingerprint counts — ``removed`` is what ``--write-baseline``
+        prunes (fingerprints for code that no longer exists)."""
+        added = sum(max(0, count - previous.counts.get(key, 0))
+                    for key, count in self.counts.items())
+        removed = sum(max(0, count - self.counts.get(key, 0))
+                      for key, count in previous.counts.items())
+        return added, removed
+
     def match(self, findings: List[Finding]) -> BaselineMatch:
         """Split findings into new vs baselined; report stale entries."""
         remaining = dict(self.counts)

@@ -56,6 +56,25 @@ DEFAULT_SCOPES: Dict[str, List[str]] = {
         "src/repro/power/*",
         "src/repro/baselines/*",
     ],
+    # Flow-rule categories (see repro.lint.flow). Resource-lifecycle
+    # covers every layer that owns OS handles; wire-protocol is pinned
+    # to exactly the modules that produce or consume NDJSON messages so
+    # an unrelated json.loads can't pollute the extracted schema.
+    "resource-lifecycle": [
+        "src/repro/service/*",
+        "src/repro/cluster/*",
+        "src/repro/seeding/*",
+        "src/repro/runtime/*",
+    ],
+    "wire-protocol": [
+        "src/repro/service/protocol.py",
+        "src/repro/service/client.py",
+        "src/repro/service/server.py",
+        "src/repro/service/engine.py",
+        "src/repro/service/loadgen.py",
+        "src/repro/cluster/gateway.py",
+        "src/repro/cluster/merge.py",
+    ],
 }
 
 _SECTION = "tool.repro-lint"
@@ -70,6 +89,11 @@ class LintConfig:
                                  for k, v in DEFAULT_SCOPES.items()})
     exclude: List[str] = field(default_factory=list)
     disable: List[str] = field(default_factory=list)
+    #: ``[tool.repro-lint.flow]`` — extra knowledge for the flow layer
+    #: (``wire-bridges``: functions whose results are wire objects even
+    #: though the dataflow crosses a future/queue; ``wire-producers``:
+    #: payload factories whose dict literals are wire writes).
+    flow: Dict[str, List[str]] = field(default_factory=dict)
     project_root: Optional[Path] = None
 
     # -- construction ---------------------------------------------------- #
@@ -107,6 +131,11 @@ class LintConfig:
         disable = table.get("disable")
         if isinstance(disable, list):
             config.disable = [str(r) for r in disable]
+        flow = table.get("flow")
+        if isinstance(flow, dict):
+            config.flow = {key: [str(v) for v in values]
+                           for key, values in flow.items()
+                           if isinstance(values, list)}
         return config
 
     @classmethod
@@ -136,10 +165,17 @@ class LintConfig:
         """True when ``rule_cls`` should run on the file at ``path``."""
         if rule_cls.rule_id in self.disable or rule_cls.name in self.disable:
             return False
-        if any(_match(path, pattern) for pattern in self.exclude):
+        return self.category_applies(rule_cls.category, path)
+
+    def category_applies(self, category: str, path: str) -> bool:
+        """True when rules of ``category`` are scoped to ``path``."""
+        if self.is_excluded(path):
             return False
-        patterns = self.scopes.get(rule_cls.category, [])
+        patterns = self.scopes.get(category, [])
         return any(_match(path, pattern) for pattern in patterns)
+
+    def is_excluded(self, path: str) -> bool:
+        return any(_match(path, pattern) for pattern in self.exclude)
 
 
 def _match(path: str, pattern: str) -> bool:

@@ -36,8 +36,11 @@ __all__ = [
     "rule",
     "all_rules",
     "rules_by_category",
+    "known_rule_ids",
     "Analyzer",
+    "AnalysisReport",
     "ModuleSource",
+    "finalize_report",
     "UNUSED_SUPPRESSION_ID",
 ]
 
@@ -210,6 +213,20 @@ def _load_builtin_rules() -> None:
     from repro.lint import rules_async, rules_determinism, rules_units  # noqa: F401
 
 
+def known_rule_ids() -> Set[str]:
+    """Every id and name a suppression may legitimately reference:
+    per-file rules, whole-program flow rules, and the meta-rule."""
+    registry = all_rules()
+    known = ({rid for rid in registry}
+             | {cls.name for cls in registry.values()}
+             | {UNUSED_SUPPRESSION_ID, "unused-suppression"})
+    from repro.lint.flow import all_flow_rules  # deferred: flow imports core
+    flow_registry = all_flow_rules()
+    known |= set(flow_registry)
+    known |= {cls.name for cls in flow_registry.values()}
+    return known
+
+
 # ---------------------------------------------------------------------- #
 # Import alias collection
 # ---------------------------------------------------------------------- #
@@ -256,7 +273,10 @@ def parse_suppressions(source: str) -> List[Suppression]:
         match = _SUPPRESS_RE.search(line)
         if match is None:
             continue
-        rules = tuple(entry.strip() for entry in match.group(1).split(",")
+        # Everything after `--` is a human-readable justification
+        # (required style for suppressions of flow findings).
+        rule_list = match.group(1).split("--", 1)[0]
+        rules = tuple(entry.strip() for entry in rule_list.split(",")
                       if entry.strip())
         if rules:
             out.append(Suppression(line=lineno, rules=rules))
@@ -269,15 +289,73 @@ def parse_suppressions(source: str) -> List[Suppression]:
 
 @dataclass
 class AnalysisReport:
-    """Everything one run produced."""
+    """Everything one run produced.
+
+    In *deferred* mode (``check_source(..., finalize=False)``) the
+    findings are raw — not yet suppression-filtered — and the per-file
+    suppressions plus the ids of the rules that ran live in
+    :attr:`pending_suppressions` / :attr:`local_rule_ids` until
+    :func:`finalize_report` is called. The multi-file runner uses this
+    so one ``disable=`` comment works for per-file *and* flow findings.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    pending_suppressions: Dict[str, List["Suppression"]] = field(
+        default_factory=dict)
+    local_rule_ids: Dict[str, Set[str]] = field(default_factory=dict)
 
     def sorted_findings(self) -> List[Finding]:
         return sorted(self.findings,
                       key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
+def finalize_report(report: AnalysisReport) -> None:
+    """Apply pending suppressions to a report's findings and emit
+    ``LINT001`` for suppressions that matched nothing.
+
+    Works on whatever findings the report holds — per-file, flow, or
+    both — so a ``disable=`` comment suppresses a flow finding exactly
+    like a per-file one. Clears the pending state when done.
+    """
+    by_path_line: Dict[Tuple[str, int], List[Suppression]] = {}
+    for path, sups in report.pending_suppressions.items():
+        for sup in sups:
+            by_path_line.setdefault((path, sup.line), []).append(sup)
+    kept: List[Finding] = []
+    for finding in report.findings:
+        suppressed = False
+        for sup in by_path_line.get((finding.path, finding.line), ()):
+            if sup.matches(finding):
+                sup.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    known_anywhere = known_rule_ids()
+    for path in sorted(report.pending_suppressions):
+        local = report.local_rule_ids.get(path, set())
+        for sup in report.pending_suppressions[path]:
+            if sup.used:
+                continue
+            # A suppression is unused when an entry names a rule that ran
+            # on this file and found nothing — or names no rule at all (a
+            # typo). Valid rules merely not scoped to this file stay
+            # silent: they never had the chance to fire.
+            if any(entry in local or entry == "all"
+                   or entry not in known_anywhere
+                   for entry in sup.rules):
+                names = ",".join(sup.rules)
+                kept.append(Finding(
+                    rule_id=UNUSED_SUPPRESSION_ID,
+                    rule_name="unused-suppression",
+                    path=path, line=sup.line, col=0,
+                    message=(f"suppression 'disable={names}' matched no "
+                             "finding on this line; remove it"),
+                    source_line=""))
+    report.findings = kept
+    report.pending_suppressions = {}
+    report.local_rule_ids = {}
 
 
 class Analyzer:
@@ -306,9 +384,15 @@ class Analyzer:
                 if self.config.applies(cls, path)]
 
     def check_source(self, path: str, source: str,
-                     report: Optional[AnalysisReport] = None
-                     ) -> AnalysisReport:
-        """Analyze one module given as text (path is display/scoping only)."""
+                     report: Optional[AnalysisReport] = None,
+                     finalize: bool = True) -> AnalysisReport:
+        """Analyze one module given as text (path is display/scoping only).
+
+        With ``finalize=False`` the raw findings are appended unfiltered
+        and the suppressions recorded for a later :func:`finalize_report`
+        — the multi-file runner does this so flow findings participate
+        in the same suppression pass.
+        """
         report = report if report is not None else AnalysisReport()
         rules = self.rules_for_path(path)
         suppressions = parse_suppressions(source)
@@ -326,41 +410,14 @@ class Analyzer:
             visitor = cls(module, aliases)
             visitor.visit(module.tree)
             raw.extend(visitor.findings)
-        by_line: Dict[int, List[Suppression]] = {}
-        for sup in suppressions:
-            by_line.setdefault(sup.line, []).append(sup)
-        for finding in raw:
-            suppressed = False
-            for sup in by_line.get(finding.line, ()):
-                if sup.matches(finding):
-                    sup.used = True
-                    suppressed = True
-            if not suppressed:
-                report.findings.append(finding)
         local = {cls.rule_id for cls in rules} | {cls.name for cls in rules}
-        registry = all_rules()
-        known_anywhere = ({rid for rid in registry}
-                          | {cls.name for cls in registry.values()}
-                          | {UNUSED_SUPPRESSION_ID, "unused-suppression"})
-        for sup in suppressions:
-            if sup.used:
-                continue
-            # A suppression is unused when an entry names a rule that ran
-            # on this file and found nothing — or names no rule at all (a
-            # typo). Valid rules merely not scoped to this file stay
-            # silent: they never had the chance to fire.
-            if any(entry in local or entry == "all"
-                   or entry not in known_anywhere
-                   for entry in sup.rules):
-                names = ",".join(sup.rules)
-                report.findings.append(Finding(
-                    rule_id=UNUSED_SUPPRESSION_ID,
-                    rule_name="unused-suppression",
-                    path=path, line=sup.line, col=0,
-                    message=(f"suppression 'disable={names}' matched no "
-                             "finding on this line; remove it"),
-                    source_line=""))
+        report.findings.extend(raw)
+        report.pending_suppressions[path] = suppressions
+        report.local_rule_ids[path] = local
+        if finalize:
+            finalize_report(report)
         return report
+
 
     def check_paths(self, paths: Sequence[str]) -> AnalysisReport:
         """Analyze every ``.py`` file under the given files/directories."""

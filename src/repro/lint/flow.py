@@ -1,0 +1,511 @@
+"""Whole-program analysis: symbol table, call graph, flow rules.
+
+The per-file rules in :mod:`repro.lint.rules_async` only see one module
+at a time, so an ``async def`` that awaits into a helper which *then*
+calls ``time.sleep`` three frames down is invisible to them. This module
+adds the project-wide layer those checks need:
+
+- :class:`ProjectModel` parses every analyzed module into a symbol table
+  of module-qualified functions/methods (async-ness recorded) and
+  resolves intra-project call edges through import aliases, ``self.``
+  dispatch, relative imports, and nested defs;
+- :class:`FlowRule` is the base class for *inter-procedural* rules,
+  registered with :func:`flow_rule` into a registry parallel to the
+  per-file ``@rule`` one (``repro lint`` runs both);
+- the rule packs live in :mod:`repro.lint.rules_flow_async` (ASY3xx
+  transitive blocking), :mod:`repro.lint.rules_flow_resource` (RES4xx
+  resource lifecycle) and :mod:`repro.lint.rules_flow_proto` (PROTO5xx
+  wire-schema drift).
+
+Known limits (documented in docs/LINT.md): calls through dynamic
+dispatch (``handler = pick(); handler()``), ``getattr``, base-class
+method resolution, and values smuggled through futures/queues are not
+tracked — the call graph only contains edges the resolver is confident
+about, so the packs under-approximate rather than spray false
+positives. Where a real dataflow crosses such a gap (e.g. a client
+response delivered via ``Future.set_result``), ``[tool.repro-lint.flow]``
+in pyproject.toml can declare bridge functions explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.lint.core import (
+    UNUSED_SUPPRESSION_ID,
+    Finding,
+    ModuleSource,
+    collect_aliases,
+)
+
+__all__ = [
+    "FlowRule",
+    "flow_rule",
+    "all_flow_rules",
+    "ProjectModel",
+    "ModuleInfo",
+    "FunctionInfo",
+    "CallSite",
+    "run_flow_rules",
+    "module_name_for_path",
+    "dotted_name",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Name resolution helpers
+# ---------------------------------------------------------------------- #
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a project-relative posix path.
+
+    ``src/repro/service/server.py`` -> ``repro.service.server``;
+    ``pkg/__init__.py`` -> ``pkg``. A leading ``src/`` component is
+    stripped so names match import statements under a src layout.
+    """
+    parts = path.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or "__main__"
+
+
+def dotted_name(node: ast.AST,
+                aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a dotted path through import
+    aliases (module-level twin of :meth:`Rule.qualified_name`)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def own_nodes(fn_node: ast.AST) -> Iterable[ast.AST]:
+    """Nodes executed *by this function's own frame*: the body minus
+    nested function/class/lambda subtrees (those run in other frames,
+    and nested defs are indexed as functions of their own)."""
+    stack: List[ast.AST] = list(getattr(fn_node, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------- #
+# The project model
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class CallSite:
+    """One resolved intra-project call edge."""
+
+    callee: str          # qualname of the resolved target
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the symbol table."""
+
+    qualname: str        # "repro.service.server.AlignmentServer._worker"
+    module: str          # dotted module name
+    path: str            # project-relative posix path
+    name: str            # bare name
+    cls: Optional[str]   # enclosing class qualifier ("Outer.Inner") or None
+    node: ast.AST        # the FunctionDef / AsyncFunctionDef
+    is_async: bool
+    calls: List[CallSite] = field(default_factory=list)
+    # (call node, dotted op, kind) — kind is "block" or "io"; filled by
+    # the model so both ASY3xx rules share one scan.
+    blocking_ops: List[Tuple[ast.Call, str, str]] = field(
+        default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus resolution context."""
+
+    name: str
+    source: ModuleSource
+    aliases: Dict[str, str] = field(default_factory=dict)
+    thread_queue_names: Set[str] = field(default_factory=set)
+    socket_names: Set[str] = field(default_factory=set)
+
+    @property
+    def path(self) -> str:
+        return self.source.path
+
+
+#: Direct-call blocking ops (the ASY201 set minus plain file I/O, which
+#: ASY302 reports separately so the fix hint can differ).
+_TRANSITIVE_BLOCKING = frozenset({
+    "time.sleep",
+    "os.system", "os.wait", "os.waitpid",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname", "socket.gethostbyaddr",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.head", "requests.request",
+    "input",
+})
+
+#: Sync file I/O entry points (ASY302's terminal ops).
+_TRANSITIVE_IO = frozenset({
+    "open", "io.open", "os.fdopen", "gzip.open", "bz2.open", "lzma.open",
+})
+
+#: ``pathlib.Path`` convenience I/O; matched by method name on any
+#: receiver (a Path-typed receiver cannot be proven statically).
+_IO_PATH_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+_THREAD_QUEUE_TYPES = frozenset({
+    "queue.Queue", "queue.LifoQueue", "queue.PriorityQueue",
+    "queue.SimpleQueue",
+})
+_QUEUE_BLOCKING_METHODS = frozenset({"get", "put", "join"})
+
+_SOCKET_TYPES = frozenset({"socket.socket", "socket.create_connection"})
+_SOCKET_BLOCKING_METHODS = frozenset({
+    "connect", "accept", "recv", "recv_into", "send", "sendall",
+    "makefile",
+})
+
+
+def _receiver_name(expr: ast.AST) -> Optional[str]:
+    """Bare name of a method call receiver: ``q`` or ``self._q`` -> the
+    last attribute component."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+class ProjectModel:
+    """Symbol table + call graph over every analyzed module.
+
+    Built once per ``repro lint`` run and shared by all flow rules, so
+    each rule is a traversal, not a re-parse.
+    """
+
+    def __init__(self, sources: Sequence[ModuleSource]):
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.methods_by_name: Dict[str, List[str]] = {}
+        for ms in sorted(sources, key=lambda m: m.path):
+            self._index_module(ms)
+        for fn in self.functions.values():
+            self._resolve_calls(fn)
+            self._scan_blocking(fn)
+
+    # -- construction ---------------------------------------------------- #
+
+    def _index_module(self, ms: ModuleSource) -> None:
+        name = module_name_for_path(ms.path)
+        is_package = ms.path.endswith("/__init__.py") or \
+            ms.path == "__init__.py"
+        info = ModuleInfo(name=name, source=ms,
+                          aliases=self._module_aliases(ms, name, is_package))
+        self.modules[name] = info
+        self.by_path[ms.path] = info
+        self._collect_typed_names(info)
+        self._index_functions(info, ms.tree.body, prefix=name, cls=None)
+
+    @staticmethod
+    def _module_aliases(ms: ModuleSource, modname: str,
+                        is_package: bool) -> Dict[str, str]:
+        aliases = collect_aliases(ms.tree)
+        # collect_aliases skips relative imports; resolve them against
+        # the module's own package so `from .ring import HashRing` in
+        # repro/cluster/gateway.py maps to repro.cluster.ring.HashRing.
+        anchor = modname.split(".") if is_package \
+            else modname.split(".")[:-1]
+        for node in ast.walk(ms.tree):
+            if not (isinstance(node, ast.ImportFrom) and node.level):
+                continue
+            base = anchor[:len(anchor) - (node.level - 1)]
+            if node.level - 1 > len(anchor):
+                continue
+            prefix_parts = base + (node.module.split(".")
+                                   if node.module else [])
+            prefix = ".".join(prefix_parts)
+            for item in node.names:
+                if item.name == "*" or not prefix:
+                    continue
+                aliases[item.asname or item.name] = f"{prefix}.{item.name}"
+        return aliases
+
+    def _collect_typed_names(self, info: ModuleInfo) -> None:
+        """Names bound (anywhere in the module, including ``self.x``)
+        to thread-queue or raw-socket instances, so method calls on them
+        can be classified as blocking."""
+        for node in ast.walk(info.source.tree):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            target_type = dotted_name(node.value.func, info.aliases)
+            if target_type in _THREAD_QUEUE_TYPES:
+                bucket = info.thread_queue_names
+            elif target_type in _SOCKET_TYPES:
+                bucket = info.socket_names
+            else:
+                continue
+            for tgt in node.targets:
+                bound = _receiver_name(tgt)
+                if bound:
+                    bucket.add(bound)
+
+    def _index_functions(self, info: ModuleInfo, body: Sequence[ast.AST],
+                         prefix: str, cls: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                fn = FunctionInfo(
+                    qualname=qualname, module=info.name, path=info.path,
+                    name=node.name, cls=cls, node=node,
+                    is_async=isinstance(node, ast.AsyncFunctionDef))
+                self.functions[qualname] = fn
+                if cls is not None:
+                    self.methods_by_name.setdefault(
+                        node.name, []).append(qualname)
+                self._index_functions(info, node.body,
+                                      prefix=f"{qualname}.<locals>",
+                                      cls=None)
+            elif isinstance(node, ast.ClassDef):
+                sub_cls = f"{cls}.{node.name}" if cls else node.name
+                self._index_functions(info, node.body,
+                                      prefix=f"{prefix}.{node.name}",
+                                      cls=sub_cls)
+
+    # -- call resolution ------------------------------------------------- #
+
+    def _resolve_calls(self, fn: FunctionInfo) -> None:
+        info = self.modules[fn.module]
+        for node in own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._resolve_call(fn, info, node)
+            if callee is not None:
+                fn.calls.append(CallSite(callee=callee, node=node))
+        fn.calls.sort(key=lambda cs: (cs.node.lineno, cs.node.col_offset))
+
+    def _resolve_call(self, fn: FunctionInfo, info: ModuleInfo,
+                      call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(fn, info, func.id)
+        if isinstance(func, ast.Attribute):
+            # self.m() / cls.m() within the defining class.
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in ("self", "cls")
+                    and fn.cls is not None):
+                cand = f"{fn.module}.{fn.cls}.{func.attr}"
+                return cand if cand in self.functions else None
+            dotted = dotted_name(func, info.aliases)
+            if dotted is None:
+                return None
+            if dotted in self.functions:
+                return dotted
+            # Module-local Class.method or Class() spelled unqualified.
+            cand = f"{fn.module}.{dotted}"
+            if cand in self.functions:
+                return cand
+            ctor = f"{dotted}.__init__"
+            if ctor in self.functions:
+                return ctor
+            return None
+        return None
+
+    def _resolve_name(self, fn: FunctionInfo, info: ModuleInfo,
+                      name: str) -> Optional[str]:
+        # Nested def of this function, or of an enclosing one.
+        owner = fn.qualname
+        while True:
+            cand = f"{owner}.<locals>.{name}"
+            if cand in self.functions:
+                return cand
+            if ".<locals>." not in owner:
+                break
+            owner = owner.rsplit(".<locals>.", 1)[0]
+        cand = f"{fn.module}.{name}"
+        if cand in self.functions:
+            return cand
+        ctor = f"{fn.module}.{name}.__init__"
+        if ctor in self.functions:
+            return ctor
+        target = info.aliases.get(name)
+        if target is not None:
+            if target in self.functions:
+                return target
+            ctor = f"{target}.__init__"
+            if ctor in self.functions:
+                return ctor
+        return None
+
+    # -- blocking-op scan ------------------------------------------------ #
+
+    def _scan_blocking(self, fn: FunctionInfo) -> None:
+        info = self.modules[fn.module]
+        queue_names = set(info.thread_queue_names)
+        socket_names = set(info.socket_names)
+        for node in own_nodes(fn.node):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                target_type = dotted_name(node.value.func, info.aliases)
+                if target_type in _THREAD_QUEUE_TYPES:
+                    queue_names.update(
+                        n for n in map(_receiver_name, node.targets) if n)
+                elif target_type in _SOCKET_TYPES:
+                    socket_names.update(
+                        n for n in map(_receiver_name, node.targets) if n)
+        ops = []
+        for node in own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func, info.aliases)
+            if dotted in _TRANSITIVE_BLOCKING:
+                ops.append((node, dotted, "block"))
+            elif dotted in _TRANSITIVE_IO:
+                ops.append((node, dotted, "io"))
+            elif isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                recv = _receiver_name(node.func.value)
+                if (attr in _QUEUE_BLOCKING_METHODS
+                        and recv in queue_names):
+                    ops.append((node, f"{recv}.{attr}", "block"))
+                elif (attr in _SOCKET_BLOCKING_METHODS
+                        and recv in socket_names):
+                    ops.append((node, f"{recv}.{attr}", "block"))
+                elif attr in _IO_PATH_METHODS:
+                    ops.append((node, f"Path.{attr}", "io"))
+        ops.sort(key=lambda op: (op[0].lineno, op[0].col_offset))
+        fn.blocking_ops = ops
+
+    # -- queries --------------------------------------------------------- #
+
+    def line_at(self, path: str, lineno: int) -> str:
+        info = self.by_path.get(path)
+        return info.source.line_at(lineno) if info else ""
+
+    def sorted_functions(self) -> List[FunctionInfo]:
+        return [self.functions[q] for q in sorted(self.functions)]
+
+
+# ---------------------------------------------------------------------- #
+# Flow rule base + registry
+# ---------------------------------------------------------------------- #
+
+class FlowRule:
+    """Base class for one whole-program check.
+
+    Subclass, set the class attributes, implement :meth:`run`, and call
+    :meth:`report` on hits. One fresh instance runs per analysis, with
+    the shared :class:`ProjectModel` and the resolved
+    :class:`~repro.lint.config.LintConfig` (category scoping applies to
+    the *reported* path: a rule may traverse out-of-scope helpers but
+    only files inside its category's scope receive findings).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    category: str = ""
+    rationale: str = ""
+
+    def __init__(self, model: ProjectModel, config):
+        self.model = model
+        self.config = config
+        self.findings: List[Finding] = []
+
+    def run(self) -> None:
+        raise NotImplementedError
+
+    def applies(self, path: str) -> bool:
+        return self.config.category_applies(self.category, path)
+
+    def report(self, path: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.findings.append(Finding(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            path=path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            source_line=self.model.line_at(path, lineno)))
+
+
+_FLOW_REGISTRY: Dict[str, Type[FlowRule]] = {}
+
+
+def flow_rule(cls: Type[FlowRule]) -> Type[FlowRule]:
+    """Class decorator registering a :class:`FlowRule` subclass."""
+    if not cls.rule_id or not cls.name or not cls.category:
+        raise ValueError(
+            f"{cls.__name__} must define rule_id, name and category")
+    if cls.rule_id in _FLOW_REGISTRY:
+        raise ValueError(f"duplicate flow rule id {cls.rule_id}")
+    if cls.rule_id == UNUSED_SUPPRESSION_ID:
+        raise ValueError(f"{UNUSED_SUPPRESSION_ID} is reserved")
+    _FLOW_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_flow_rules() -> Dict[str, Type[FlowRule]]:
+    """Every registered flow rule, id -> class (imports the packs)."""
+    _load_builtin_flow_rules()
+    return dict(_FLOW_REGISTRY)
+
+
+def _load_builtin_flow_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from repro.lint import (  # noqa: F401
+        rules_flow_async,
+        rules_flow_proto,
+        rules_flow_resource,
+    )
+
+
+def run_flow_rules(sources: Sequence[ModuleSource], config,
+                   select=None) -> List[Finding]:
+    """Build the project model and run every (selected) flow rule.
+
+    Returns raw findings — suppression filtering happens in the caller
+    so inline ``# repro-lint: disable=`` comments work identically for
+    per-file and flow rules.
+    """
+    registry = all_flow_rules()
+    wanted = None if select is None else set(select)
+    classes = []
+    for rule_id in sorted(registry):
+        cls = registry[rule_id]
+        if wanted is not None and not ({cls.rule_id, cls.name} & wanted):
+            continue
+        if cls.rule_id in config.disable or cls.name in config.disable:
+            continue
+        classes.append(cls)
+    if not classes:
+        return []
+    model = ProjectModel(sources)
+    findings: List[Finding] = []
+    for cls in classes:
+        instance = cls(model, config)
+        instance.run()
+        findings.extend(instance.findings)
+    return findings

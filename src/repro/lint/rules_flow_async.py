@@ -1,0 +1,127 @@
+"""Transitive blocking rules (ASY3xx, category ``async-safety``).
+
+ASY201 only sees ``time.sleep`` *directly inside* an ``async def``; the
+real serving stack hides blocking behind helpers — an ``async def`` in
+the gateway calls a sync utility which calls a sync wrapper which calls
+``subprocess.run``. These rules walk the call graph from every async
+function through *sync* callees only (an async callee gets its own
+finding if it blocks, so the caller isn't blamed twice) and report the
+call site where the sync descent begins — the line the author can
+actually fix, by moving the call behind ``run_in_executor`` or an async
+API.
+
+Functions handed to ``loop.run_in_executor(pool, fn)`` are naturally
+exempt: passing ``fn`` as an argument creates no call edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.flow import FlowRule, FunctionInfo, flow_rule
+
+#: (qualname chain, op description, op path, op line)
+_Chain = Tuple[List[str], str, str, int]
+
+
+class _TransitiveRule(FlowRule):
+    """Shared traversal: find a sync-only path from an async function's
+    call sites to a terminal op of ``kind`` ("block" or "io")."""
+
+    kind = ""
+
+    def __init__(self, model, config):
+        super().__init__(model, config)
+        self._memo: Dict[str, Optional[_Chain]] = {}
+
+    def _chain_from(self, qualname: str) -> Optional[_Chain]:
+        if qualname in self._memo:
+            return self._memo[qualname]
+        self._memo[qualname] = None  # cycle guard
+        fn = self.model.functions[qualname]
+        for node, op, kind in fn.blocking_ops:
+            if kind == self.kind:
+                chain = ([qualname], op, fn.path, node.lineno)
+                self._memo[qualname] = chain
+                return chain
+        for call in fn.calls:
+            callee = self.model.functions.get(call.callee)
+            if callee is None or callee.is_async:
+                continue
+            sub = self._chain_from(call.callee)
+            if sub is not None:
+                chain = ([qualname] + sub[0], sub[1], sub[2], sub[3])
+                self._memo[qualname] = chain
+                return chain
+        return self._memo[qualname]
+
+    def _describe(self, fn: FunctionInfo, chain: _Chain) -> str:
+        names, op, op_path, op_line = chain
+        hops = " -> ".join([fn.name] + [n.rsplit(".", 1)[-1]
+                                        for n in names])
+        return (f"{hops} -> {op}() ({op_path}:{op_line})")
+
+    def run(self) -> None:
+        for fn in self.model.sorted_functions():
+            if not fn.is_async or not self.applies(fn.path):
+                continue
+            seen_callees = set()
+            for call in fn.calls:
+                callee = self.model.functions.get(call.callee)
+                if (callee is None or callee.is_async
+                        or call.callee in seen_callees):
+                    continue
+                chain = self._chain_from(call.callee)
+                if chain is None:
+                    continue
+                seen_callees.add(call.callee)
+                self.report(fn.path, call.node,
+                            self._message(fn, chain))
+
+    def _message(self, fn: FunctionInfo, chain: _Chain) -> str:
+        raise NotImplementedError
+
+
+@flow_rule
+class TransitiveBlockingRule(_TransitiveRule):
+    """ASY301: ``async def`` reaches a blocking call through sync helpers.
+
+    One blocked coroutine parks the entire event loop; indirection
+    through a helper does not make ``time.sleep`` non-blocking, it just
+    hides it from per-file analysis.
+    """
+
+    rule_id = "ASY301"
+    name = "transitive-blocking"
+    category = "async-safety"
+    rationale = ("an async def reaching time.sleep/subprocess/sync "
+                 "sockets through any chain of sync helpers still parks "
+                 "the whole event loop")
+    kind = "block"
+
+    def _message(self, fn, chain):
+        return (f"async def {fn.name}() reaches blocking call via "
+                f"{self._describe(fn, chain)}; run the sync chain in "
+                "an executor or use an async API")
+
+
+@flow_rule
+class TransitiveSyncIORule(_TransitiveRule):
+    """ASY302: ``async def`` reaches sync file I/O through sync helpers.
+
+    File reads are usually fast enough to hide — until the disk is cold,
+    NFS hiccups, or the file is a 3 GB index. The latency contract can't
+    depend on the page cache being warm.
+    """
+
+    rule_id = "ASY302"
+    name = "transitive-sync-io"
+    category = "async-safety"
+    rationale = ("file I/O reached from a coroutine through sync helpers "
+                 "blocks the loop for as long as the disk feels like")
+    kind = "io"
+
+    def _message(self, fn, chain):
+        return (f"async def {fn.name}() reaches sync file I/O via "
+                f"{self._describe(fn, chain)}; wrap the I/O in "
+                "run_in_executor")

@@ -1,0 +1,505 @@
+"""Wire-schema drift rules (PROTO5xx, category ``wire-protocol``).
+
+The NDJSON protocol has no schema file — its shape is whatever the
+producer sites build and the consumer sites ``.get()``. That worked
+while one module owned both ends; with client/server/gateway/engine all
+touching messages, fields drift: written-but-never-read (dead payload
+bytes on every response), read-but-never-written (a consumer waiting
+for a field nobody sends), or written with different types at different
+sites.
+
+These rules extract the field sets statically:
+
+- *wire values* are seeded at ``json.loads(...)`` results and at calls
+  to configured bridge functions (``[tool.repro-lint.flow]
+  wire-bridges`` — for dataflow the resolver cannot follow, e.g. a
+  response delivered through ``Future.set_result``), then propagated
+  through assignments, returns, and resolved call arguments to a small
+  fixpoint; ``wire-consumers`` marks functions whose *parameters* are
+  wire values when the call site itself is unresolvable (a lambda sort
+  key, a callback);
+- *writes* are keys of dict literals that flow into ``json.dumps``,
+  subscript/``setdefault`` stores on wire values, keyword arguments of
+  ``**kwargs``-splatting encoder functions (detected structurally: the
+  function updates a dumped dict with its own ``**kwargs``), and dict
+  literals inside configured ``wire-producers`` (payload factories
+  whose results reach the encoder through dynamic ``**payload`` calls);
+- *reads* are ``x["k"]`` / ``x.get("k")`` / ``x.pop("k")`` /
+  ``"k" in x`` with a constant key on a wire value.
+
+Scoping is strict: only modules inside the ``wire-protocol`` category's
+paths contribute sites, so a random ``json.loads`` in a script can't
+pollute the schema.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.flow import (
+    FlowRule,
+    FunctionInfo,
+    ProjectModel,
+    dotted_name,
+    flow_rule,
+    own_nodes,
+)
+
+_JSON_LOADS = frozenset({"json.loads", "json.load"})
+_JSON_DUMPS = frozenset({"json.dumps", "json.dump"})
+_WIRE_READ_METHODS = frozenset({"get", "pop"})
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _name_assign(node: ast.AST) -> Optional[Tuple[str, ast.AST]]:
+    """(name, value) for ``x = expr`` or ``x: T = expr``."""
+    if (isinstance(node, ast.Assign) and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)):
+        return node.targets[0].id, node.value
+    if (isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.value is not None):
+        return node.target.id, node.value
+    return None
+
+
+def _value_type(node: ast.AST) -> Optional[str]:
+    """Coarse JSON type of a written value, when statically evident."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, str):
+            return "str"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, float):
+            return "float"
+        if value is None:
+            return "null"
+    if isinstance(node, ast.JoinedStr):
+        return "str"
+    if isinstance(node, ast.Dict):
+        return "object"
+    if isinstance(node, (ast.List, ast.Tuple, ast.ListComp)):
+        return "array"
+    if isinstance(node, ast.Call):
+        ctor = node.func.id if isinstance(node.func, ast.Name) else None
+        if ctor in ("str", "repr"):
+            return "str"
+        if ctor == "int":
+            return "int"
+        if ctor == "float":
+            return "float"
+        if ctor == "bool":
+            return "bool"
+        if ctor in ("list", "sorted"):
+            return "array"
+        if ctor == "dict":
+            return "object"
+    return None
+
+
+@dataclass
+class _Site:
+    """One field access site."""
+
+    fieldname: str
+    path: str
+    node: ast.AST
+    vtype: Optional[str] = None
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class _FnFacts:
+    """Structural facts about one in-scope function."""
+
+    fn: FunctionInfo
+    dumped_names: Set[str] = field(default_factory=set)
+    kwarg_name: Optional[str] = None
+    is_kw_encoder: bool = False
+
+
+class WireSchema:
+    """Statically extracted field reads/writes across the scoped modules.
+
+    Exposed (importable from this module) so tooling/tests can inspect
+    the schema the rules judged.
+    """
+
+    def __init__(self, model: ProjectModel, config,
+                 category: str = "wire-protocol"):
+        self.model = model
+        self.config = config
+        flow_cfg = getattr(config, "flow", {}) or {}
+        self.bridges: Set[str] = set(flow_cfg.get("wire-bridges", []))
+        self.producers: Set[str] = set(flow_cfg.get("wire-producers", []))
+        self.consumers: Set[str] = set(flow_cfg.get("wire-consumers", []))
+        self.writes: Dict[str, List[_Site]] = {}
+        self.reads: Dict[str, List[_Site]] = {}
+        self._fns: List[_FnFacts] = [
+            _FnFacts(fn) for fn in model.sorted_functions()
+            if config.category_applies(category, fn.path)]
+        self._wire_funcs: Set[str] = set(self.bridges)
+        self._wire_params: Set[Tuple[str, str]] = set()
+        for qual in self.consumers:
+            consumer = model.functions.get(qual)
+            if consumer is None:
+                continue
+            for arg in consumer.node.args.args:
+                if arg.arg not in ("self", "cls"):
+                    self._wire_params.add((qual, arg.arg))
+        self._collect_structural()
+        self._fixpoint()
+        self._collect_accesses()
+
+    # -- helpers --------------------------------------------------------- #
+
+    def _aliases(self, fn: FunctionInfo) -> Dict[str, str]:
+        return self.model.modules[fn.module].aliases
+
+    def _resolved(self, fn: FunctionInfo,
+                  call: ast.Call) -> Optional[str]:
+        for site in fn.calls:
+            if site.node is call:
+                return site.callee
+        return None
+
+    # -- pass A: dumped locals + kw-encoder detection -------------------- #
+
+    def _collect_structural(self) -> None:
+        for facts in self._fns:
+            fn = facts.fn
+            aliases = self._aliases(fn)
+            args = fn.node.args
+            if args.kwarg is not None:
+                facts.kwarg_name = args.kwarg.arg
+            for node in own_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if dotted_name(node.func, aliases) in _JSON_DUMPS:
+                    for arg in node.args[:1]:
+                        if isinstance(arg, ast.Name):
+                            facts.dumped_names.add(arg.id)
+            if facts.kwarg_name:
+                for node in own_nodes(fn.node):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "update"
+                            and isinstance(node.func.value, ast.Name)
+                            and node.func.value.id in facts.dumped_names
+                            and node.args
+                            and isinstance(node.args[0], ast.Name)
+                            and node.args[0].id == facts.kwarg_name):
+                        facts.is_kw_encoder = True
+
+    # -- pass B: wire-value fixpoint ------------------------------------- #
+
+    def _fixpoint(self) -> None:
+        for _ in range(6):
+            before = (len(self._wire_funcs), len(self._wire_params))
+            for facts in self._fns:
+                self._propagate(facts)
+            if (len(self._wire_funcs), len(self._wire_params)) == before:
+                break
+
+    def _wire_locals(self, facts: _FnFacts) -> Set[str]:
+        fn = facts.fn
+        locals_: Set[str] = {
+            param for (qual, param) in self._wire_params
+            if qual == fn.qualname}
+        for _ in range(3):
+            grew = False
+            for node in own_nodes(fn.node):
+                bind = _name_assign(node)
+                if bind is None:
+                    continue
+                name, value = bind
+                if name not in locals_ and self._is_wire_expr(
+                        facts, value, locals_):
+                    locals_.add(name)
+                    grew = True
+            if not grew:
+                break
+        return locals_
+
+    def _is_wire_expr(self, facts: _FnFacts, expr: ast.AST,
+                      locals_: Set[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in locals_
+        if isinstance(expr, ast.Await):
+            return self._is_wire_expr(facts, expr.value, locals_)
+        if isinstance(expr, ast.IfExp):
+            return (self._is_wire_expr(facts, expr.body, locals_)
+                    or self._is_wire_expr(facts, expr.orelse, locals_))
+        if isinstance(expr, ast.BoolOp):
+            return any(self._is_wire_expr(facts, v, locals_)
+                       for v in expr.values)
+        if isinstance(expr, ast.Call):
+            aliases = self._aliases(facts.fn)
+            if dotted_name(expr.func, aliases) in _JSON_LOADS:
+                return True
+            callee = self._resolved(facts.fn, expr)
+            if callee is not None and callee in self._wire_funcs:
+                return True
+            if isinstance(expr.func, ast.Attribute):
+                # method result on a wire value (obj.setdefault, …)
+                if self._is_wire_expr(facts, expr.func.value, locals_):
+                    return True
+                # duck-typed dispatch: any project method of this name
+                # that returns wire (`client.align(...)` — known limit:
+                # picks up unrelated same-named methods)
+                for qual in self.model.methods_by_name.get(
+                        expr.func.attr, []):
+                    if qual in self._wire_funcs:
+                        return True
+        return False
+
+    def _propagate(self, facts: _FnFacts) -> None:
+        fn = facts.fn
+        locals_ = self._wire_locals(facts)
+        for node in own_nodes(fn.node):
+            if (isinstance(node, ast.Return) and node.value is not None
+                    and self._is_wire_expr(facts, node.value, locals_)):
+                self._wire_funcs.add(fn.qualname)
+        for site in fn.calls:
+            callee = self.model.functions.get(site.callee)
+            if callee is None:
+                continue
+            params = [a.arg for a in callee.node.args.args]
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+            for idx, arg in enumerate(site.node.args):
+                if idx < len(params) and self._is_wire_expr(
+                        facts, arg, locals_):
+                    self._wire_params.add((site.callee, params[idx]))
+            for kw in site.node.keywords:
+                if kw.arg in params and self._is_wire_expr(
+                        facts, kw.value, locals_):
+                    self._wire_params.add((site.callee, kw.arg))
+
+    # -- pass C: field accesses ------------------------------------------ #
+
+    def _record(self, bucket: Dict[str, List[_Site]],
+                site: _Site) -> None:
+        bucket.setdefault(site.fieldname, []).append(site)
+
+    def _dict_literal_writes(self, path: str, literal: ast.Dict) -> None:
+        for key, value in zip(literal.keys, literal.values):
+            name = _const_str(key) if key is not None else None
+            if name is not None:
+                self._record(self.writes, _Site(
+                    fieldname=name, path=path, node=key,
+                    vtype=_value_type(value)))
+
+    def _collect_accesses(self) -> None:
+        kw_encoders = {facts.fn.qualname for facts in self._fns
+                       if facts.is_kw_encoder}
+        for facts in self._fns:
+            fn = facts.fn
+            path = fn.path
+            aliases = self._aliases(fn)
+            locals_ = self._wire_locals(facts)
+            produce_all = fn.qualname in self.producers
+            for node in own_nodes(fn.node):
+                bind = _name_assign(node)
+                # writes: dict literals bound for json.dumps (covers
+                # both `obj = {...}` and `obj: Dict[...] = {...}`)
+                if (bind is not None and bind[0] in facts.dumped_names
+                        and isinstance(bind[1], ast.Dict)):
+                    self._dict_literal_writes(path, bind[1])
+                elif (isinstance(node, ast.Call)
+                      and dotted_name(node.func, aliases) in _JSON_DUMPS
+                      and node.args
+                      and isinstance(node.args[0], ast.Dict)):
+                    self._dict_literal_writes(path, node.args[0])
+                elif (produce_all and isinstance(node, ast.Dict)):
+                    self._dict_literal_writes(path, node)
+                # writes: subscript stores on dumped/wire values
+                elif (isinstance(node, ast.Assign)
+                      and len(node.targets) == 1
+                      and isinstance(node.targets[0], ast.Subscript)):
+                    target = node.targets[0]
+                    key = _const_str(target.slice)
+                    owner = target.value
+                    if key is not None and (
+                            (isinstance(owner, ast.Name)
+                             and owner.id in facts.dumped_names)
+                            or self._is_wire_expr(facts, owner, locals_)):
+                        self._record(self.writes, _Site(
+                            fieldname=key, path=path, node=target,
+                            vtype=_value_type(node.value)))
+                elif isinstance(node, ast.Call):
+                    self._collect_call_accesses(
+                        facts, node, kw_encoders, locals_)
+                # reads: subscripts / membership on wire values
+                elif (isinstance(node, ast.Subscript)
+                      and isinstance(node.ctx, ast.Load)):
+                    key = _const_str(node.slice)
+                    if key is not None and self._is_wire_expr(
+                            facts, node.value, locals_):
+                        self._record(self.reads, _Site(
+                            fieldname=key, path=path, node=node))
+                elif isinstance(node, ast.Compare):
+                    if (len(node.ops) == 1
+                            and isinstance(node.ops[0],
+                                           (ast.In, ast.NotIn))
+                            and self._is_wire_expr(
+                                facts, node.comparators[0], locals_)):
+                        key = _const_str(node.left)
+                        if key is not None:
+                            self._record(self.reads, _Site(
+                                fieldname=key, path=path, node=node))
+
+    def _collect_call_accesses(self, facts: _FnFacts, node: ast.Call,
+                               kw_encoders: Set[str],
+                               locals_: Set[str]) -> None:
+        fn = facts.fn
+        path = fn.path
+
+        callee = self._resolved(fn, node)
+        if callee is not None and callee in kw_encoders:
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    self._record(self.writes, _Site(
+                        fieldname=kw.arg, path=path, node=node,
+                        vtype=_value_type(kw.value)))
+        if not isinstance(node.func, ast.Attribute):
+            return
+        owner = node.func.value
+        owner_is_wire = (
+            self._is_wire_expr(facts, owner, locals_)
+            or (isinstance(owner, ast.Name)
+                and owner.id in facts.dumped_names))
+        if not owner_is_wire or not node.args:
+            return
+        key = _const_str(node.args[0])
+        if key is None:
+            return
+        if node.func.attr == "setdefault":
+            default = node.args[1] if len(node.args) > 1 else None
+            self._record(self.writes, _Site(
+                fieldname=key, path=path, node=node,
+                vtype=_value_type(default) if default is not None
+                else None))
+        elif node.func.attr in _WIRE_READ_METHODS:
+            self._record(self.reads, _Site(
+                fieldname=key, path=path, node=node))
+
+    # -- queries --------------------------------------------------------- #
+
+    @staticmethod
+    def _first(sites: List[_Site]) -> _Site:
+        return min(sites, key=lambda s: (s.path, s.lineno))
+
+
+class _ProtoRule(FlowRule):
+    """Shared schema construction (one per rule instance; the model walk
+    is cheap next to parsing)."""
+
+    def _schema(self) -> WireSchema:
+        return WireSchema(self.model, self.config, category=self.category)
+
+
+@flow_rule
+class FieldWrittenNeverReadRule(_ProtoRule):
+    """PROTO501: a producer emits a field no in-scope consumer reads.
+
+    Either dead payload weight on every message, or the *consumer* got
+    deleted/renamed and nobody noticed — both worth a look. External
+    consumers (tests, third-party clients) justify an inline
+    suppression naming them.
+    """
+
+    rule_id = "PROTO501"
+    name = "field-written-never-read"
+    category = "wire-protocol"
+    rationale = ("a field only producers know about is either dead "
+                 "bytes or a silently-broken consumer")
+
+    def run(self) -> None:
+        schema = self._schema()
+        for fieldname in sorted(schema.writes):
+            if fieldname in schema.reads:
+                continue
+            site = schema._first(schema.writes[fieldname])
+            self.report(
+                site.path, site.node,
+                f"wire field '{fieldname}' is written here but never "
+                "read by any in-scope consumer; drop it or name its "
+                "external consumer in a suppression")
+
+
+@flow_rule
+class FieldReadNeverWrittenRule(_ProtoRule):
+    """PROTO502: a consumer reads a field no in-scope producer writes.
+
+    The read's default kicks in on every message — which looks exactly
+    like "works, but wrong", the worst failure mode a protocol has.
+    """
+
+    rule_id = "PROTO502"
+    name = "field-read-never-written"
+    category = "wire-protocol"
+    rationale = ("a read whose field nobody sends silently degrades to "
+                 "its default on every single message")
+
+    def run(self) -> None:
+        schema = self._schema()
+        for fieldname in sorted(schema.reads):
+            if fieldname in schema.writes:
+                continue
+            site = schema._first(schema.reads[fieldname])
+            self.report(
+                site.path, site.node,
+                f"wire field '{fieldname}' is read here but never "
+                "written by any in-scope producer; the default value "
+                "is served on every message")
+
+
+@flow_rule
+class FieldTypeDriftRule(_ProtoRule):
+    """PROTO503: one field, different static types at different writers.
+
+    ``"attempts": 3`` here and ``"attempts": "3"`` there means every
+    consumer needs type-sniffing — or has a latent bug.
+    """
+
+    rule_id = "PROTO503"
+    name = "field-type-drift"
+    category = "wire-protocol"
+    rationale = ("a field typed differently per producer forces every "
+                 "consumer into type-sniffing, and one of them will "
+                 "forget")
+
+    def run(self) -> None:
+        schema = self._schema()
+        for fieldname in sorted(schema.writes):
+            by_type: Dict[str, _Site] = {}
+            for site in sorted(schema.writes[fieldname],
+                               key=lambda s: (s.path, s.lineno)):
+                if site.vtype is not None and site.vtype not in by_type:
+                    by_type[site.vtype] = site
+            if len(by_type) < 2:
+                continue
+            ordered = sorted(by_type.items(),
+                             key=lambda kv: (kv[1].path, kv[1].lineno))
+            (first_type, first_site) = ordered[0]
+            for (vtype, site) in ordered[1:]:
+                self.report(
+                    site.path, site.node,
+                    f"wire field '{fieldname}' is written as {vtype} "
+                    f"here but as {first_type} at "
+                    f"{first_site.path}:{first_site.lineno}; pick one "
+                    "type")

@@ -1,0 +1,263 @@
+"""Resource lifecycle rules (RES4xx, category ``resource-lifecycle``).
+
+The supervisor/store/gateway layers juggle OS-level handles — sockets,
+mmaps, ``Popen`` children, tempfiles. A handle acquired into a local
+that is neither closed nor handed to another owner leaks a file
+descriptor per call; a handle whose ``close()`` sits on the happy path
+only leaks exactly when things already went wrong. These rules flag
+both patterns per function.
+
+Ownership *transfer* ends a function's responsibility and is detected
+conservatively — returning the handle, yielding it, storing it on an
+attribute or into a container, or passing it to another call all count
+(the callee or owner is now responsible). ``with`` acquisition is
+always safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.flow import (
+    FlowRule,
+    FunctionInfo,
+    dotted_name,
+    flow_rule,
+    own_nodes,
+)
+
+#: Acquisition call -> human label for messages.
+_ACQUIRERS: Dict[str, str] = {
+    "open": "file handle",
+    "io.open": "file handle",
+    "os.fdopen": "file handle",
+    "gzip.open": "file handle",
+    "bz2.open": "file handle",
+    "lzma.open": "file handle",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "mmap.mmap": "mmap",
+    "subprocess.Popen": "process handle",
+    "tempfile.NamedTemporaryFile": "tempfile",
+    "tempfile.TemporaryFile": "tempfile",
+}
+
+#: Method names that release the underlying OS resource.
+_RELEASERS = frozenset({
+    "close", "terminate", "kill", "wait", "release", "shutdown",
+    "detach", "__exit__",
+})
+
+
+def _acquisition_label(call: ast.Call, aliases: Dict[str, str]
+                       ) -> Optional[Tuple[str, str]]:
+    """(dotted ctor, label) when ``call`` acquires an OS resource."""
+    dotted = dotted_name(call.func, aliases)
+    if dotted in _ACQUIRERS:
+        return dotted, _ACQUIRERS[dotted]
+    if (isinstance(call.func, ast.Attribute)
+            and call.func.attr == "makefile"):
+        return "makefile", "socket file"
+    return None
+
+
+def _name_loads(node: ast.AST, name: str) -> bool:
+    return any(isinstance(sub, ast.Name) and sub.id == name
+               for sub in ast.walk(node))
+
+
+def _finally_nodes(fn_node: ast.AST) -> Set[int]:
+    """ids of every node lexically inside some ``finally:`` suite."""
+    out: Set[int] = set()
+
+    def visit(node: ast.AST, in_finally: bool) -> None:
+        if in_finally:
+            out.add(id(node))
+        if isinstance(node, ast.Try):
+            for child in (node.body + node.handlers + node.orelse):
+                visit(child, in_finally)
+            for child in node.finalbody:
+                visit(child, True)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_finally)
+
+    visit(fn_node, False)
+    return out
+
+
+class _Tracked:
+    """One resource-producing assignment and what the function did
+    with it afterwards."""
+
+    def __init__(self, assign: ast.Assign, name: str,
+                 ctor: str, label: str):
+        self.assign = assign
+        self.name = name
+        self.ctor = ctor
+        self.label = label
+        self.transferred = False
+        self.close_calls: List[ast.Call] = []
+        self.entered_with = False
+
+
+def _iter_tracked(fn: FunctionInfo,
+                  aliases: Dict[str, str]) -> Iterator[_Tracked]:
+    for node in own_nodes(fn.node):
+        if not (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)):
+            continue
+        acquired = _acquisition_label(node.value, aliases)
+        if acquired is None:
+            continue
+        yield _Tracked(node, node.targets[0].id, *acquired)
+
+
+def _classify_usage(fn: FunctionInfo, tracked: _Tracked) -> None:
+    """Fill ``transferred`` / ``close_calls`` by walking the whole
+    function body (including nested defs: a closure that closes the
+    handle counts)."""
+    name = tracked.name
+    for node in ast.walk(fn.node):
+        if node is tracked.assign:
+            continue
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _name_loads(node.value, name):
+                tracked.transferred = True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            value = node.value
+            if (value is not None and _name_loads(value, name)
+                    and any(not isinstance(t, ast.Name) for t in targets)):
+                # stored on an attribute / into a subscript / unpacked —
+                # some longer-lived owner holds it now
+                tracked.transferred = True
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    tracked.entered_with = True
+                elif (isinstance(expr, ast.Call)
+                      and expr.args
+                      and isinstance(expr.args[0], ast.Name)
+                      and expr.args[0].id == name):
+                    # contextlib.closing(h) / ExitStack-style wrappers
+                    tracked.entered_with = True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name):
+                if func.attr in _RELEASERS:
+                    tracked.close_calls.append(node)
+                continue  # other methods on the handle are plain use
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _name_loads(arg, name):
+                    # passed to another call: ownership conservatively
+                    # assumed transferred (Popen(stdout=log), callbacks…)
+                    tracked.transferred = True
+        elif isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            for elt in ast.iter_child_nodes(node):
+                if isinstance(elt, ast.Name) and elt.id == name:
+                    tracked.transferred = True
+
+
+@flow_rule
+class UnclosedResourceRule(FlowRule):
+    """RES401: handle acquired into a local and simply dropped.
+
+    No ``close()``, no ``with``, no return/yield/store/pass-along — the
+    descriptor dies whenever the GC feels like it, which under load
+    means "after the fd table fills up".
+    """
+
+    rule_id = "RES401"
+    name = "unclosed-resource"
+    category = "resource-lifecycle"
+    rationale = ("a handle that is neither closed nor given to another "
+                 "owner leaks one fd per call; under production load "
+                 "that is an outage with a delay fuse")
+
+    def run(self) -> None:
+        for fn in self.model.sorted_functions():
+            if not self.applies(fn.path):
+                continue
+            aliases = self.model.modules[fn.module].aliases
+            for tracked in _iter_tracked(fn, aliases):
+                _classify_usage(fn, tracked)
+                if (tracked.transferred or tracked.entered_with
+                        or tracked.close_calls):
+                    continue
+                self.report(
+                    fn.path, tracked.assign,
+                    f"{tracked.label} from {tracked.ctor}() is never "
+                    f"closed and never leaves {fn.name}(); use a with "
+                    "block or close it in finally")
+
+
+@flow_rule
+class ExceptionPathLeakRule(FlowRule):
+    """RES402: ``close()`` exists but an exception can skip it.
+
+    The handle is closed on the happy path, but at least one call
+    between acquisition and close can raise, and no ``finally``/``with``
+    guards the close — so the leak happens exactly on the failure paths
+    the resilience layer is built to survive.
+    """
+
+    rule_id = "RES402"
+    name = "exception-path-leak"
+    category = "resource-lifecycle"
+    rationale = ("a close() not reached on exception edges leaks "
+                 "precisely when the system is already degraded")
+
+    def run(self) -> None:
+        for fn in self.model.sorted_functions():
+            if not self.applies(fn.path):
+                continue
+            aliases = self.model.modules[fn.module].aliases
+            in_finally = None
+            for tracked in _iter_tracked(fn, aliases):
+                _classify_usage(fn, tracked)
+                if (tracked.transferred or tracked.entered_with
+                        or not tracked.close_calls):
+                    continue
+                if in_finally is None:
+                    in_finally = _finally_nodes(fn.node)
+                if any(id(call) in in_finally
+                       for call in tracked.close_calls):
+                    continue
+                first_close = min(c.lineno for c in tracked.close_calls)
+                if not self._risky_between(fn, tracked,
+                                           first_close):
+                    continue
+                self.report(
+                    fn.path, tracked.assign,
+                    f"{tracked.label} from {tracked.ctor}() is closed at "
+                    f"line {first_close}, but an exception in between "
+                    "skips the close; move it into finally or use with")
+
+    @staticmethod
+    def _risky_between(fn: FunctionInfo, tracked: _Tracked,
+                       first_close: int) -> bool:
+        start = tracked.assign.lineno
+        for node in own_nodes(fn.node):
+            if not isinstance(node, (ast.Call, ast.Raise, ast.Await)):
+                continue
+            lineno = getattr(node, "lineno", 0)
+            if not (start < lineno < first_close):
+                continue
+            if node in tracked.close_calls:
+                continue
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == tracked.name
+                    and node.func.attr in _RELEASERS):
+                continue
+            return True
+        return False

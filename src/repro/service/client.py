@@ -229,9 +229,9 @@ def _attach_meta(obj: Dict[str, Any], attempts: int) -> Dict[str, Any]:
 
         "meta": {"attempts": <total tries>, "retries": <tries - 1>}
     """
-    meta = obj.setdefault("meta", {})
-    meta["attempts"] = attempts
-    meta["retries"] = attempts - 1
+    meta = obj.setdefault("meta", {})  # repro-lint: disable=PROTO501 -- observability field, read by operators/tests
+    meta["attempts"] = attempts  # repro-lint: disable=PROTO501 -- read by loadgen reports and service tests
+    meta["retries"] = attempts - 1  # repro-lint: disable=PROTO501 -- read by loadgen reports and service tests
     return obj
 
 

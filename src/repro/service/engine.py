@@ -122,9 +122,9 @@ class AlignmentEngine:
             "sam": [sam_record(outcome.result1, self.reference),
                     sam_record(outcome.result2, self.reference)],
             "mapped": outcome.both_mapped,
-            "proper": outcome.proper,
-            "insert_size": outcome.insert_size,
-            "rescued_mate": outcome.rescued_mate,
+            "proper": outcome.proper,  # repro-lint: disable=PROTO501 -- documented pair field for external consumers
+            "insert_size": outcome.insert_size,  # repro-lint: disable=PROTO501 -- documented pair field for external consumers
+            "rescued_mate": outcome.rescued_mate,  # repro-lint: disable=PROTO501 -- documented pair field for external consumers
             "score": sum(scores) if scores else None,
         }
 

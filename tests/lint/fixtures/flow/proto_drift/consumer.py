@@ -1,0 +1,11 @@
+"""Consumer half of the wire-drift fixture."""
+
+import json
+
+
+def decode(line):
+    obj = json.loads(line)
+    ident = obj["id"]
+    payload = obj.get("payload")
+    trace = obj.get("trace")  # BAD: PROTO502
+    return ident, payload, trace

@@ -1,0 +1,16 @@
+"""Producer half of the wire-drift fixture."""
+
+import json
+
+
+def encode(seq, flags):
+    obj = {
+        "id": 7,
+        "payload": "x" * seq,
+        "debug": flags,  # BAD: PROTO501
+    }
+    return json.dumps(obj)
+
+
+def encode_variant(seq):
+    return json.dumps({"id": str(seq)})  # BAD: PROTO503

@@ -1,0 +1,41 @@
+"""Resource-lifecycle fixture: leaks and clean variants."""
+
+import socket
+import tempfile
+
+
+def probe(host):
+    sock = socket.create_connection((host, 80))  # BAD: RES401
+    sock.sendall(b"ping")
+    return True
+
+
+def fetch(host):
+    sock = socket.create_connection((host, 80))  # BAD: RES402
+    sock.sendall(b"ping")
+    data = sock.recv(1024)
+    sock.close()
+    return data
+
+
+def spool():
+    handle = tempfile.NamedTemporaryFile()  # BAD: RES401
+    handle.write(b"scratch")
+
+
+def clean_with(host):
+    with socket.create_connection((host, 80)) as sock:
+        sock.sendall(b"ping")
+
+
+def clean_finally(host):
+    sock = socket.create_connection((host, 80))
+    try:
+        sock.sendall(b"ping")
+    finally:
+        sock.close()
+
+
+def clean_transfer(host):
+    sock = socket.create_connection((host, 80))
+    return sock

@@ -1,0 +1,12 @@
+"""Sync I/O helpers reached from coroutines (fixture)."""
+
+from pathlib import Path
+
+
+def load_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def read_blob(path):
+    return Path(path).read_text()

@@ -1,0 +1,12 @@
+"""Async entry points that reach sync file I/O (fixture)."""
+
+from sync_io.io_helpers import load_config, read_blob
+
+
+async def refresh(path):
+    return load_config(path)  # BAD: ASY302
+
+
+async def snapshot(path):
+    blob = read_blob(path)  # BAD: ASY302
+    return blob

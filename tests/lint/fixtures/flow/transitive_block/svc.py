@@ -1,0 +1,10 @@
+"""Async entry point blocking through two sync hops (fixture)."""
+
+import asyncio
+
+from transitive_block.util import poll
+
+
+async def handler():
+    poll(0.25)  # BAD: ASY301
+    await asyncio.sleep(0)

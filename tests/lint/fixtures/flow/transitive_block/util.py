@@ -1,0 +1,11 @@
+"""Sync helpers hiding a blocking sleep (fixture)."""
+
+import time
+
+
+def backoff(seconds):
+    time.sleep(seconds)
+
+
+def poll(seconds):
+    backoff(seconds)

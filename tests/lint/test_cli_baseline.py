@@ -81,6 +81,71 @@ def test_baseline_ratchet(project, capsys):
     assert "stale baseline entry" in capsys.readouterr().out
 
 
+def test_write_baseline_prunes_stale_fingerprints(project, capsys):
+    """Regression: a baseline carrying a fingerprint for since-deleted
+    code must lose it on --write-baseline, not accrete it forever."""
+    ghost = Finding(rule_id="DET101", rule_name="unseeded-rng",
+                    path="src/sim/deleted.py", line=9, col=0,
+                    message="m", source_line="rng = random.Random()")
+    Baseline.from_findings([ghost]).save(Path("lint-baseline.json"))
+    assert main(["lint", "--write-baseline", "lint-baseline.json",
+                 "src"]) == 0
+    out = capsys.readouterr().out
+    assert "ratchet delta: +1 new, -1 pruned" in out
+    text = Path("lint-baseline.json").read_text()
+    assert "deleted.py" not in text and "engine.py" in text
+    # an unchanged rewrite is a zero delta
+    assert main(["lint", "--write-baseline", "lint-baseline.json",
+                 "src"]) == 0
+    assert "ratchet delta: +0 new, -0 pruned" in capsys.readouterr().out
+
+
+def test_github_format_emits_error_annotations(project, capsys):
+    assert main(["lint", "--format", "github", "src"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/sim/engine.py,line=4," in out
+    assert "title=DET101 unseeded-rng" in out
+
+
+def test_jobs_matches_serial_output(project, capsys):
+    assert main(["lint", "src"]) == 1
+    serial = capsys.readouterr().out
+    assert main(["lint", "--jobs", "2", "src"]) == 1
+    assert capsys.readouterr().out == serial
+
+
+def test_jobs_zero_is_usage_error(project):
+    assert main(["lint", "--jobs", "0", "src"]) == 2
+
+
+def test_flow_findings_through_cli(project, capsys):
+    """--flow (the default) surfaces whole-program findings; --no-flow
+    restricts the run to per-file rules."""
+    (project / "pyproject.toml").write_text(textwrap.dedent("""\
+        [tool.repro-lint.scopes]
+        determinism = ["nowhere/*"]
+        async-safety = ["src/svc/*"]
+    """))
+    svc = project / "src" / "svc"
+    svc.mkdir(parents=True)
+    (svc / "util.py").write_text(textwrap.dedent("""\
+        import time
+
+        def backoff(seconds):
+            time.sleep(seconds)
+    """))
+    (svc / "handlers.py").write_text(textwrap.dedent("""\
+        from svc.util import backoff
+
+        async def handle():
+            backoff(1.0)
+    """))
+    assert main(["lint", "src"]) == 1
+    out = capsys.readouterr().out
+    assert "ASY301" in out and "src/svc/handlers.py:4" in out
+    assert main(["lint", "--no-flow", "src"]) == 0
+
+
 def test_missing_baseline_is_usage_error(project, capsys):
     assert main(["lint", "--baseline", "nope.json", "src"]) == 2
 

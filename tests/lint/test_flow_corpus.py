@@ -1,0 +1,69 @@
+"""Flow fixture corpus: every flow rule fires where declared, nowhere else.
+
+Flow rules are whole-program, so their fixtures are *case directories*
+under ``tests/lint/fixtures/flow/`` — each a minimal multi-module
+project (e.g. an async entry point in one module blocking through a
+helper in another, or a producer/consumer pair whose wire fields
+drifted). As in the per-file corpus, ``# BAD: RULEID`` markers pin the
+exact finding lines; the meta-test pins that every registered flow rule
+has a firing fixture.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, all_flow_rules
+from repro.lint.core import ModuleSource
+from repro.lint.flow import run_flow_rules
+
+from tests.lint.conftest import expected_findings
+
+FLOW_FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+CASES = sorted(p for p in FLOW_FIXTURES.iterdir() if p.is_dir())
+
+
+def case_sources(case: Path):
+    """Parse every module of one fixture case, with case-relative paths
+    so imports like ``from <case>.util import poll`` resolve."""
+    sources = []
+    for path in sorted(case.glob("*.py")):
+        sources.append(ModuleSource.parse(
+            f"{case.name}/{path.name}",
+            path.read_text(encoding="utf-8")))
+    return sources
+
+
+def case_expected(case: Path):
+    """Set of (path, line, rule_id) declared by the case's # BAD markers."""
+    expected = set()
+    for path in sorted(case.glob("*.py")):
+        for line, rule_id in expected_findings(path):
+            expected.add((f"{case.name}/{path.name}", line, rule_id))
+    return expected
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda p: p.name)
+def test_flow_findings_match_markers_exactly(case: Path):
+    expected = case_expected(case)
+    assert expected, f"{case.name} declares no # BAD markers"
+    findings = run_flow_rules(case_sources(case), LintConfig.everywhere())
+    assert {(f.path, f.line, f.rule_id) for f in findings} == expected
+
+
+def test_flow_corpus_exercises_every_flow_rule():
+    fired = set()
+    for case in CASES:
+        fired.update(rule_id for _, _, rule_id in case_expected(case))
+    missing = set(all_flow_rules()) - fired
+    assert not missing, (
+        f"flow rules with no firing fixture: {sorted(missing)} — add a "
+        "# BAD-marked case to tests/lint/fixtures/flow/")
+
+
+def test_select_restricts_flow_rules():
+    """--select narrows the flow pass exactly like the per-file one."""
+    case = FLOW_FIXTURES / "resources"
+    findings = run_flow_rules(case_sources(case), LintConfig.everywhere(),
+                              select=["RES401"])
+    assert {f.rule_id for f in findings} == {"RES401"}
