@@ -29,6 +29,12 @@ control, live metrics) and ``loadgen`` benchmarks it.  ``chaos`` runs
 serve + loadgen + the sharded runtime under a seeded fault plan and
 gates on the resilience invariants (see docs/RESILIENCE.md); ``serve
 --fault-plan`` arms the same injection on a long-lived server.
+``cluster`` fronts a spawned backend fleet with the gateway and — by
+default — arms the self-healing control plane: a supervisor monitor
+loop restarts dead backends with exponential backoff (crash-loopers are
+permanently ejected) and the gateway readmits them live; per-shard
+admission queues shed expired waits as typed ``queue_timeout`` errors
+(``loadgen --budget-ms`` exercises them from the client side).
 
 ``index build`` serializes the FM-index + reference into the versioned,
 checksummed store of :mod:`repro.seeding.store`; ``align --index`` and
@@ -358,23 +364,41 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     logging.basicConfig(
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    from repro.cluster import RestartPolicy
+
     trace_out = _start_tracing(args)
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-cluster-")
     supervisor = ClusterSupervisor(
         reference_path=args.reference, workdir=workdir,
         shards=args.shards, replicas=args.replicas,
         index_path=args.index, workers=args.workers,
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms)
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        restart_policy=RestartPolicy(
+            backoff_base_s=args.restart_backoff,
+            crash_loop_threshold=args.crash_loop_threshold,
+            crash_loop_window_s=args.crash_loop_window))
     config = GatewayConfig(
         host=args.host, port=args.port, unix_path=args.unix_socket,
         hedge_delay_ms=args.hedge_delay_ms,
         health_interval_s=args.health_interval,
-        request_timeout_s=args.request_timeout_ms / 1000.0)
+        request_timeout_s=args.request_timeout_ms / 1000.0,
+        shard_concurrency=args.shard_concurrency,
+        queue_depth=args.queue_depth,
+        default_budget_ms=args.default_budget_ms)
 
     async def serve() -> None:
         gateway = ClusterGateway(topology, config=config)
         await gateway.start()
         supervisor.write_state(gateway_endpoint=gateway.endpoint)
+        if not args.no_auto_restart:
+            supervisor.start_monitor(
+                interval_s=args.monitor_interval,
+                on_event=gateway.supervisor_listener())
+            print(f"self-healing armed: monitor every "
+                  f"{args.monitor_interval}s, backoff from "
+                  f"{args.restart_backoff}s, crash-loop eject after "
+                  f"{args.crash_loop_threshold} deaths/"
+                  f"{args.crash_loop_window}s", flush=True)
         print(f"cluster state: {supervisor.state_path}", flush=True)
         print(f"serving on {gateway.endpoint}", flush=True)
         stop = asyncio.Event()
@@ -387,6 +411,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         serve_task = asyncio.ensure_future(gateway.serve_forever())
         await stop.wait()
         print("shutting down: draining gateway...", flush=True)
+        supervisor.stop_monitor()
         serve_task.cancel()
         await gateway.shutdown()
 
@@ -423,7 +448,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                             seed=args.seed)
     config = loadgen.LoadgenConfig(
         concurrency=args.concurrency, mode=args.mode, rate=args.rate,
-        wait_ready_s=args.wait_ready, retry=retry)
+        wait_ready_s=args.wait_ready, retry=retry,
+        budget_ms=args.budget_ms)
     report = loadgen.run(args.connect, specs, config=config)
     print(report.format())
     failures = []
@@ -675,6 +701,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 disables eject/readmit)")
     p.add_argument("--request-timeout-ms", type=float, default=30_000.0,
                    help="gateway per-request deadline (0 disables)")
+    p.add_argument("--shard-concurrency", type=int, default=64,
+                   help="concurrent requests admitted per shard before "
+                        "the admission queue engages")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="waiting slots per shard admission queue "
+                        "(0 = shed immediately at capacity)")
+    p.add_argument("--default-budget-ms", type=float, default=0.0,
+                   help="deadline budget applied to requests that do "
+                        "not carry budget_ms (0 = none)")
+    p.add_argument("--no-auto-restart", action="store_true",
+                   help="disable the self-healing monitor loop "
+                        "(dead backends stay dead)")
+    p.add_argument("--monitor-interval", type=float, default=0.5,
+                   help="seconds between supervisor liveness sweeps")
+    p.add_argument("--restart-backoff", type=float, default=0.25,
+                   help="base restart backoff seconds (doubles per "
+                        "rapid death, capped)")
+    p.add_argument("--crash-loop-threshold", type=int, default=5,
+                   help="deaths inside the crash-loop window before a "
+                        "backend is permanently ejected")
+    p.add_argument("--crash-loop-window", type=float, default=30.0,
+                   help="crash-loop detection window seconds")
     p.add_argument("--workdir",
                    help="scratch dir for shard FASTAs/indexes/logs/"
                         "cluster.json (default: a fresh temp dir)")
@@ -706,6 +754,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=0,
                    help="per-request retries (reconnect on drops, back "
                         "off on busy/overloaded, idempotency-key dedup)")
+    p.add_argument("--budget-ms", type=float, default=None,
+                   help="per-request deadline budget carried on the "
+                        "wire; gateways shed expired queue waits with "
+                        "'queue_timeout' instead of 'busy'")
     p.add_argument("--max-p99-ms", type=float,
                    help="exit nonzero if p99 latency exceeds this")
     p.add_argument("--allow-errors", action="store_true",
@@ -718,7 +770,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the seeded fault-injection acceptance "
                             "harness and gate on its invariants")
     p.add_argument("--fault-plan", default="ci-default",
-                   choices=["ci-default", "soak", "none"],
+                   choices=["ci-default", "soak", "cluster-restart",
+                            "none"],
                    help="named fault plan to inject")
     p.add_argument("--seed", type=int, default=7,
                    help="fault schedule + retry jitter seed")
@@ -786,6 +839,9 @@ def _validate(parser: argparse.ArgumentParser,
             parser.error("loadgen needs --reference or --reads-file")
         if args.retries < 0:
             parser.error(f"--retries must be >= 0, got {args.retries}")
+        if args.budget_ms is not None and args.budget_ms <= 0:
+            parser.error(
+                f"--budget-ms must be positive, got {args.budget_ms}")
     if getattr(args, "command", None) == "chaos":
         if args.requests < 1:
             parser.error(f"--requests must be >= 1, got {args.requests}")
@@ -796,11 +852,24 @@ def _validate(parser: argparse.ArgumentParser,
             parser.error(f"--cluster-backends must be >= 0, "
                          f"got {args.cluster_backends}")
     if getattr(args, "command", None) == "cluster":
-        for name in ("shards", "replicas", "workers", "max_batch"):
+        for name in ("shards", "replicas", "workers", "max_batch",
+                     "shard_concurrency", "crash_loop_threshold"):
             value = getattr(args, name)
             if value < 1:
                 flag = "--" + name.replace("_", "-")
                 parser.error(f"{flag} must be >= 1, got {value}")
+        if args.queue_depth < 0:
+            parser.error(
+                f"--queue-depth must be >= 0, got {args.queue_depth}")
+        if args.default_budget_ms < 0:
+            parser.error(f"--default-budget-ms must be >= 0, "
+                         f"got {args.default_budget_ms}")
+        if args.restart_backoff <= 0 or args.crash_loop_window <= 0:
+            parser.error("--restart-backoff and --crash-loop-window "
+                         "must be positive")
+        if args.monitor_interval <= 0:
+            parser.error(f"--monitor-interval must be positive, "
+                         f"got {args.monitor_interval}")
         if args.index and args.shards > 1:
             parser.error("--index applies to replicated mode only; "
                          "sharded mode builds per-shard stores itself")

@@ -13,18 +13,23 @@ keeping every member busy.  The pieces:
   per-shard align responses;
 - :mod:`~repro.cluster.gateway` — the NDJSON front door: routing,
   failover, hedging, health-checked membership, per-backend breakers,
-  idempotency dedup;
+  bounded deadline-aware admission queues, idempotency dedup, live ring
+  reconciliation of restarted replicas;
 - :mod:`~repro.cluster.supervisor` — backend fleet as real processes
-  (spawn on ephemeral ports, state file, SIGTERM drain, SIGKILL for
-  chaos).
+  (spawn on ephemeral ports, atomic state file, SIGTERM drain, SIGKILL
+  for chaos, and a self-healing monitor loop: restart with exponential
+  backoff, crash-loop detection, permanent eject).
 
 See docs/CLUSTER.md for topology, routing, and failure semantics.
 """
 
 from repro.cluster.gateway import (
+    AdmissionQueue,
     BackendHandle,
     ClusterGateway,
     GatewayConfig,
+    QueueFullShed,
+    QueueTimeoutShed,
 )
 from repro.cluster.merge import (
     MergeError,
@@ -36,7 +41,9 @@ from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
 from repro.cluster.supervisor import (
     BackendProcess,
     ClusterSupervisor,
+    RestartPolicy,
     SupervisorError,
+    SupervisorEvent,
     read_state,
 )
 from repro.cluster.topology import (
@@ -48,6 +55,7 @@ from repro.cluster.topology import (
 )
 
 __all__ = [
+    "AdmissionQueue",
     "BackendHandle",
     "BackendProcess",
     "BackendSpec",
@@ -58,7 +66,11 @@ __all__ = [
     "GatewayConfig",
     "HashRing",
     "MergeError",
+    "QueueFullShed",
+    "QueueTimeoutShed",
+    "RestartPolicy",
     "SupervisorError",
+    "SupervisorEvent",
     "gather_complete",
     "merge_align_payloads",
     "merge_stats_payloads",

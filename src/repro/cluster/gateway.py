@@ -32,6 +32,18 @@ mode:
   deterministic preference order;
 - a **hedge** fires to the next replica when the primary is slower
   than ``hedge_delay_ms``; first answer wins, losers are cancelled;
+- a bounded per-shard **admission queue** absorbs bursts above the
+  shard's concurrency: waiters carry the request's latency budget and
+  are shed with a typed ``queue_timeout`` (never executed, budget
+  spent) the moment their deadline passes — at enqueue, while waiting,
+  or at dequeue — while a full queue sheds new arrivals with
+  ``overloaded``;
+- **live ring reconciliation**: when the supervisor restarts a dead
+  replica it announces the fresh endpoint via
+  :meth:`ClusterGateway.notify_endpoint`; the gateway re-probes it and
+  readmits it to the ring with a clean breaker — no operator, no
+  manual readmit — and a crash-looping replica the supervisor gave up
+  on is **retired** permanently (alert metric, never routed again);
 - the gateway's own :class:`~repro.faults.injectors.IdempotencyCache`
   dedups client retries (store-before-write), and every backend call
   carries a per-shard idempotency key derived from the client's, so a
@@ -52,8 +64,19 @@ import itertools
 import logging
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Awaitable, Callable, Dict, List, Optional, Set
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro import obs
 from repro.cluster.merge import merge_align_payloads
@@ -67,6 +90,8 @@ from repro.service.protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
     ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_QUEUE_TIMEOUT,
     ERR_SHUTTING_DOWN,
     ERR_TIMEOUT,
     MAX_LINE_BYTES,
@@ -86,6 +111,10 @@ logger = logging.getLogger("repro.cluster")
 
 #: Response fields that are transport framing, not payload.
 _FRAMING_KEYS = ("id", "ok")
+
+#: Slack past a request's budget before the blunt gateway timeout fires,
+#: so deadline sheds surface as typed ``queue_timeout`` responses.
+_BUDGET_GRACE_S = 0.05
 
 
 @dataclass
@@ -109,8 +138,20 @@ class GatewayConfig:
     breaker_cooldown_s: float = 1.0
     breaker_probes: int = 1
     idempotency_capacity: int = 4096
+    shard_concurrency: int = 64      # in-flight group calls per shard
+    queue_depth: int = 256           # waiting slots per shard; 0 = none
+    default_budget_ms: float = 0.0   # applied when a request has none
 
     def __post_init__(self) -> None:
+        if self.shard_concurrency < 1:
+            raise ValueError(f"shard_concurrency must be >= 1, "
+                             f"got {self.shard_concurrency}")
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.default_budget_ms < 0:
+            raise ValueError(f"default_budget_ms must be >= 0, "
+                             f"got {self.default_budget_ms}")
         if self.hedge_delay_ms < 0:
             raise ValueError(
                 f"hedge_delay_ms must be >= 0, got {self.hedge_delay_ms}")
@@ -147,17 +188,35 @@ class BackendHandle:
         self.backend_id = backend_id
         self.endpoint = endpoint
         self.shard = shard
-        self.breaker = CircuitBreaker(
+        self.breaker = self._fresh_breaker(config)
+        self.healthy = True
+        self.retired = False
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self._config = config
+        self._connect_timeout_s = config.connect_timeout_s
+        self._client: Optional[AsyncServiceClient] = None
+        self._lock = asyncio.Lock()
+
+    @staticmethod
+    def _fresh_breaker(config: GatewayConfig) -> CircuitBreaker:
+        return CircuitBreaker(
             failure_threshold=config.breaker_threshold,
             window_s=config.breaker_window_s,
             cooldown_s=config.breaker_cooldown_s,
             half_open_probes=config.breaker_probes)
-        self.healthy = True
+
+    def adopt_endpoint(self, endpoint: str) -> None:
+        """Point the handle at a restarted backend's fresh address.
+
+        The breaker and health streaks reset with it: they describe the
+        dead process, and carrying an open breaker into the new one
+        would keep shedding a replica that is perfectly fine.
+        """
+        self.endpoint = endpoint
+        self.breaker = self._fresh_breaker(self._config)
         self.consecutive_failures = 0
         self.consecutive_successes = 0
-        self._connect_timeout_s = config.connect_timeout_s
-        self._client: Optional[AsyncServiceClient] = None
-        self._lock = asyncio.Lock()
 
     async def get(self) -> AsyncServiceClient:
         # Holding the lock across connect() is the contract: concurrent
@@ -188,12 +247,126 @@ class BackendHandle:
             "endpoint": self.endpoint,
             "shard": self.shard,
             "healthy": self.healthy,
+            "retired": self.retired,
             "breaker": self.breaker.as_dict(),
         }
 
 
 class _BackendUnavailable(Exception):
     """This attempt failed in a way the router may absorb (next replica)."""
+
+
+class QueueFullShed(Exception):
+    """Admission refused outright: concurrency and queue both full."""
+
+
+class QueueTimeoutShed(Exception):
+    """The request's budget expired while it sat in the admission queue."""
+
+
+class AdmissionQueue:
+    """A bounded, deadline-aware admission gate for one shard group.
+
+    At most ``concurrency`` group calls run at once; up to ``depth``
+    more wait in FIFO order.  Beyond that, new arrivals shed
+    immediately (:class:`QueueFullShed` → ``overloaded``).  Every
+    waiter carries its request's absolute deadline; a waiter whose
+    budget runs out is shed with :class:`QueueTimeoutShed` →
+    ``queue_timeout`` — both while waiting and at dequeue time, so a
+    freed slot is never wasted on a request whose client has already
+    given up.  Single event loop, so no locking: state mutations only
+    happen between awaits.
+    """
+
+    def __init__(self, shard: int, concurrency: int, depth: int,
+                 metrics: MetricsRegistry):
+        self.shard = shard
+        self.concurrency = concurrency
+        self.depth = depth
+        self.metrics = metrics
+        self.in_flight = 0
+        self.peak_depth = 0
+        self._waiters: Deque[Tuple[asyncio.Future,
+                                   Optional[float]]] = deque()
+
+    def _sync_depth(self) -> None:
+        depth = len(self._waiters)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+            self.metrics.set_gauge(
+                f"shard{self.shard}_queue_depth_peak", depth)
+        self.metrics.set_gauge(f"shard{self.shard}_queue_depth", depth)
+
+    async def acquire(self, deadline: Optional[float]) -> None:
+        now = time.monotonic()
+        if deadline is not None and now >= deadline:
+            raise QueueTimeoutShed(
+                f"shard {self.shard}: budget spent before admission")
+        if self.in_flight < self.concurrency:
+            self.in_flight += 1
+            self.metrics.inc("queue_admits_total")
+            return
+        if len(self._waiters) >= self.depth:
+            raise QueueFullShed(
+                f"shard {self.shard}: {self.in_flight} in flight, "
+                f"queue of {self.depth} full")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        entry = (future, deadline)
+        self._waiters.append(entry)
+        self._sync_depth()
+        timeout = None if deadline is None else max(0.0, deadline - now)
+        try:
+            await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._discard(entry)
+            raise QueueTimeoutShed(
+                f"shard {self.shard}: budget spent after waiting "
+                f"{time.monotonic() - now:.3f}s in queue") from None
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled() \
+                    and future.exception() is None:
+                # release() granted us a slot in the same tick the
+                # request got cancelled: hand the slot straight back.
+                self.release()
+            else:
+                self._discard(entry)
+            raise
+        finally:
+            self._sync_depth()
+        self.metrics.inc("queue_admits_total")
+        self.metrics.observe("queue_wait_s", time.monotonic() - now)
+
+    def _discard(self, entry: Tuple[asyncio.Future,
+                                    Optional[float]]) -> None:
+        try:
+            self._waiters.remove(entry)
+        except ValueError:
+            pass
+
+    def release(self) -> None:
+        """Free one slot and hand it to the first still-live waiter."""
+        self.in_flight -= 1
+        now = time.monotonic()
+        while self._waiters:
+            future, deadline = self._waiters.popleft()
+            if future.done():
+                continue  # cancelled while queued
+            if deadline is not None and now >= deadline:
+                # Deadline-aware dequeue: don't burn the slot on a
+                # request nobody is waiting for any more.
+                future.set_exception(QueueTimeoutShed(
+                    f"shard {self.shard}: budget spent while queued"))
+                continue
+            self.in_flight += 1
+            future.set_result(None)
+            break
+        self._sync_depth()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "in_flight": self.in_flight,
+                "depth": len(self._waiters), "peak_depth": self.peak_depth,
+                "concurrency": self.concurrency,
+                "max_depth": self.depth}
 
 
 class ClusterGateway:
@@ -228,11 +401,16 @@ class ClusterGateway:
                 [spec.backend_id for spec in topology.shard_group(shard)],
                 vnodes=self.config.vnodes)
             for shard in range(topology.shards)}
+        self._queues: Dict[int, AdmissionQueue] = {
+            shard: AdmissionQueue(shard, self.config.shard_concurrency,
+                                  self.config.queue_depth, self.metrics)
+            for shard in range(topology.shards)}
         self._idempotency = IdempotencyCache(
             self.config.idempotency_capacity)
         self._server: Optional[asyncio.AbstractServer] = None
         self._health_task: Optional[asyncio.Task] = None
         self._response_tasks: Set[asyncio.Task] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._started_at = 0.0
         self._shutting_down = False
         self._session = uuid.uuid4().hex[:12]
@@ -241,6 +419,9 @@ class ClusterGateway:
             self.metrics.set_gauge(f"backend_{backend_id}_healthy", 1)
             self.metrics.set_gauge(f"backend_{backend_id}_breaker_state",
                                    STATE_CODES["closed"])
+        for shard in range(topology.shards):
+            self.metrics.set_gauge(f"shard{shard}_queue_depth", 0)
+            self.metrics.set_gauge(f"shard{shard}_queue_depth_peak", 0)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -272,6 +453,9 @@ class ClusterGateway:
                 limit=MAX_LINE_BYTES)
         if cfg.health_interval_s > 0:
             self._health_task = asyncio.ensure_future(self._health_loop())
+        # Captured so supervisor threads can bridge membership events
+        # onto this loop (notify_endpoint / notify_retired).
+        self._loop = asyncio.get_running_loop()
         self._started_at = time.monotonic()
         logger.info(
             "cluster gateway on %s (%dx%d backends, hedge=%.0fms)",
@@ -417,10 +601,24 @@ class ClusterGateway:
                     await self._write(writer, lock, success_response(
                         request.request_id, **cached))
                     return  # the finally still settles in_flight/latency
+            # A request budget bounds the whole gateway round trip:
+            # admission waits shed at the deadline (queue_timeout) and
+            # execution is capped at the remaining budget plus a small
+            # grace so queue sheds — typed, actionable — win the race
+            # against the blunt outer timeout.
+            budget_ms = request.budget_ms or \
+                self.config.default_budget_ms or None
             timeout = self.config.request_timeout_s or None
+            deadline: Optional[float] = None
+            if budget_ms is not None:
+                budget_s = budget_ms / 1000.0
+                deadline = submitted_at + budget_s
+                capped = budget_s + _BUDGET_GRACE_S
+                timeout = capped if timeout is None else min(timeout,
+                                                             capped)
             try:
                 payload = await asyncio.wait_for(
-                    self._route(request, conn_id), timeout)
+                    self._route(request, conn_id, deadline), timeout)
                 if request.idempotency_key is not None:
                     # Store before the write: a response lost to a
                     # dropped client connection must still dedup the
@@ -442,12 +640,28 @@ class ClusterGateway:
                 outcome = exc.code
                 line = error_response(request.request_id, exc.code,
                                       str(exc))
+            except QueueTimeoutShed as exc:
+                # Typed deadline shed: the request never executed but
+                # its budget is spent — distinct from ``busy`` so
+                # clients know a retry is pointless.
+                self.metrics.inc("shed_queue_timeout_total")
+                self.metrics.inc("errors_total")
+                outcome = ERR_QUEUE_TIMEOUT
+                line = error_response(request.request_id,
+                                      ERR_QUEUE_TIMEOUT, str(exc))
+            except QueueFullShed as exc:
+                self.metrics.inc("shed_queue_full_total")
+                self.metrics.inc("errors_total")
+                outcome = ERR_OVERLOADED
+                line = error_response(request.request_id, ERR_OVERLOADED,
+                                      str(exc))
             except _BackendUnavailable as exc:
                 # Every candidate replica failed: shed retryably — the
                 # client's RetryPolicy backs off while health/breakers
                 # recover, exactly like a single server in degraded
                 # mode.
                 self.metrics.inc("unroutable_total")
+                self.metrics.inc("shed_busy_total")
                 self.metrics.inc("errors_total")
                 outcome = ERR_BUSY
                 line = error_response(
@@ -488,47 +702,60 @@ class ClusterGateway:
         """Healthy replicas of ``shard`` in deterministic preference
         order; falls back to the full (possibly unhealthy) group when
         everything is ejected — stale health info must degrade to *an
-        attempt*, not an instant failure."""
+        attempt*, not an instant failure.  Retired backends (crash
+        loops the supervisor gave up on) are never candidates."""
         ring = self._rings[shard]
         if len(ring):
             ids = ring.preference(key)
         else:
             ids = [spec.backend_id
                    for spec in self.topology.shard_group(shard)]
-        return [self.handles[bid] for bid in ids]
+        return [self.handles[bid] for bid in ids
+                if not self.handles[bid].retired]
 
-    async def _route(self, request: AlignRequest,
-                     conn_id: int) -> Dict[str, Any]:
+    async def _route(self, request: AlignRequest, conn_id: int,
+                     deadline: Optional[float] = None) -> Dict[str, Any]:
         key = self._routing_key(request)
         idem_base = self._idem_base(request, conn_id)
         if not self.topology.sharded:
             with obs.span("route", "cluster", key=key, shard=0):
                 return await self._call_group(0, key, request,
-                                              f"{idem_base}#s0")
+                                              f"{idem_base}#s0",
+                                              deadline)
         # Scatter to every shard group, gather, merge deterministically.
         self.metrics.inc("scatters_total")
         with obs.span("gather", "cluster", key=key,
                       shards=self.topology.shards):
             results = await asyncio.gather(
                 *(self._call_group(shard, key, request,
-                                   f"{idem_base}#s{shard}")
+                                   f"{idem_base}#s{shard}", deadline)
                   for shard in range(self.topology.shards)))
         return merge_align_payloads(list(enumerate(results)))
 
     async def _call_group(self, shard: int, key: str,
-                          request: AlignRequest,
-                          idem_key: str) -> Dict[str, Any]:
+                          request: AlignRequest, idem_key: str,
+                          deadline: Optional[float] = None
+                          ) -> Dict[str, Any]:
         """One logical call against ``shard``'s replica group:
-        preference-ordered failover plus hedging, first answer wins."""
-        candidates = self._candidates(shard, key)
+        admission gate, then preference-ordered failover plus hedging,
+        first answer wins."""
+        queue = self._queues[shard]
+        await queue.acquire(deadline)
+        try:
+            candidates = self._candidates(shard, key)
+            if not candidates:
+                raise _BackendUnavailable(
+                    f"shard {shard}: every replica retired or ejected")
 
-        def call_factory(handle: BackendHandle
-                         ) -> Awaitable[Dict[str, Any]]:
-            return self._call_backend(handle, request, idem_key)
+            def call_factory(handle: BackendHandle
+                             ) -> Awaitable[Dict[str, Any]]:
+                return self._call_backend(handle, request, idem_key)
 
-        with obs.span("route", "cluster", key=key, shard=shard,
-                      primary=candidates[0].backend_id):
-            return await self._race(candidates, call_factory)
+            with obs.span("route", "cluster", key=key, shard=shard,
+                          primary=candidates[0].backend_id):
+                return await self._race(candidates, call_factory)
+        finally:
+            queue.release()
 
     async def _call_backend(self, handle: BackendHandle,
                             request: AlignRequest,
@@ -666,7 +893,8 @@ class ClusterGateway:
             await asyncio.sleep(self.config.health_interval_s)
             await asyncio.gather(
                 *(self._health_check(handle)
-                  for handle in self.handles.values()))
+                  for handle in self.handles.values()
+                  if not handle.retired))
 
     async def _health_check(self, handle: BackendHandle) -> None:
         client: Optional[AsyncServiceClient] = None
@@ -721,6 +949,116 @@ class ClusterGateway:
             STATE_CODES[handle.breaker.state])
 
     # ------------------------------------------------------------------ #
+    # Live ring reconciliation (supervisor → gateway membership bridge)
+    # ------------------------------------------------------------------ #
+
+    async def reconcile_backend(self, backend_id: str,
+                                endpoint: str) -> bool:
+        """Adopt a restarted backend: new endpoint, probe, readmit.
+
+        Called when the supervisor reports a replica respawned on a
+        fresh port.  The handle's connection, breaker and health
+        streaks are reset (they describe the dead process), the new
+        endpoint is probed once, and on a pong the backend rejoins its
+        shard's ring immediately — no waiting out ``health_successes``
+        probes, no manual readmission.  If the probe misses, the
+        backend stays ejected and the regular health loop (now pointed
+        at the new endpoint) readmits it when it starts answering.
+        Returns True when the backend was readmitted.
+        """
+        handle = self.handles.get(backend_id)
+        if handle is None or handle.retired:
+            return False
+        self.metrics.inc("backend_restarts_total")
+        await handle.invalidate(None)
+        handle.adopt_endpoint(endpoint)
+        self._sync_breaker_gauge(handle)
+        obs.instant("backend_reconcile", "cluster", backend=backend_id,
+                    endpoint=endpoint)
+        try:
+            client = await asyncio.wait_for(
+                handle.get(), self.config.connect_timeout_s)
+            await asyncio.wait_for(client.ping(),
+                                   self.config.health_timeout_s)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ServiceError) as exc:
+            logger.warning("reconcile probe of %s at %s failed: %s",
+                           backend_id, endpoint, exc)
+            await handle.invalidate(None)
+            if handle.healthy:
+                self._eject(handle)
+            return False
+        handle.consecutive_failures = 0
+        if not handle.healthy:
+            self._readmit(handle)
+        else:
+            # Restart landed inside the health-failure window: the
+            # handle was never ejected, but make ring membership
+            # explicit anyway (idempotent).
+            self._rings[handle.shard].ensure(backend_id)
+        self.metrics.inc("backend_reconciles_total")
+        logger.info("reconciled backend %s onto %s", backend_id,
+                    endpoint)
+        return True
+
+    def retire_backend(self, backend_id: str, reason: str = "") -> None:
+        """Permanently remove a crash-looping backend from routing.
+
+        The alert metric ``backend_crash_loop_ejects_total`` is the
+        operator's signal: the supervisor gave up restarting this
+        replica and the cluster is running short-handed.
+        """
+        handle = self.handles.get(backend_id)
+        if handle is None or handle.retired:
+            return
+        handle.retired = True
+        handle.healthy = False
+        self._rings[handle.shard].discard(backend_id)
+        self.metrics.inc("backend_crash_loop_ejects_total")
+        self.metrics.set_gauge(f"backend_{backend_id}_healthy", 0)
+        obs.instant("backend_retire", "cluster", backend=backend_id,
+                    reason=reason)
+        logger.error("retired backend %s permanently: %s", backend_id,
+                     reason or "crash loop")
+        try:
+            task = asyncio.ensure_future(handle.close())
+            self._track(task)
+        except RuntimeError:
+            pass  # no running loop (sync test context): nothing to close
+
+    def notify_endpoint(self, backend_id: str, endpoint: str) -> None:
+        """Thread-safe restart notification (supervisor monitor → loop)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._spawn_reconcile, backend_id,
+                                  endpoint)
+
+    def notify_retired(self, backend_id: str, reason: str = "") -> None:
+        """Thread-safe crash-loop ejection notification."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self.retire_backend, backend_id,
+                                  reason)
+
+    def _spawn_reconcile(self, backend_id: str, endpoint: str) -> None:
+        task = asyncio.ensure_future(
+            self.reconcile_backend(backend_id, endpoint))
+        self._track(task)
+
+    def supervisor_listener(self) -> Callable[[Any], None]:
+        """An ``on_event`` callback for ``ClusterSupervisor.
+        start_monitor`` wiring restarts and crash-loop ejects into this
+        gateway.  Safe to call from the monitor thread."""
+        def on_event(event: Any) -> None:
+            if event.kind == "restarted":
+                self.notify_endpoint(event.backend_id, event.endpoint)
+            elif event.kind == "ejected":
+                self.notify_retired(event.backend_id, event.detail)
+        return on_event
+
+    # ------------------------------------------------------------------ #
     # Stats aggregation
     # ------------------------------------------------------------------ #
 
@@ -760,6 +1098,8 @@ class ClusterGateway:
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "topology": self.topology.describe(),
             "gateway": self.metrics.snapshot(),
+            "queues": {str(shard): queue.as_dict()
+                       for shard, queue in self._queues.items()},
             "backends": backends,
             "cluster_metrics": MetricsRegistry.merge(snapshots),
         }

@@ -88,6 +88,25 @@ class HashRing:
         self._points = [(p, m) for p, m in self._points if m != member]
         self._rebuild()
 
+    def ensure(self, member: str) -> bool:
+        """Idempotent :meth:`add`: True if the member was actually added.
+
+        Reconciliation paths (health readmit racing a supervisor restart
+        notification) must converge on "member is routable" without
+        caring who got there first — a strict ``add`` would raise.
+        """
+        if member in self._members:
+            return False
+        self.add(member)
+        return True
+
+    def discard(self, member: str) -> bool:
+        """Idempotent :meth:`remove`: True if the member was present."""
+        if member not in self._members:
+            return False
+        self.remove(member)
+        return True
+
     def _rebuild(self) -> None:
         self._points.sort()
         self._keys = [point for point, _ in self._points]

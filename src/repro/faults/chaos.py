@@ -28,6 +28,17 @@ injection worth having:
    misalign reads).
 7. **Coverage** — every fault kind the plan declares actually fired.
 
+With ``cluster_backends > 0`` the run additionally drives a replicated
+``repro.cluster`` gateway over real backend processes and gates three
+more invariants: **backend_kill_zero_loss** (plan-scheduled mid-load
+SIGKILLs lose nothing and the SAM stays byte-identical),
+**backend_restart_zero_loss** (the supervisor's monitor loop restarts
+every victim and the gateway's live ring reconciliation readmits it —
+no manual readmission anywhere in the harness), and
+**overload_graceful_degradation** (an open-loop burst far above
+capacity produces only successes and typed sheds, bounded queue depth,
+and in-budget p99 for admitted requests).
+
 Everything is seeded; the same invocation is the same run.  The CI
 ``chaos-smoke`` job gates on :attr:`ChaosReport.passed`.
 """
@@ -41,8 +52,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.faults.plan import (
+    BACKEND_KILL,
     CACHE_CORRUPT,
     SHARD_KILL,
+    SITE_CLUSTER,
     FaultInjector,
     FaultPlan,
     named_plan,
@@ -173,18 +186,77 @@ def _sharded_phase(reference: Any, reads: Any,
     return [sam_record(result, reference) for result in results]
 
 
+#: How long the cluster phase waits for the supervisor to restart and
+#: the gateway to readmit every killed backend (generous for CI).
+_RECOVERY_TIMEOUT_S = 45.0
+
+#: Overload sub-phase shape: a burst far above a one-slot shard's
+#: capacity, through a tiny admission queue, under a real budget.
+_OVERLOAD_RATE = 600.0
+_OVERLOAD_CONCURRENCY = 1
+_OVERLOAD_QUEUE_DEPTH = 4
+_OVERLOAD_BUDGET_MS = 2000.0
+
+
+async def _await_cluster_recovery(gateway: Any, supervisor: Any,
+                                  kills: List[Tuple[str, int]],
+                                  timeout_s: float
+                                  ) -> Tuple[bool, str]:
+    """Block until every killed backend is restarted AND readmitted.
+
+    The harness never touches the ring or the supervisor here — it only
+    *observes*; recovery must be entirely supervisor-monitor +
+    gateway-reconciliation driven (the "no manual readmit" half of the
+    invariant).
+    """
+    expected: Dict[str, int] = {}
+    for victim, _ in kills:
+        expected[victim] = expected.get(victim, 0) + 1
+
+    def recovered() -> bool:
+        for victim, count in expected.items():
+            backend = supervisor.backend(victim)
+            if backend.restarts < count or not backend.alive:
+                return False
+            handle = gateway.handles[victim]
+            if not handle.healthy or handle.retired:
+                return False
+            if victim not in gateway._rings[handle.shard]:
+                return False
+        return True
+
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not recovered():
+        if asyncio.get_running_loop().time() >= deadline:
+            state = {victim: {
+                "restarts": supervisor.backend(victim).restarts,
+                "alive": supervisor.backend(victim).alive,
+                "healthy": gateway.handles[victim].healthy,
+            } for victim in expected}
+            return False, f"recovery timed out after {timeout_s}s: {state}"
+        await asyncio.sleep(0.05)
+    return True, ""
+
+
 async def _cluster_run(topology: Any, supervisor: Any, specs: Any,
                        seed: int, requests: int,
-                       victim: str) -> Tuple[Any, Dict[str, Any], int]:
-    """Gateway + loadgen with a mid-load SIGKILL of ``victim``.
+                       injector: Optional[FaultInjector]
+                       ) -> Dict[str, Any]:
+    """Gateway + loadgen with plan-scheduled mid-load SIGKILLs, then an
+    open-loop overload burst against a tight admission queue.
 
-    Returns the loadgen report, the gateway's metrics snapshot, and how
-    many responses had completed when the kill landed (the invariant
-    requires the kill to hit *mid*-load, not after it).
+    Kill schedule: the phase crosses the ``cluster_backend`` fault site
+    at each response-count checkpoint (1/3 and 2/3 of the load); a
+    ``backend_kill`` event SIGKILLs the next backend round-robin — so
+    *which* checkpoints kill is plan data, deterministic per seed, not
+    harness hardcode.  The supervisor's monitor loop (armed with the
+    gateway's reconciliation listener) must then bring every victim
+    back without any harness intervention.
     """
     from repro.cluster.gateway import ClusterGateway, GatewayConfig
     from repro.service.loadgen import LoadgenConfig, run_loadgen
 
+    result: Dict[str, Any] = {}
     config = GatewayConfig(host="127.0.0.1", port=0,
                            hedge_delay_ms=100.0,
                            health_interval_s=0.2,
@@ -192,7 +264,10 @@ async def _cluster_run(topology: Any, supervisor: Any, specs: Any,
                            breaker_cooldown_s=0.5)
     gateway = ClusterGateway(topology, config=config)
     await gateway.start()
+    kills: List[Tuple[str, int]] = []
     try:
+        supervisor.start_monitor(interval_s=0.05,
+                                 on_event=gateway.supervisor_listener())
         retry = RetryPolicy(max_attempts=6, base_delay_s=0.02,
                             multiplier=2.0, max_delay_s=0.2,
                             jitter=0.5, seed=seed)
@@ -202,48 +277,105 @@ async def _cluster_run(topology: Any, supervisor: Any, specs: Any,
             gateway.endpoint, specs, config=lg_config,
             collect_server_stats=False, collect_responses=True))
         responses = gateway.metrics.counter("responses_total")
-        target = max(1, requests // 3)
-        while responses.value < target and not lg_task.done():
-            await asyncio.sleep(0.005)
-        killed_at = responses.value
-        supervisor.kill(victim)
-        obs.instant("backend_sigkill", "chaos", backend=victim,
-                    responses_at_kill=killed_at)
+        backend_ids = [spec.backend_id for spec in topology.backends]
+        checkpoints = sorted({max(1, requests // 3),
+                              max(1, (2 * requests) // 3)})
+        for target in checkpoints:
+            while responses.value < target and not lg_task.done():
+                await asyncio.sleep(0.005)
+            if lg_task.done():
+                break
+            event = (injector.check(SITE_CLUSTER)
+                     if injector is not None else None)
+            if event is None or event.kind != BACKEND_KILL:
+                continue
+            victim = backend_ids[len(kills) % len(backend_ids)]
+            alive = [b for b in supervisor.backends if b.alive]
+            if len(alive) < 2:
+                continue  # never kill the last standing replica
+            killed_at = responses.value
+            supervisor.kill(victim)
+            kills.append((victim, killed_at))
+            obs.instant("backend_sigkill", "chaos", backend=victim,
+                        responses_at_kill=killed_at)
         report = await lg_task
-        stats = gateway.metrics.snapshot()
+        recovery_ok, recovery_detail = (True, "")
+        if kills:
+            recovery_ok, recovery_detail = await _await_cluster_recovery(
+                gateway, supervisor, kills, _RECOVERY_TIMEOUT_S)
+        result["report"] = report
+        result["stats"] = gateway.metrics.snapshot()
+        result["kills"] = kills
+        result["recovery_ok"] = recovery_ok
+        result["recovery_detail"] = recovery_detail
+        result["supervisor"] = {
+            b.backend_id: {"restarts": b.restarts, "alive": b.alive,
+                           "ejected": b.ejected}
+            for b in supervisor.backends}
     finally:
+        supervisor.stop_monitor()
         await gateway.shutdown()
-    return report, stats, killed_at
+
+    # Overload sub-phase: a fresh gateway over the (healed) fleet with a
+    # one-slot shard and a tiny queue, driven open-loop far above
+    # capacity with a real per-request budget and NO client retries —
+    # every outcome must be a success or a typed shed.
+    overload_cfg = GatewayConfig(
+        host="127.0.0.1", port=0,
+        hedge_delay_ms=0.0,          # hedging would double-book the slot
+        health_interval_s=0.2,
+        shard_concurrency=_OVERLOAD_CONCURRENCY,
+        queue_depth=_OVERLOAD_QUEUE_DEPTH)
+    overload_gw = ClusterGateway(supervisor.topology, config=overload_cfg)
+    await overload_gw.start()
+    try:
+        overload_lg = LoadgenConfig(concurrency=_HARNESS_MAX_BATCH,
+                                    mode="open", rate=_OVERLOAD_RATE,
+                                    wait_ready_s=5.0,
+                                    budget_ms=_OVERLOAD_BUDGET_MS)
+        overload_report = await run_loadgen(
+            overload_gw.endpoint, specs, config=overload_lg,
+            collect_server_stats=False)
+        result["overload_report"] = overload_report
+        result["overload_stats"] = overload_gw.metrics.snapshot()
+        result["overload_queue_depth"] = _OVERLOAD_QUEUE_DEPTH
+        result["overload_budget_ms"] = _OVERLOAD_BUDGET_MS
+    finally:
+        await overload_gw.shutdown()
+    return result
 
 
 def _cluster_phase(reference: Any, specs: Any, seed: int, requests: int,
-                   backends: int) -> Tuple[Any, Dict[str, Any], int]:
-    """Replicated cluster (real backend processes) with one SIGKILLed.
+                   backends: int,
+                   injector: Optional[FaultInjector]) -> Dict[str, Any]:
+    """Replicated cluster (real backend processes) under chaos.
 
     Replicated mode is the right shape for this invariant: every
     backend holds the full index, so the survivors' answers are
     bit-identical to the single-server baseline by construction and the
     only question — the one being asked — is whether the *tier* loses
-    or duplicates responses when a member dies without warning.
+    or duplicates responses when members die without warning, and
+    whether it degrades to typed sheds instead of chaos when offered
+    more load than it can carry.
     """
     import os
 
-    from repro.cluster.supervisor import ClusterSupervisor
+    from repro.cluster.supervisor import ClusterSupervisor, RestartPolicy
     from repro.genome.io import write_fasta
 
     with tempfile.TemporaryDirectory(prefix="repro-chaos-cluster-") as tmp:
         ref_path = os.path.join(tmp, "ref.fa")
         write_fasta(reference, ref_path)
-        supervisor = ClusterSupervisor(reference_path=ref_path,
-                                       workdir=tmp, shards=1,
-                                       replicas=backends,
-                                       workers=_HARNESS_WORKERS,
-                                       max_batch=_HARNESS_MAX_BATCH)
+        supervisor = ClusterSupervisor(
+            reference_path=ref_path, workdir=tmp, shards=1,
+            replicas=backends, workers=_HARNESS_WORKERS,
+            max_batch=_HARNESS_MAX_BATCH,
+            restart_policy=RestartPolicy(backoff_base_s=0.1,
+                                         backoff_max_s=1.0))
         try:
             topology = supervisor.start()
-            victim = topology.backends[0].backend_id
             return asyncio.run(_cluster_run(topology, supervisor, specs,
-                                            seed, requests, victim))
+                                            seed, requests, injector))
         finally:
             supervisor.stop(graceful=True)
 
@@ -425,35 +557,125 @@ def run_chaos(plan_name: str = "ci-default", seed: int = 7,
     report.invariants.append(_compare_sam(baseline_report, chaos_report))
 
     if cluster_backends > 0:
+        from repro.service.protocol import SHED_ERRORS
+
         with obs.span("chaos_cluster", "chaos",
                       backends=cluster_backends, requests=requests):
-            cluster_report, gw_stats, killed_at = _cluster_phase(
-                reference, specs, plan.seed, requests, cluster_backends)
+            cluster = _cluster_phase(reference, specs, plan.seed,
+                                     requests, cluster_backends, injector)
+        cluster_report = cluster["report"]
+        gw_counters = cluster["stats"].get("counters", {})
+        kills: List[Tuple[str, int]] = cluster["kills"]
         report.chaos["cluster"] = _run_summary(cluster_report)
-        report.chaos["cluster"]["responses_at_kill"] = killed_at
-        report.chaos["cluster"]["failovers"] = (
-            gw_stats.get("counters", {}).get("failovers_total", 0))
+        report.chaos["cluster"]["kills"] = [
+            {"backend": victim, "responses_at_kill": at}
+            for victim, at in kills]
+        report.chaos["cluster"]["failovers"] = gw_counters.get(
+            "failovers_total", 0)
+        report.chaos["cluster"]["backend_restarts"] = gw_counters.get(
+            "backend_restarts_total", 0)
+        report.chaos["cluster"]["backend_reconciles"] = gw_counters.get(
+            "backend_reconciles_total", 0)
+        report.chaos["cluster"]["supervisor"] = cluster["supervisor"]
+
         full = (cluster_report.responses is not None
                 and all(r is not None for r in cluster_report.responses))
         zero_loss = (cluster_report.dropped == 0
                      and cluster_report.error_count == 0
                      and cluster_report.completed == requests
                      and full)
-        mid_load = killed_at < requests
+        mid_load = all(at < requests for _, at in kills)
         sam_inv = _compare_sam(baseline_report, cluster_report,
                                name="backend_kill_zero_loss")
         details = []
         if not zero_loss:
             details.append(ChaosReport._summary(report.chaos["cluster"]))
         if not mid_load:
+            late = [f"{victim}@{at}" for victim, at in kills
+                    if at >= requests]
             details.append(f"SIGKILL landed after the load finished "
-                           f"({killed_at}/{requests} responses)")
+                           f"({late}, {requests} requests)")
         if not sam_inv.ok:
             details.append(sam_inv.detail or "SAM diverged from the "
                                              "single-server baseline")
+        if not kills:
+            details.append("plan scheduled no backend_kill at the "
+                           "cluster site; gated on zero loss only")
         ok = zero_loss and mid_load and sam_inv.ok
         report.invariants.append(Invariant(
             "backend_kill_zero_loss", ok, "; ".join(details)))
+
+        if kills:
+            # Supervisor-driven recovery: every victim restarted by the
+            # monitor loop and readmitted by the gateway's live ring
+            # reconciliation — the harness never readmits anything.
+            victims = {victim for victim, _ in kills}
+            recovery_ok = cluster["recovery_ok"]
+            restarts_seen = gw_counters.get("backend_restarts_total", 0)
+            reconciles_seen = gw_counters.get(
+                "backend_reconciles_total", 0)
+            counters_ok = (restarts_seen >= len(victims)
+                           and reconciles_seen >= len(victims))
+            restart_details = []
+            if not recovery_ok:
+                restart_details.append(cluster["recovery_detail"])
+            if not counters_ok:
+                restart_details.append(
+                    f"gateway saw {restarts_seen} restart "
+                    f"notification(s) and {reconciles_seen} successful "
+                    f"reconciliation(s) for {len(victims)} victim(s)")
+            if not zero_loss:
+                restart_details.append("responses were lost (see "
+                                       "backend_kill_zero_loss)")
+            restart_ok = recovery_ok and counters_ok and zero_loss
+            report.invariants.append(Invariant(
+                "backend_restart_zero_loss", restart_ok,
+                "; ".join(d for d in restart_details if d)))
+
+        # Graceful degradation under open-loop overload: every outcome
+        # is a success or a *typed* shed, the admission queue never
+        # exceeds its configured bound, and admitted requests finish
+        # within the client budget (plus scheduling slack).
+        overload = cluster["overload_report"]
+        ov_gauges = cluster["overload_stats"].get("gauges", {})
+        depth_bound = cluster["overload_queue_depth"]
+        budget_ms = cluster["overload_budget_ms"]
+        peak_depth = max(
+            (v for k, v in ov_gauges.items()
+             if k.endswith("_queue_depth_peak")), default=0)
+        untyped = sorted(code for code in overload.errors
+                         if code not in SHED_ERRORS)
+        p99_ms = overload.p99_ms if overload.completed else 0.0
+        p99_budget_ms = budget_ms + 250.0
+        report.chaos["cluster"]["overload"] = {
+            "requests": overload.requests,
+            "completed": overload.completed,
+            "shed": overload.shed,
+            "busy_sheds": overload.busy_sheds,
+            "queue_timeout_sheds": overload.queue_timeout_sheds,
+            "dropped": overload.dropped,
+            "peak_queue_depth": peak_depth,
+            "p99_ms": round(p99_ms, 3),
+        }
+        ov_details = []
+        if overload.dropped != 0:
+            ov_details.append(f"{overload.dropped} request(s) vanished "
+                              f"without any response")
+        if untyped:
+            ov_details.append(f"untyped error codes under overload: "
+                              f"{untyped}")
+        if peak_depth > depth_bound:
+            ov_details.append(f"queue depth peaked at {peak_depth} "
+                              f"(bound {depth_bound})")
+        if p99_ms > p99_budget_ms:
+            ov_details.append(f"p99 {p99_ms:.0f} ms exceeds budget "
+                              f"{budget_ms:.0f} ms (+250 ms slack)")
+        overload_ok = (overload.dropped == 0 and not untyped
+                       and peak_depth <= depth_bound
+                       and p99_ms <= p99_budget_ms)
+        report.invariants.append(Invariant(
+            "overload_graceful_degradation", overload_ok,
+            "; ".join(ov_details)))
 
     with obs.span("chaos_sharded", "chaos", reads=len(shard_reads)):
         base_sam = _sharded_phase(reference, shard_reads, None,
@@ -498,6 +720,10 @@ def run_chaos(plan_name: str = "ci-default", seed: int = 7,
     # SHARD_KILL only manifests on parallel paths.
     if parallelism == 1 and SHARD_KILL in missing:
         missing.remove(SHARD_KILL)
+    # BACKEND_KILL only manifests when the cluster phase runs; tier-1
+    # in-process runs keep cluster_backends=0 and never cross the site.
+    if cluster_backends == 0 and BACKEND_KILL in missing:
+        missing.remove(BACKEND_KILL)
     report.invariants.append(Invariant(
         "all_fault_kinds_fired", not missing,
         "" if not missing else f"never fired: {missing}"))

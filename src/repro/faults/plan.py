@@ -30,6 +30,8 @@ kind                      simulates
                           partial write) mid-response
 ``cache_corrupt``         a torn/truncated artifact cache file
 ``shard_kill``            a shard worker process SIGKILLed
+``backend_kill``          a cluster backend process SIGKILLed
+                          mid-load (the supervisor must restart it)
 ========================  ==========================================
 """
 
@@ -46,17 +48,20 @@ LATENCY_SPIKE = "latency_spike"
 CONN_DROP = "conn_drop"
 CACHE_CORRUPT = "cache_corrupt"
 SHARD_KILL = "shard_kill"
+BACKEND_KILL = "backend_kill"
 
 FAULT_KINDS = (WORKER_CRASH, LATENCY_SPIKE, CONN_DROP, CACHE_CORRUPT,
-               SHARD_KILL)
+               SHARD_KILL, BACKEND_KILL)
 
 #: Injection sites (boundary names the shims use).
 SITE_ENGINE = "engine"            # AlignmentEngine.execute (service worker)
 SITE_CONN_WRITE = "conn_write"    # server → client response write
 SITE_CACHE_LOAD = "cache_load"    # ArtifactCache.load of an existing entry
 SITE_SHARD = "shard_worker"       # ShardedRunner / sweep worker process
+SITE_CLUSTER = "cluster_backend"  # chaos cluster-phase kill checkpoints
 
-SITES = (SITE_ENGINE, SITE_CONN_WRITE, SITE_CACHE_LOAD, SITE_SHARD)
+SITES = (SITE_ENGINE, SITE_CONN_WRITE, SITE_CACHE_LOAD, SITE_SHARD,
+         SITE_CLUSTER)
 
 
 @dataclass(frozen=True)
@@ -234,6 +239,7 @@ def _ci_default(seed: int) -> FaultPlan:
         FaultSpec(CONN_DROP, SITE_CONN_WRITE, at_calls=(9,), param=0.5),
         FaultSpec(CACHE_CORRUPT, SITE_CACHE_LOAD, at_calls=(1,)),
         FaultSpec(SHARD_KILL, SITE_SHARD, at_calls=(2,)),
+        FaultSpec(BACKEND_KILL, SITE_CLUSTER, at_calls=(1,)),
     ))
 
 
@@ -250,6 +256,18 @@ def _soak(seed: int) -> FaultPlan:
     ))
 
 
+def _cluster_restart(seed: int) -> FaultPlan:
+    """Restart-aware cluster plan: SIGKILL a backend at the first two
+    kill checkpoints of the chaos cluster phase, plus a mid-response
+    connection drop — the workload that proves the supervisor's monitor
+    loop (restart + live ring reconciliation) carries the tier through
+    repeated member death with zero client-visible loss."""
+    return FaultPlan(seed=seed, name="cluster-restart", specs=(
+        FaultSpec(BACKEND_KILL, SITE_CLUSTER, at_calls=(1, 2)),
+        FaultSpec(CONN_DROP, SITE_CONN_WRITE, at_calls=(5,), param=0.5),
+    ))
+
+
 def _none(seed: int) -> FaultPlan:
     return FaultPlan(seed=seed, name="none", specs=())
 
@@ -257,6 +275,7 @@ def _none(seed: int) -> FaultPlan:
 NAMED_PLANS = {
     "ci-default": _ci_default,
     "soak": _soak,
+    "cluster-restart": _cluster_restart,
     "none": _none,
 }
 

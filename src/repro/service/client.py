@@ -166,23 +166,27 @@ class AsyncServiceClient:
     # ------------------------------------------------------------------ #
 
     async def align(self, read: Read,
-                    idempotency_key: Optional[str] = None
+                    idempotency_key: Optional[str] = None,
+                    budget_ms: Optional[float] = None
                     ) -> Dict[str, Any]:
         """Align one read; the response object (``sam``: one line)."""
         request_id = self._next_id()
         return self._unwrap(await self._request(
             encode_align(request_id, read,
-                         idempotency_key=idempotency_key), request_id))
+                         idempotency_key=idempotency_key,
+                         budget_ms=budget_ms), request_id))
 
     async def align_pair(self, mate1: Read, mate2: Read,
                          pair_id: Optional[str] = None,
-                         idempotency_key: Optional[str] = None
+                         idempotency_key: Optional[str] = None,
+                         budget_ms: Optional[float] = None
                          ) -> Dict[str, Any]:
         """Align an FR pair; response carries two SAM lines + pairing."""
         request_id = self._next_id()
         return self._unwrap(await self._request(
             encode_align_pair(request_id, mate1, mate2, pair_id=pair_id,
-                              idempotency_key=idempotency_key),
+                              idempotency_key=idempotency_key,
+                              budget_ms=budget_ms),
             request_id))
 
     async def stats(self) -> Dict[str, Any]:
@@ -323,18 +327,23 @@ class ResilientAsyncClient:
 
     # ------------------------------------------------------------------ #
 
-    async def align(self, read: Read) -> Dict[str, Any]:
+    async def align(self, read: Read,
+                    budget_ms: Optional[float] = None) -> Dict[str, Any]:
         key = self._next_key()
         obj, attempts = await self._call("align", read, key=key,
-                                         idempotency_key=key)
+                                         idempotency_key=key,
+                                         budget_ms=budget_ms)
         return _attach_meta(obj, attempts)
 
     async def align_pair(self, mate1: Read, mate2: Read,
-                         pair_id: Optional[str] = None) -> Dict[str, Any]:
+                         pair_id: Optional[str] = None,
+                         budget_ms: Optional[float] = None
+                         ) -> Dict[str, Any]:
         key = self._next_key()
         obj, attempts = await self._call("align_pair", mate1, mate2,
                                          pair_id=pair_id, key=key,
-                                         idempotency_key=key)
+                                         idempotency_key=key,
+                                         budget_ms=budget_ms)
         return _attach_meta(obj, attempts)
 
     async def ping(self) -> bool:

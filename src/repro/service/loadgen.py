@@ -46,6 +46,12 @@ from repro.service.client import (
     ServiceError,
 )
 from repro.service.metrics import percentile
+from repro.service.protocol import (
+    ERR_BUSY,
+    ERR_OVERLOADED,
+    ERR_QUEUE_TIMEOUT,
+    SHED_ERRORS,
+)
 
 
 @dataclass(frozen=True)
@@ -126,6 +132,7 @@ class LoadgenConfig:
     connect_timeout_s: float = 10.0
     wait_ready_s: float = 0.0     # retry the connect for this long
     retry: Optional[RetryPolicy] = None  # per-request resilience
+    budget_ms: Optional[float] = None    # per-request latency budget
 
     def __post_init__(self) -> None:
         if self.concurrency <= 0:
@@ -136,6 +143,9 @@ class LoadgenConfig:
                 f"mode must be 'closed' or 'open', got {self.mode!r}")
         if self.mode == "open" and self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.budget_ms is not None and self.budget_ms <= 0:
+            raise ValueError(
+                f"budget_ms must be positive, got {self.budget_ms}")
 
 
 @dataclass
@@ -166,6 +176,22 @@ class LoadgenReport:
         return self.requests - self.completed - self.error_count
 
     @property
+    def shed(self) -> int:
+        """Typed load sheds: the server refused work it never ran."""
+        return sum(n for code, n in self.errors.items()
+                   if code in SHED_ERRORS)
+
+    @property
+    def busy_sheds(self) -> int:
+        """Breaker/degraded-mode sheds (retryable ``busy``)."""
+        return self.errors.get(ERR_BUSY, 0)
+
+    @property
+    def queue_timeout_sheds(self) -> int:
+        """Deadline sheds: the budget expired in an admission queue."""
+        return self.errors.get(ERR_QUEUE_TIMEOUT, 0)
+
+    @property
     def throughput_rps(self) -> float:
         return self.completed / self.duration_s if self.duration_s else 0.0
 
@@ -191,6 +217,14 @@ class LoadgenReport:
         ]
         if self.retried:
             lines.append(f"retried:     {self.retried} attempts absorbed")
+        if self.shed:
+            # busy is a breaker shed (retryable); queue_timeout means the
+            # request's budget died in an admission queue (retry useless).
+            lines.append(
+                f"shed:        {self.shed} "
+                f"(busy={self.busy_sheds}, "
+                f"queue_timeout={self.queue_timeout_sheds}, "
+                f"overloaded={self.errors.get(ERR_OVERLOADED, 0)})")
         if self.errors:
             breakdown = ", ".join(f"{code}={n}" for code, n
                                   in sorted(self.errors.items()))
@@ -275,10 +309,12 @@ async def run_loadgen(endpoint: str, specs: Sequence[RequestSpec],
                          pair=spec.is_pair)
         try:
             if spec.is_pair:
-                response = await client.align_pair(spec.reads[0],
-                                                   spec.reads[1])
+                response = await client.align_pair(
+                    spec.reads[0], spec.reads[1],
+                    budget_ms=config.budget_ms)
             else:
-                response = await client.align(spec.reads[0])
+                response = await client.align(
+                    spec.reads[0], budget_ms=config.budget_ms)
         except ServiceError as exc:
             report.errors[exc.code] = report.errors.get(exc.code, 0) + 1
             span.end(outcome=exc.code)

@@ -30,10 +30,19 @@ Responses::
 Error codes: ``overloaded`` (admission control rejected the request —
 back off and retry, the moral 429), ``busy`` (the server is in degraded
 mode — its circuit breaker tripped on worker crashes — and is shedding;
-back off and retry), ``timeout`` (the per-request deadline expired while
-queued or executing), ``bad_request`` (malformed JSON or fields),
-``internal`` (execution failed after retries), ``shutting_down`` (server
-is draining).
+back off and retry), ``queue_timeout`` (the request's ``budget_ms``
+expired while it sat in an admission queue; it never executed, but the
+budget is spent, so retrying is pointless), ``timeout`` (the per-request
+deadline expired while queued or executing), ``bad_request`` (malformed
+JSON or fields), ``internal`` (execution failed after retries),
+``shutting_down`` (server is draining).
+
+Align requests may carry an optional ``budget_ms`` field: a client-side
+latency budget in milliseconds.  A budget-aware server (the cluster
+gateway) sheds the request with ``queue_timeout`` if the budget expires
+before the request is dispatched, and caps execution at the remaining
+budget, so a client never waits much past its own deadline for an answer
+that is already useless.
 
 Align requests may carry an optional ``idem`` field (a client-chosen
 idempotency key). A retried request with the same key is answered from
@@ -65,6 +74,7 @@ REQUEST_TYPES = ALIGN_TYPES + (TYPE_STATS, TYPE_PING)
 #: Error codes a response may carry.
 ERR_OVERLOADED = "overloaded"
 ERR_BUSY = "busy"
+ERR_QUEUE_TIMEOUT = "queue_timeout"
 ERR_TIMEOUT = "timeout"
 ERR_BAD_REQUEST = "bad_request"
 ERR_INTERNAL = "internal"
@@ -72,7 +82,13 @@ ERR_SHUTTING_DOWN = "shutting_down"
 
 #: Codes a client may safely retry with backoff (the request was never
 #: executed, or an idempotency key makes re-execution a dedup hit).
+#: ``queue_timeout`` is deliberately NOT here: the request never ran,
+#: but its latency budget is spent — a retry would just be shed again.
 RETRYABLE_ERRORS = (ERR_OVERLOADED, ERR_BUSY)
+
+#: Typed load-shedding codes: the server refused work it never executed.
+#: Distinct from ``timeout``/``internal``, where work was attempted.
+SHED_ERRORS = (ERR_OVERLOADED, ERR_BUSY, ERR_QUEUE_TIMEOUT)
 
 #: Defensive cap on one NDJSON line (64 MB would mean a pathological read).
 MAX_LINE_BYTES = 8 * 1024 * 1024
@@ -93,6 +109,7 @@ class AlignRequest:
     reads: List[Read] = field(default_factory=list)
     pair_id: Optional[str] = None
     idempotency_key: Optional[str] = None
+    budget_ms: Optional[float] = None
 
     @property
     def is_pair(self) -> bool:
@@ -148,10 +165,16 @@ def decode_request(line: str) -> AlignRequest:
     idem = obj.get("idem")
     if idem is not None and (not isinstance(idem, str) or not idem):
         raise ProtocolError("idem must be a non-empty string")
+    budget_ms = obj.get("budget_ms")
+    if budget_ms is not None:
+        if isinstance(budget_ms, bool) or \
+                not isinstance(budget_ms, (int, float)) or budget_ms <= 0:
+            raise ProtocolError("budget_ms must be a positive number")
+        budget_ms = float(budget_ms)
     if rtype == TYPE_ALIGN:
         return AlignRequest(request_id=request_id, type=rtype,
                             reads=[_decode_read(obj, "request")],
-                            idempotency_key=idem)
+                            idempotency_key=idem, budget_ms=budget_ms)
     if rtype == TYPE_ALIGN_PAIR:
         pair_id = obj.get("pair_id")
         if pair_id is not None and not isinstance(pair_id, str):
@@ -161,7 +184,7 @@ def decode_request(line: str) -> AlignRequest:
         return AlignRequest(request_id=request_id, type=rtype,
                             reads=[mate1, mate2],
                             pair_id=pair_id or mate1.read_id,
-                            idempotency_key=idem)
+                            idempotency_key=idem, budget_ms=budget_ms)
     return AlignRequest(request_id=request_id, type=rtype)
 
 
@@ -170,7 +193,8 @@ def decode_request(line: str) -> AlignRequest:
 # --------------------------------------------------------------------- #
 
 def encode_align(request_id: str, read: Read,
-                 idempotency_key: Optional[str] = None) -> str:
+                 idempotency_key: Optional[str] = None,
+                 budget_ms: Optional[float] = None) -> str:
     """One NDJSON line for a single-read alignment request."""
     obj: Dict[str, Any] = {"id": request_id, "type": TYPE_ALIGN,
                            "read_id": read.read_id,
@@ -179,12 +203,15 @@ def encode_align(request_id: str, read: Read,
         obj["quality"] = read.quality
     if idempotency_key is not None:
         obj["idem"] = idempotency_key
+    if budget_ms is not None:
+        obj["budget_ms"] = budget_ms
     return json.dumps(obj, separators=(",", ":"))
 
 
 def encode_align_pair(request_id: str, mate1: Read, mate2: Read,
                       pair_id: Optional[str] = None,
-                      idempotency_key: Optional[str] = None) -> str:
+                      idempotency_key: Optional[str] = None,
+                      budget_ms: Optional[float] = None) -> str:
     """One NDJSON line for a paired-read alignment request."""
     def mate(read: Read) -> Dict[str, str]:
         obj = {"read_id": read.read_id, "sequence": read.sequence}
@@ -197,6 +224,8 @@ def encode_align_pair(request_id: str, mate1: Read, mate2: Read,
         obj["pair_id"] = pair_id
     if idempotency_key is not None:
         obj["idem"] = idempotency_key
+    if budget_ms is not None:
+        obj["budget_ms"] = budget_ms
     return json.dumps(obj, separators=(",", ":"))
 
 

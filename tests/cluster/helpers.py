@@ -1,0 +1,53 @@
+"""Shared helpers for the cluster test suite.
+
+``wait_until`` / ``async_wait_until`` replace ad-hoc ``time.sleep``
+polling loops: they poll a predicate on a short interval under a hard
+deadline and fail with a useful message instead of hanging a CI job or
+passing by luck on a fast machine.
+"""
+
+import asyncio
+import time
+from typing import Any, Callable, Union
+
+
+def _fail(message: Union[str, Callable[[], str]],
+          timeout_s: float) -> None:
+    text = message() if callable(message) else message
+    raise AssertionError(
+        text or f"condition not met within {timeout_s}s")
+
+
+def wait_until(predicate: Callable[[], Any], timeout_s: float = 10.0,
+               interval_s: float = 0.02,
+               message: Union[str, Callable[[], str]] = "") -> Any:
+    """Poll ``predicate`` until truthy; its value on success.
+
+    ``message`` (a string, or a zero-arg callable evaluated at failure
+    time so it can capture fresh state) becomes the AssertionError.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if time.monotonic() >= deadline:
+            _fail(message, timeout_s)
+        time.sleep(interval_s)
+
+
+async def async_wait_until(predicate: Callable[[], Any],
+                           timeout_s: float = 10.0,
+                           interval_s: float = 0.02,
+                           message: Union[str, Callable[[], str]] = ""
+                           ) -> Any:
+    """:func:`wait_until` for coroutines — yields to the event loop
+    between polls so the condition can actually make progress."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if time.monotonic() >= deadline:
+            _fail(message, timeout_s)
+        await asyncio.sleep(interval_s)

@@ -1,0 +1,248 @@
+"""AdmissionQueue semantics + the gateway's typed shedding behavior.
+
+The unit half drives the queue directly on one event loop (its
+documented concurrency model); the integration half pushes real
+requests through a gateway whose shard has one slot and a tiny queue,
+and asserts the two shed flavors stay distinct on the wire:
+``overloaded`` (queue full) vs ``queue_timeout`` (budget spent).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.cluster.gateway import (
+    AdmissionQueue,
+    QueueFullShed,
+    QueueTimeoutShed,
+)
+from repro.service.client import ServiceError
+from repro.service.engine import AlignmentEngine
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import ERR_OVERLOADED, ERR_QUEUE_TIMEOUT
+from tests.cluster.test_gateway import SlowEngine, cluster, counters
+from tests.service.helpers import run
+
+
+def make_queue(concurrency=1, depth=4):
+    return AdmissionQueue(0, concurrency, depth, MetricsRegistry())
+
+
+class TestAdmissionQueueUnit:
+    def test_admits_up_to_concurrency_then_queues(self):
+        async def scenario():
+            queue = make_queue(concurrency=2)
+            await queue.acquire(None)
+            await queue.acquire(None)
+            assert queue.in_flight == 2
+            waiter = asyncio.ensure_future(queue.acquire(None))
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            assert queue.as_dict()["depth"] == 1
+            queue.release()
+            await waiter  # the freed slot went to the waiter
+            assert queue.in_flight == 2
+            queue.release()
+            queue.release()
+            assert queue.in_flight == 0
+        run(scenario())
+
+    def test_queue_full_sheds_immediately(self):
+        async def scenario():
+            queue = make_queue(concurrency=1, depth=1)
+            await queue.acquire(None)
+            waiter = asyncio.ensure_future(queue.acquire(None))
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullShed):
+                await queue.acquire(None)
+            queue.release()
+            await waiter
+            queue.release()
+        run(scenario())
+
+    def test_depth_zero_never_queues(self):
+        async def scenario():
+            queue = make_queue(concurrency=1, depth=0)
+            await queue.acquire(None)
+            with pytest.raises(QueueFullShed):
+                await queue.acquire(None)
+            queue.release()
+        run(scenario())
+
+    def test_spent_budget_sheds_before_admission(self):
+        async def scenario():
+            queue = make_queue()
+            with pytest.raises(QueueTimeoutShed):
+                await queue.acquire(time.monotonic() - 0.01)
+            assert queue.in_flight == 0
+        run(scenario())
+
+    def test_budget_expires_while_waiting(self):
+        async def scenario():
+            queue = make_queue(concurrency=1)
+            await queue.acquire(None)
+            started = time.monotonic()
+            with pytest.raises(QueueTimeoutShed):
+                await queue.acquire(time.monotonic() + 0.05)
+            assert time.monotonic() - started < 1.0
+            # The dead waiter left no residue: a release hands the slot
+            # to nobody and the queue is reusable.
+            queue.release()
+            assert queue.in_flight == 0
+            await queue.acquire(None)
+            queue.release()
+        run(scenario())
+
+    def test_deadline_aware_dequeue_skips_expired_waiter(self):
+        async def scenario():
+            queue = make_queue(concurrency=1)
+            await queue.acquire(None)
+            expired = asyncio.ensure_future(
+                queue.acquire(time.monotonic() + 0.05))
+            live = asyncio.ensure_future(queue.acquire(None))
+            await asyncio.sleep(0)
+            assert queue.as_dict()["depth"] == 2
+            # Block the loop past the first waiter's deadline WITHOUT
+            # yielding, so its wait_for timer cannot fire first — the
+            # release() below must be the one to notice it expired.
+            time.sleep(0.08)
+            queue.release()
+            with pytest.raises(QueueTimeoutShed):
+                await expired
+            await live  # the slot skipped the corpse
+            assert queue.in_flight == 1
+            queue.release()
+        run(scenario())
+
+    def test_cancelled_waiter_is_skipped_on_release(self):
+        async def scenario():
+            queue = make_queue(concurrency=1)
+            await queue.acquire(None)
+            cancelled = asyncio.ensure_future(queue.acquire(None))
+            live = asyncio.ensure_future(queue.acquire(None))
+            await asyncio.sleep(0)
+            cancelled.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await cancelled
+            queue.release()
+            await live
+            assert queue.in_flight == 1
+            queue.release()
+            assert queue.in_flight == 0
+        run(scenario())
+
+    def test_peak_depth_gauge_tracks_high_water_mark(self):
+        async def scenario():
+            queue = make_queue(concurrency=1, depth=8)
+            await queue.acquire(None)
+            waiters = [asyncio.ensure_future(queue.acquire(None))
+                       for _ in range(3)]
+            await asyncio.sleep(0)
+            snap = queue.metrics.snapshot()["gauges"]
+            assert snap["shard0_queue_depth"] == 3
+            assert snap["shard0_queue_depth_peak"] == 3
+            for _ in range(3):
+                queue.release()
+            await asyncio.gather(*waiters)
+            snap = queue.metrics.snapshot()["gauges"]
+            assert snap["shard0_queue_depth"] == 0
+            assert snap["shard0_queue_depth_peak"] == 3
+        run(scenario())
+
+
+class TestGatewayShedding:
+    def test_budget_expiry_sheds_queue_timeout(self, cluster_reference,
+                                               cluster_reads):
+        """A queued request whose budget runs out gets the *typed*
+        ``queue_timeout`` error, not a generic busy/timeout."""
+        slow = {bid: (lambda: SlowEngine(
+            AlignmentEngine(cluster_reference), 0.5))
+            for bid in ("s0r0", "s0r1")}
+
+        async def scenario():
+            async with cluster(cluster_reference, replicas=2,
+                               engine_factories=slow,
+                               shard_concurrency=1,
+                               queue_depth=4) as \
+                    (gateway, servers, client):
+                from repro.service.client import AsyncServiceClient
+                other = await AsyncServiceClient.connect(
+                    "127.0.0.1", gateway.port)
+                try:
+                    # Occupy the single slot with a slow request, then
+                    # queue one carrying a budget far below the slot
+                    # holder's service time.
+                    holder = asyncio.ensure_future(
+                        client.align(cluster_reads[0]))
+                    await asyncio.sleep(0.05)
+                    with pytest.raises(ServiceError) as err:
+                        await other.align(cluster_reads[1],
+                                          budget_ms=100.0)
+                    assert err.value.code == ERR_QUEUE_TIMEOUT
+                    assert "sam" in await holder
+                finally:
+                    await other.close()
+                snap = counters(gateway)
+                assert snap["shed_queue_timeout_total"] == 1
+                assert snap.get("shed_queue_full_total", 0) == 0
+        run(scenario())
+
+    def test_queue_full_sheds_overloaded(self, cluster_reference,
+                                         cluster_reads):
+        slow = {bid: (lambda: SlowEngine(
+            AlignmentEngine(cluster_reference), 0.5))
+            for bid in ("s0r0", "s0r1")}
+
+        async def scenario():
+            async with cluster(cluster_reference, replicas=2,
+                               engine_factories=slow,
+                               shard_concurrency=1,
+                               queue_depth=0) as \
+                    (gateway, servers, client):
+                from repro.service.client import AsyncServiceClient
+                other = await AsyncServiceClient.connect(
+                    "127.0.0.1", gateway.port)
+                try:
+                    holder = asyncio.ensure_future(
+                        client.align(cluster_reads[0]))
+                    await asyncio.sleep(0.05)
+                    with pytest.raises(ServiceError) as err:
+                        await other.align(cluster_reads[1])
+                    assert err.value.code == ERR_OVERLOADED
+                    assert "sam" in await holder
+                finally:
+                    await other.close()
+                assert counters(gateway)["shed_queue_full_total"] == 1
+        run(scenario())
+
+    def test_default_budget_applies_when_request_carries_none(
+            self, cluster_reference, cluster_reads):
+        slow = {bid: (lambda: SlowEngine(
+            AlignmentEngine(cluster_reference), 0.5))
+            for bid in ("s0r0", "s0r1")}
+
+        async def scenario():
+            async with cluster(cluster_reference, replicas=2,
+                               engine_factories=slow,
+                               shard_concurrency=1, queue_depth=4,
+                               default_budget_ms=100.0) as \
+                    (gateway, servers, client):
+                from repro.service.client import AsyncServiceClient
+                other = await AsyncServiceClient.connect(
+                    "127.0.0.1", gateway.port)
+                try:
+                    # The holder's explicit budget overrides the
+                    # default; the queued request carries none, so the
+                    # gateway's default budget governs it.
+                    holder = asyncio.ensure_future(
+                        client.align(cluster_reads[0],
+                                     budget_ms=10_000.0))
+                    await asyncio.sleep(0.05)
+                    with pytest.raises(ServiceError) as err:
+                        await other.align(cluster_reads[1])  # no budget
+                    assert err.value.code == ERR_QUEUE_TIMEOUT
+                    assert "sam" in await holder
+                finally:
+                    await other.close()
+        run(scenario())

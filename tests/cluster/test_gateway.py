@@ -11,6 +11,7 @@ from repro.cluster.topology import ClusterTopology, shard_reference
 from repro.service.client import AsyncServiceClient
 from repro.service.engine import AlignmentEngine
 from repro.service.server import AlignmentServer, ServerConfig
+from tests.cluster.helpers import async_wait_until
 from tests.service.helpers import run
 
 
@@ -138,15 +139,12 @@ def test_health_loop_ejects_and_readmits(cluster_reference, cluster_reads):
             port = servers["s0r1"].port
             await servers["s0r1"].shutdown(drain=False)
 
-            async def wait_healthy(value, deadline_s=10.0):
-                deadline = time.monotonic() + deadline_s
-                while time.monotonic() < deadline:
-                    if gauges(gateway)["backend_s0r1_healthy"] == value:
-                        return
-                    await asyncio.sleep(0.05)
-                raise AssertionError(
-                    f"s0r1 never became healthy={value}: "
-                    f"{gauges(gateway)}")
+            async def wait_healthy(value):
+                await async_wait_until(
+                    lambda: gauges(gateway)["backend_s0r1_healthy"]
+                    == value,
+                    message=lambda: (f"s0r1 never became healthy="
+                                     f"{value}: {gauges(gateway)}"))
 
             await wait_healthy(0)
             assert counters(gateway)["backend_ejects_total"] == 1
@@ -255,6 +253,127 @@ def test_gateway_pair_alignment(cluster_reference):
     run(scenario())
 
 
+def test_reconcile_adopts_new_endpoint_and_readmits(
+        cluster_reference, cluster_reads):
+    """A restarted backend on a fresh port rejoins its ring the moment
+    reconciliation's probe answers — no health-loop convalescence."""
+    async def scenario():
+        async with cluster(cluster_reference, replicas=2) as \
+                (gateway, servers, client):
+            await servers["s0r1"].shutdown(drain=False)
+            # Respawn "the replica" on a brand-new port.
+            servers["s0r1"] = AlignmentServer(
+                cluster_reference, config=ServerConfig(
+                    port=0, stats_interval_s=0.0, workers=1))
+            await servers["s0r1"].start()
+            endpoint = f"127.0.0.1:{servers['s0r1'].port}"
+            assert await gateway.reconcile_backend("s0r1", endpoint)
+            handle = gateway.handles["s0r1"]
+            assert handle.endpoint == endpoint
+            assert handle.healthy and not handle.retired
+            assert "s0r1" in gateway._rings[0]
+            snap = counters(gateway)
+            assert snap["backend_restarts_total"] == 1
+            assert snap["backend_reconciles_total"] == 1
+            for read in cluster_reads[:6]:
+                assert "sam" in await client.align(read)
+    run(scenario())
+
+
+def test_reconcile_onto_dead_endpoint_ejects_until_it_answers(
+        cluster_reference, cluster_reads):
+    async def scenario():
+        async with cluster(cluster_reference, replicas=2,
+                           connect_timeout_s=0.5) as \
+                (gateway, servers, client):
+            port = servers["s0r1"].port
+            await servers["s0r1"].shutdown(drain=False)
+            # The supervisor claims a restart but the probe misses
+            # (nothing listens there): the backend must leave the ring
+            # rather than take live traffic.
+            assert not await gateway.reconcile_backend(
+                "s0r1", f"127.0.0.1:{port}")
+            assert not gateway.handles["s0r1"].healthy
+            assert "s0r1" not in gateway._rings[0]
+            assert counters(gateway).get("backend_reconciles_total",
+                                         0) == 0
+            # Traffic keeps flowing on the survivor meanwhile.
+            for read in cluster_reads[:4]:
+                assert "sam" in await client.align(read)
+    run(scenario())
+
+
+def test_retired_backend_is_never_a_candidate(cluster_reference,
+                                              cluster_reads):
+    """Crash-loop retirement: permanent, alert-counted, and the gateway
+    keeps serving on the survivors without wedging."""
+    async def scenario():
+        async with cluster(cluster_reference, replicas=2) as \
+                (gateway, servers, client):
+            gateway.retire_backend("s0r1", "crash loop (test)")
+            handle = gateway.handles["s0r1"]
+            assert handle.retired and not handle.healthy
+            assert "s0r1" not in gateway._rings[0]
+            snap = counters(gateway)
+            assert snap["backend_crash_loop_ejects_total"] == 1
+            # Retirement is sticky: a later restart event must not
+            # resurrect the backend.
+            assert not await gateway.reconcile_backend(
+                "s0r1", f"127.0.0.1:{servers['s0r1'].port}")
+            assert "s0r1" not in gateway._rings[0]
+            for read in cluster_reads:
+                assert "sam" in await client.align(read)
+            assert counters(gateway).get("backend_s0r1_requests_total",
+                                         0) == 0
+            stats = await client.stats()
+            assert stats["backends"]["s0r1"]["retired"] is True
+    run(scenario())
+
+
+def test_hedge_loser_cancellation_races_backend_restart(
+        cluster_reference, cluster_reads):
+    """Regression: a hedged request's slow loser is cancelled while the
+    losing backend is torn down and reconciled onto a new endpoint.
+    The loser must neither double-count a response nor write to the
+    dead process's connection."""
+    async def scenario():
+        read = cluster_reads[0]
+        primary = HashRing(["s0r0", "s0r1"]).route(read.read_id)
+        slow = {primary: (lambda: SlowEngine(
+            AlignmentEngine(cluster_reference), 1.0))}
+        async with cluster(cluster_reference, replicas=2,
+                           engine_factories=slow,
+                           hedge_delay_ms=50.0) as \
+                (gateway, servers, client):
+            response = await client.align(read, idempotency_key="race")
+            assert "sam" in response
+            assert counters(gateway)["hedge_wins_total"] == 1
+            # The loser's batch is still cooking inside the slow
+            # engine.  Kill that backend and reconcile onto a fresh
+            # replacement while the cancelled call unwinds.
+            await servers[primary].shutdown(drain=False)
+            servers[primary] = AlignmentServer(
+                cluster_reference, config=ServerConfig(
+                    port=0, stats_interval_s=0.0, workers=1))
+            await servers[primary].start()
+            assert await gateway.reconcile_backend(
+                primary, f"127.0.0.1:{servers[primary].port}")
+            # Wait past the slow engine's delay: the loser must not
+            # surface anywhere.
+            await asyncio.sleep(1.2)
+            snap = counters(gateway)
+            assert snap["responses_total"] == 1
+            assert snap.get("idempotent_hits_total", 0) == 0
+            # The restarted backend serves new traffic, and the cached
+            # idempotent response is intact.
+            for r in cluster_reads[:4]:
+                assert "sam" in await client.align(r)
+            again = await client.align(read, idempotency_key="race")
+            assert again["sam"] == response["sam"]
+            assert counters(gateway)["idempotent_hits_total"] == 1
+    run(scenario())
+
+
 def test_gateway_config_validation():
     import pytest
 
@@ -264,3 +383,9 @@ def test_gateway_config_validation():
         GatewayConfig(hedge_max=-1)
     with pytest.raises(ValueError):
         GatewayConfig(health_failures=0)
+    with pytest.raises(ValueError):
+        GatewayConfig(shard_concurrency=0)
+    with pytest.raises(ValueError):
+        GatewayConfig(queue_depth=-1)
+    with pytest.raises(ValueError):
+        GatewayConfig(default_budget_ms=-1.0)

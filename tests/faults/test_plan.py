@@ -181,7 +181,8 @@ class TestNamedPlans:
             named_plan("nonesuch", 1)
 
     def test_registry_names(self):
-        assert set(NAMED_PLANS) == {"ci-default", "soak", "none"}
+        assert set(NAMED_PLANS) == {"ci-default", "soak",
+                                    "cluster-restart", "none"}
 
     def test_ci_default_covers_every_kind(self):
         plan = named_plan("ci-default", 7)

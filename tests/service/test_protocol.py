@@ -122,3 +122,35 @@ def test_idempotency_key_validated():
     payload["idem"] = 123
     with pytest.raises(ProtocolError, match="idem"):
         decode_request(json.dumps(payload))
+
+
+def test_budget_ms_round_trips():
+    read = Read(read_id="r1", sequence="ACGT")
+    request = decode_request(encode_align("1", read, budget_ms=250.0))
+    assert request.budget_ms == 250.0
+    m2 = Read(read_id="r2", sequence="TTGG")
+    request = decode_request(
+        encode_align_pair("2", read, m2, budget_ms=1500))
+    assert request.budget_ms == 1500.0
+    assert isinstance(request.budget_ms, float)
+
+
+def test_budget_ms_defaults_to_none():
+    read = Read(read_id="r1", sequence="ACGT")
+    line = encode_align("1", read)
+    assert "budget_ms" not in json.loads(line)
+    assert decode_request(line).budget_ms is None
+
+
+@pytest.mark.parametrize("bad", [0, -5, "fast", True])
+def test_budget_ms_validated(bad):
+    obj = {"id": "1", "type": "align", "read_id": "r",
+           "sequence": "ACGT", "budget_ms": bad}
+    with pytest.raises(ProtocolError, match="budget_ms"):
+        decode_request(json.dumps(obj))
+
+
+def test_budget_ms_null_reads_as_absent():
+    obj = {"id": "1", "type": "align", "read_id": "r",
+           "sequence": "ACGT", "budget_ms": None}
+    assert decode_request(json.dumps(obj)).budget_ms is None

@@ -92,3 +92,35 @@ def test_loadgen_config_validation():
         loadgen.LoadgenConfig(mode="sideways")
     with pytest.raises(ValueError):
         loadgen.LoadgenConfig(mode="open", rate=0)
+
+
+def test_loadgen_config_budget_validation():
+    with pytest.raises(ValueError):
+        loadgen.LoadgenConfig(budget_ms=0)
+    with pytest.raises(ValueError):
+        loadgen.LoadgenConfig(budget_ms=-100.0)
+    assert loadgen.LoadgenConfig(budget_ms=250.0).budget_ms == 250.0
+
+
+def test_report_distinguishes_shed_flavors():
+    """Satellite of the admission-queue work: `busy` (breaker shed,
+    retryable) and `queue_timeout` (budget died queued, retry useless)
+    stay distinct in the counts and the human summary."""
+    report = loadgen.LoadgenReport(
+        requests=10, completed=6, duration_s=1.0,
+        latencies_s=[0.01] * 6,
+        errors={"busy": 2, "queue_timeout": 1, "overloaded": 1})
+    assert report.shed == 4
+    assert report.busy_sheds == 2
+    assert report.queue_timeout_sheds == 1
+    assert report.dropped == 0
+    text = report.format()
+    assert "shed:        4 (busy=2, queue_timeout=1, overloaded=1)" \
+        in text
+
+
+def test_report_internal_errors_are_not_sheds():
+    report = loadgen.LoadgenReport(requests=4, completed=3,
+                                   errors={"internal": 1})
+    assert report.shed == 0
+    assert "shed:" not in report.format()
